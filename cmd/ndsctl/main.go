@@ -1,0 +1,150 @@
+// Command ndsctl inspects NDS layout decisions: given a device geometry and
+// a space description it reports the building-block sizing (Equations 1-4),
+// the index shape and footprint, and — for a partition — the translated
+// extent and page counts, showing what a request would cost before running
+// a full experiment.
+//
+// Usage:
+//
+//	ndsctl size -elem 8 -dims 32768,32768
+//	ndsctl size -elem 4 -dims 2048,2048,2048 -order 3
+//	ndsctl plan -elem 8 -dims 32768,32768 -coord 1,0 -sub 8192,8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nds/internal/nvm"
+	"nds/internal/stl"
+	"nds/internal/system"
+)
+
+func parseDims(s string) ([]int64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	elem := fs.Int("elem", 8, "element size in bytes")
+	dimsStr := fs.String("dims", "32768,32768", "space dimensionality, comma separated")
+	coordStr := fs.String("coord", "", "partition coordinate (plan)")
+	subStr := fs.String("sub", "", "partition sub-dimensionality (plan)")
+	order := fs.Int("order", 0, "building-block order (0 = paper default)")
+	mult := fs.Int("mult", 2, "building-block multiplier (paper prototype: 2)")
+	channels := fs.Int("channels", 32, "device channels")
+	banks := fs.Int("banks", 8, "banks per channel")
+	page := fs.Int("page", 4096, "page size in bytes")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	dims, err := parseDims(*dimsStr)
+	check(err)
+
+	geo := nvm.Geometry{Channels: *channels, Banks: *banks, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: *page}
+	switch cmd {
+	case "size":
+		sz, err := stl.SizeBuildingBlock(geo, *elem, len(dims), *order, *mult)
+		check(err)
+		fmt.Printf("device: %d channels x %d banks, %d B pages\n", *channels, *banks, *page)
+		fmt.Printf("BB_min (Eq.1%s): %d B\n", map[bool]string{true: "+3"}[sz.Order == 3], sz.MinBytes)
+		fmt.Printf("building block: order %d, %d elements per dimension -> %v\n", sz.Order, sz.PerDim, sz.Dims)
+		fmt.Printf("block bytes: %d (%d pages, %.1f per channel)\n",
+			sz.Bytes, sz.PagesPerBB, float64(sz.PagesPerBB)/float64(*channels))
+		grid := make([]int64, len(dims))
+		blocks := int64(1)
+		for i, d := range dims {
+			grid[i] = (d + sz.Dims[i] - 1) / sz.Dims[i]
+			blocks *= grid[i]
+		}
+		var vol int64 = int64(*elem)
+		for _, d := range dims {
+			vol *= d
+		}
+		fmt.Printf("space: %v (%d B) -> grid %v (%d blocks)\n", dims, vol, grid, blocks)
+		fmt.Printf("index estimate: ~%d B (B-tree of %d levels)\n",
+			blocks*(8+int64(sz.PagesPerBB)*4), len(dims))
+
+	case "plan":
+		if *coordStr == "" || *subStr == "" {
+			fmt.Fprintln(os.Stderr, "ndsctl plan: -coord and -sub required")
+			os.Exit(2)
+		}
+		coord, err := parseDims(*coordStr)
+		check(err)
+		sub, err := parseDims(*subStr)
+		check(err)
+		var vol int64 = int64(*elem)
+		for _, d := range dims {
+			vol *= d
+		}
+		cfg := system.PrototypeConfig(vol, true)
+		cfg.Geometry.Channels, cfg.Geometry.Banks, cfg.Geometry.PageSize = *channels, *banks, *page
+		if *order != 0 {
+			cfg.STL.BBOrder = *order
+		}
+		cfg.STL.BBMultiplier = *mult
+		dev, err := nvm.NewDevice(cfg.Geometry, cfg.Timing, true)
+		check(err)
+		st, err := stl.New(dev, cfg.STL)
+		check(err)
+		sp, err := st.CreateSpace(*elem, dims)
+		check(err)
+		v, err := stl.NewView(sp, dims)
+		check(err)
+		exts, err := v.Extents(coord, sub)
+		check(err)
+		shape, elems, err := v.PartitionShape(coord, sub)
+		check(err)
+		blocks := map[int64]bool{}
+		var bytes int64
+		minLen, maxLen := int64(1<<62), int64(0)
+		for _, e := range exts {
+			blocks[e.Block] = true
+			bytes += e.Len
+			if e.Len < minLen {
+				minLen = e.Len
+			}
+			if e.Len > maxLen {
+				maxLen = e.Len
+			}
+		}
+		fmt.Printf("space %v, blocks %v\n", dims, sp.BlockDims())
+		fmt.Printf("partition coord=%v sub=%v -> shape %v (%d elements, %d B)\n",
+			coord, sub, shape, elems, elems*int64(*elem))
+		fmt.Printf("translation: %d extents (%d B) over %d building blocks (extent %d..%d B)\n",
+			len(exts), bytes, len(blocks), minLen, maxLen)
+		fmt.Printf("one NDS command replaces a %d-request row-store gather\n", shape[0])
+
+	default:
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndsctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ndsctl {size|plan} [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,68 @@
+package nds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClients hammers one device from many goroutines, each owning
+// a disjoint tile of a shared space; every client must read back exactly
+// what it wrote, and the simulated clock must advance monotonically.
+func TestConcurrentClients(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, tile, clients = 256, 64, 16
+	id, err := d.CreateSpace(4, []int64{n, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sp, err := d.OpenSpace(id, []int64{n, n})
+			if err != nil {
+				errs <- err
+				return
+			}
+			coord := []int64{int64(c) / (n / tile), int64(c) % (n / tile)}
+			rng := rand.New(rand.NewSource(int64(c)))
+			for iter := 0; iter < 5; iter++ {
+				data := make([]byte, tile*tile*4)
+				rng.Read(data)
+				if _, err := sp.Write(coord, []int64{tile, tile}, data); err != nil {
+					errs <- fmt.Errorf("client %d write: %w", c, err)
+					return
+				}
+				got, _, err := sp.Read(coord, []int64{tile, tile})
+				if err != nil {
+					errs <- fmt.Errorf("client %d read: %w", c, err)
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("client %d: read-back mismatch on iter %d", c, iter)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}

@@ -1,0 +1,114 @@
+package nds
+
+import (
+	"strings"
+
+	"nds/internal/proto"
+)
+
+// Exec processes one raw extended-NVMe submission entry (§5.3.1): the
+// command-level interface beneath the typed API, used by hosts that speak
+// the wire format directly. payload is the 4 KB page the command's second
+// word points at (coordinates for read/write, dimensionality for
+// open_space); data is the write payload for nds_write.
+//
+// The returned bytes are the read payload (nil for non-reads and phantom
+// devices). Errors in command handling surface as completion statuses, not
+// Go errors; only a malformed entry returns an error.
+func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte, proto.Completion, Stats, error) {
+	d.execMu.Lock()
+	defer d.execMu.Unlock()
+	cmd, err := proto.Unmarshal(raw)
+	if err != nil {
+		return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, err
+	}
+	switch cmd.Opcode() {
+	case proto.OpOpenSpace:
+		sp, err := proto.UnmarshalSpacePayload(payload)
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+		}
+		var id SpaceID
+		if cmd.CreateFlag() {
+			id, err = d.CreateSpace(sp.ElemSize, sp.Dims)
+			if err != nil {
+				return nil, completionFor(err), Stats{}, nil
+			}
+		} else {
+			id = SpaceID(cmd.Target())
+		}
+		view, err := d.OpenSpace(id, sp.Dims)
+		if err != nil {
+			return nil, completionFor(err), Stats{}, nil
+		}
+		vid := d.registerView(view)
+		return nil, proto.Completion{Status: proto.StatusOK, Result0: uint64(id), Result1: uint64(vid)}, Stats{}, nil
+
+	case proto.OpCloseSpace:
+		view, ok := d.views[cmd.Target()]
+		if !ok {
+			return nil, proto.Completion{Status: proto.StatusUnknownView}, Stats{}, nil
+		}
+		delete(d.views, cmd.Target())
+		if err := view.Close(); err != nil {
+			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
+		}
+		return nil, proto.Completion{Status: proto.StatusOK}, Stats{}, nil
+
+	case proto.OpDeleteSpace:
+		if err := d.DeleteSpace(SpaceID(cmd.Target())); err != nil {
+			return nil, proto.Completion{Status: proto.StatusUnknownSpace}, Stats{}, nil
+		}
+		return nil, proto.Completion{Status: proto.StatusOK}, Stats{}, nil
+
+	case proto.OpRead, proto.OpWrite:
+		view, ok := d.views[cmd.Target()]
+		if !ok {
+			return nil, proto.Completion{Status: proto.StatusUnknownView}, Stats{}, nil
+		}
+		pl, err := proto.UnmarshalCoordPayload(payload)
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+		}
+		if cmd.Opcode() == proto.OpRead {
+			out, st, err := view.Read(pl.Coord, pl.Sub)
+			if err != nil {
+				return nil, completionFor(err), Stats{}, nil
+			}
+			return out, proto.Completion{Status: proto.StatusOK, Result0: uint64(st.Bytes)}, st, nil
+		}
+		st, err := view.Write(pl.Coord, pl.Sub, data)
+		if err != nil {
+			return nil, completionFor(err), Stats{}, nil
+		}
+		return nil, proto.Completion{Status: proto.StatusOK, Result0: uint64(st.Bytes)}, st, nil
+	}
+	return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+}
+
+// registerView assigns a dynamic view ID (the open_space return value).
+func (d *Device) registerView(s *Space) uint32 {
+	if d.views == nil {
+		d.views = make(map[uint32]*Space)
+	}
+	d.nextView++
+	d.views[d.nextView] = s
+	return d.nextView
+}
+
+// completionFor maps library errors onto wire statuses.
+func completionFor(err error) proto.Completion {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unknown space"):
+		return proto.Completion{Status: proto.StatusUnknownSpace}
+	case strings.Contains(msg, "capacity"):
+		return proto.Completion{Status: proto.StatusCapacity}
+	case strings.Contains(msg, "out of"), strings.Contains(msg, "volume"),
+		strings.Contains(msg, "rank"), strings.Contains(msg, "positive"),
+		strings.Contains(msg, "dimension"):
+		return proto.Completion{Status: proto.StatusInvalidField}
+	default:
+		return proto.Completion{Status: proto.StatusInternal}
+	}
+}

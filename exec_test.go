@@ -1,0 +1,129 @@
+package nds
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nds/internal/proto"
+)
+
+// TestExecLifecycle drives the §5.3.1 command set end to end over the wire
+// format: open_space(create) -> nds_write -> open a reshaped view ->
+// nds_read -> close_space -> delete_space.
+func TestExecLifecycle(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// open_space with the create flag.
+	spacePage, err := proto.SpacePayload{ElemSize: 4, Dims: []int64{128, 128}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cpl, _, err := d.Exec(proto.NewOpenSpace(0, 0x1000, true).Marshal(), spacePage, nil)
+	if err != nil || cpl.Status != proto.StatusOK {
+		t.Fatalf("open_space(create): %v / %v", cpl.Status, err)
+	}
+	spaceID := uint32(cpl.Result0)
+	viewID := uint32(cpl.Result1)
+
+	// nds_write of the whole space.
+	coordPage, err := proto.CoordPayload{Coord: []int64{0, 0}, Sub: []int64{128, 128}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 128*128*4)
+	rand.New(rand.NewSource(1)).Read(data)
+	_, cpl, st, err := d.Exec(proto.NewWrite(viewID, 0x2000).Marshal(), coordPage, data)
+	if err != nil || cpl.Status != proto.StatusOK {
+		t.Fatalf("nds_write: %v / %v", cpl.Status, err)
+	}
+	if st.Commands != 1 || st.Bytes != int64(len(data)) {
+		t.Fatalf("write stats = %+v", st)
+	}
+
+	// open_space (no create flag): a flat view of the same space.
+	flatPage, err := proto.SpacePayload{ElemSize: 4, Dims: []int64{128 * 128}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cpl, _, err = d.Exec(proto.NewOpenSpace(spaceID, 0x1000, false).Marshal(), flatPage, nil)
+	if err != nil || cpl.Status != proto.StatusOK {
+		t.Fatalf("open_space(view): %v / %v", cpl.Status, err)
+	}
+	flatID := uint32(cpl.Result1)
+	if flatID == viewID {
+		t.Fatal("dynamic view IDs must be distinct")
+	}
+
+	// nds_read through the flat view returns the same linear bytes.
+	readPage, err := proto.CoordPayload{Coord: []int64{0}, Sub: []int64{128 * 128}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, cpl, _, err := d.Exec(proto.NewRead(flatID, 0x3000).Marshal(), readPage, nil)
+	if err != nil || cpl.Status != proto.StatusOK {
+		t.Fatalf("nds_read: %v / %v", cpl.Status, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("wire-format read-back mismatch")
+	}
+
+	// close_space retires the view; further reads fail with UnknownView.
+	_, cpl, _, _ = d.Exec(proto.NewCloseSpace(flatID).Marshal(), nil, nil)
+	if cpl.Status != proto.StatusOK {
+		t.Fatalf("close_space: %v", cpl.Status)
+	}
+	_, cpl, _, _ = d.Exec(proto.NewRead(flatID, 0).Marshal(), readPage, nil)
+	if cpl.Status != proto.StatusUnknownView {
+		t.Fatalf("read of closed view: %v, want unknown view", cpl.Status)
+	}
+
+	// delete_space; a second delete reports unknown space.
+	_, cpl, _, _ = d.Exec(proto.NewDeleteSpace(spaceID).Marshal(), nil, nil)
+	if cpl.Status != proto.StatusOK {
+		t.Fatalf("delete_space: %v", cpl.Status)
+	}
+	_, cpl, _, _ = d.Exec(proto.NewDeleteSpace(spaceID).Marshal(), nil, nil)
+	if cpl.Status != proto.StatusUnknownSpace {
+		t.Fatalf("double delete: %v, want unknown space", cpl.Status)
+	}
+}
+
+func TestExecStatuses(t *testing.T) {
+	d, err := Open(Options{Mode: ModeSoftware, CapacityHint: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malformed entry: conventional NVMe command.
+	var raw [proto.CommandSize]byte
+	if _, cpl, _, err := d.Exec(raw, nil, nil); err == nil || cpl.Status != proto.StatusInvalidField {
+		t.Fatal("conventional entry should error with invalid field")
+	}
+	// Unknown view.
+	page, _ := proto.CoordPayload{Coord: []int64{0}, Sub: []int64{1}}.Marshal()
+	if _, cpl, _, _ := d.Exec(proto.NewRead(77, 0).Marshal(), page, nil); cpl.Status != proto.StatusUnknownView {
+		t.Fatalf("unknown view: %v", cpl.Status)
+	}
+	// open_space view of an unknown space.
+	sp, _ := proto.SpacePayload{ElemSize: 4, Dims: []int64{16}}.Marshal()
+	if _, cpl, _, _ := d.Exec(proto.NewOpenSpace(55, 0, false).Marshal(), sp, nil); cpl.Status == proto.StatusOK {
+		t.Fatal("view of unknown space accepted")
+	}
+	// Bad payload page.
+	if _, cpl, _, _ := d.Exec(proto.NewOpenSpace(0, 0, true).Marshal(), []byte{1, 2}, nil); cpl.Status != proto.StatusInvalidField {
+		t.Fatalf("truncated space page: %v", cpl.Status)
+	}
+	// Volume-mismatched view through the wire path.
+	_, cpl, _, _ := d.Exec(proto.NewOpenSpace(0, 0, true).Marshal(), sp, nil)
+	if cpl.Status != proto.StatusOK {
+		t.Fatal("create failed")
+	}
+	id := uint32(cpl.Result0)
+	bad, _ := proto.SpacePayload{ElemSize: 4, Dims: []int64{17}}.Marshal()
+	if _, cpl, _, _ := d.Exec(proto.NewOpenSpace(id, 0, false).Marshal(), bad, nil); cpl.Status != proto.StatusInvalidField {
+		t.Fatalf("volume mismatch over the wire: %v", cpl.Status)
+	}
+}

@@ -1,0 +1,205 @@
+package nds
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEncryptedDevice: §5.3.3 through the public API — the data path is
+// unchanged with the inline cipher installed.
+func TestEncryptedDevice(t *testing.T) {
+	d, err := Open(Options{
+		Mode:          ModeHardware,
+		CapacityHint:  8 << 20,
+		EncryptionKey: []byte("tenant-key"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.CreateSpace(8, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := d.OpenSpace(id, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256*256*8)
+	rand.New(rand.NewSource(5)).Read(data)
+	if _, err := sp.Write([]int64{0, 0}, []int64{256, 256}, data); err != nil {
+		t.Fatal(err)
+	}
+	// Reshaped consumer view over encrypted storage.
+	flat, err := d.OpenSpace(id, []int64{256 * 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := flat.Read([]int64{0}, []int64{256 * 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("encrypted device corrupted data")
+	}
+}
+
+// TestCompressedDevice: §5.3.4 through the public API — fewer flash pages
+// for redundant content, identical bytes back.
+func TestCompressedDevice(t *testing.T) {
+	mk := func(compress bool) (Stats, []byte) {
+		d, err := Open(Options{Mode: ModeSoftware, CapacityHint: 8 << 20, Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := d.CreateSpace(8, []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := d.OpenSpace(id, []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 256*256*8)
+		for i := range data {
+			data[i] = byte(i / 4096)
+		}
+		st, err := sp.Write([]int64{0, 0}, []int64{256, 256}, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sp.Read([]int64{0, 0}, []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round-trip mismatch")
+		}
+		return st, got
+	}
+	raw, _ := mk(false)
+	comp, _ := mk(true)
+	if comp.Pages >= raw.Pages {
+		t.Fatalf("compression wrote %d pages, raw wrote %d", comp.Pages, raw.Pages)
+	}
+}
+
+// TestSparseDevice: the §8 page-zero optimization through the public API.
+func TestSparseDevice(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20, ZeroPageElision: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.CreateSpace(8, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := d.OpenSpace(id, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := make([]byte, 256*256*8) // all zeros
+	st, err := sp.Write([]int64{0, 0}, []int64{256, 256}, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages != 0 {
+		t.Fatalf("all-zero write programmed %d pages, want 0", st.Pages)
+	}
+	got, _, err := sp.Read([]int64{0, 0}, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sparse) {
+		t.Fatal("sparse read-back mismatch")
+	}
+}
+
+// TestWriteBufferingThroughAPI: §4.4 staging through the public API — a
+// producer streaming single rows programs nothing until units fill or the
+// device is flushed.
+func TestWriteBufferingThroughAPI(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20, WriteBuffering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.CreateSpace(8, []int64{512, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := d.OpenSpace(id, []int64{512, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]byte, 512*8)
+	rand.New(rand.NewSource(8)).Read(row)
+	st, err := sp.Write([]int64{9, 0}, []int64{1, 512}, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages != 0 {
+		t.Fatalf("single-row write programmed %d pages, want 0 (staged)", st.Pages)
+	}
+	got, _, err := sp.Read([]int64{9, 0}, []int64{1, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, row) {
+		t.Fatal("staged row invisible to reads")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = sp.Read([]int64{9, 0}, []int64{1, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, row) {
+		t.Fatal("flushed row wrong")
+	}
+}
+
+// TestResizeThroughAPI: §5.1 space restructuring.
+func TestResizeThroughAPI(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.CreateSpace(8, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := d.OpenSpace(id, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 128*128*8)
+	rand.New(rand.NewSource(6)).Read(data)
+	if _, err := sp.Write([]int64{0, 0}, []int64{128, 128}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ResizeSpace(id, 256); err != nil {
+		t.Fatal(err)
+	}
+	info, err := d.Inspect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dims[0] != 256 {
+		t.Fatalf("dims after resize = %v", info.Dims)
+	}
+	grown, err := d.OpenSpace(id, []int64{256, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := grown.Read([]int64{0, 0}, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("resize lost data")
+	}
+	if err := d.ResizeSpace(999, 10); err == nil {
+		t.Fatal("resize of unknown space accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module nds
+
+go 1.22

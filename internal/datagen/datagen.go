@@ -1,0 +1,201 @@
+// Package datagen reimplements the paper's dataset generators (Appendix
+// A.3.4): random dense matrices (GEMM, Conv2D, Hotspot inputs), random 3-D
+// tensors (TTV, TC), clustering point sets (K-Means, KNN), random adjacency
+// matrices in binary encoding (BFS, SSSP), and a synthetic power-law graph
+// standing in for the DIMACS download of the PageRank generator. All
+// generators are deterministic for a given seed and emit the binary-encoded
+// layouts the NDS workloads consume.
+package datagen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nds/internal/tensor"
+)
+
+// Matrix generates an m x n random matrix (the data/generator/matrix tool).
+func Matrix(m, n int, seed int64) *tensor.Matrix {
+	return tensor.RandMatrix(m, n, seed)
+}
+
+// Tensor generates an m x n x k random tensor (data/generator/tensor).
+func Tensor(m, n, k int, seed int64) *tensor.Tensor3 {
+	return tensor.RandTensor3(m, n, k, seed)
+}
+
+// Clustering generates m points with n attributes drawn around k well
+// separated centres plus the k query/centre points themselves
+// (data/generator/clustering, after kNN-CUDA).
+func Clustering(m, n, k int, seed int64) (points, centres *tensor.Matrix, err error) {
+	if k <= 0 || m < k || n <= 0 {
+		return nil, nil, fmt.Errorf("datagen: clustering needs 0 < k <= m and n > 0 (m=%d n=%d k=%d)", m, n, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centres = tensor.NewMatrix(k, n)
+	for c := 0; c < k; c++ {
+		for j := 0; j < n; j++ {
+			centres.Set(c, j, float32(c*10)+rng.Float32())
+		}
+	}
+	points = tensor.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		c := i % k
+		for j := 0; j < n; j++ {
+			points.Set(i, j, centres.At(c, j)+rng.Float32()-0.5)
+		}
+	}
+	return points, centres, nil
+}
+
+// Graph generates an m x m adjacency matrix with approximately edges
+// non-zero random positive weights (data/generator/graph/bfs: "an M x M
+// adjacency matrix with N non-zero random values"). The diagonal stays
+// clear, and the graph is seeded with a Hamiltonian-ish path so BFS/SSSP
+// reach most vertices.
+func Graph(m int, edges int64, seed int64) (*tensor.Matrix, error) {
+	if m <= 1 {
+		return nil, fmt.Errorf("datagen: graph needs at least 2 vertices")
+	}
+	maxEdges := int64(m) * int64(m-1)
+	if edges < 0 || edges > maxEdges {
+		return nil, fmt.Errorf("datagen: %d edges out of range [0,%d]", edges, maxEdges)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := tensor.NewMatrix(m, m)
+	placed := int64(0)
+	// Connectivity backbone.
+	for i := 0; i < m-1 && placed < edges; i++ {
+		adj.Set(i, i+1, 1+rng.Float32())
+		placed++
+	}
+	for placed < edges {
+		u, v := rng.Intn(m), rng.Intn(m)
+		if u == v || adj.At(u, v) != 0 {
+			continue
+		}
+		adj.Set(u, v, 1+rng.Float32())
+		placed++
+	}
+	return adj, nil
+}
+
+// PageRankGraph generates an m x m adjacency with a power-law-ish in-degree
+// distribution (a synthetic stand-in for the 10th DIMACS graph the paper's
+// pagerank_graph_gen.sh downloads — we have no network, so we generate a
+// graph with the same qualitative structure: few popular vertices, many
+// leaves).
+func PageRankGraph(m int, avgDegree int, seed int64) (*tensor.Matrix, error) {
+	if m <= 1 || avgDegree < 1 {
+		return nil, fmt.Errorf("datagen: pagerank graph needs m > 1, avgDegree >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := tensor.NewMatrix(m, m)
+	for u := 0; u < m; u++ {
+		deg := 1 + rng.Intn(2*avgDegree)
+		for e := 0; e < deg; e++ {
+			// Preferential-attachment flavour: square the uniform draw so
+			// low-numbered vertices collect most edges.
+			f := rng.Float64()
+			v := int(f * f * float64(m))
+			if v >= m {
+				v = m - 1
+			}
+			if v != u {
+				adj.Set(u, v, 1)
+			}
+		}
+	}
+	return adj, nil
+}
+
+// WriteMatrix streams a matrix in the binary-encoded row-major format the
+// NDS tools consume (little-endian float32, no header).
+func WriteMatrix(w io.Writer, m *tensor.Matrix) error {
+	_, err := w.Write(m.Bytes())
+	return err
+}
+
+// WriteTensor streams a tensor in binary-encoded row-major format.
+func WriteTensor(w io.Writer, t *tensor.Tensor3) error {
+	_, err := w.Write(t.Bytes())
+	return err
+}
+
+// ReadMatrix decodes a rows x cols binary-encoded matrix.
+func ReadMatrix(r io.Reader, rows, cols int) (*tensor.Matrix, error) {
+	buf := make([]byte, rows*cols*4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return tensor.MatrixFromBytes(rows, cols, buf)
+}
+
+// header helpers for the self-describing .ndsmat container used by the CLI
+// tools: magic, rank, dims, then raw little-endian float32 payload.
+
+const magic = "NDSM"
+
+// WriteContainer writes a self-describing container with the given dims and
+// payload (len(payload) must equal 4*prod(dims)).
+func WriteContainer(w io.Writer, dims []int64, payload []byte) error {
+	vol := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("datagen: non-positive dim %d", d)
+		}
+		vol *= d
+	}
+	if int64(len(payload)) != vol*4 {
+		return fmt.Errorf("datagen: payload %d bytes does not match dims %v", len(payload), dims)
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(len(dims))); err != nil {
+		return err
+	}
+	for _, d := range dims {
+		if err := binary.Write(w, binary.LittleEndian, d); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadContainer reads a container written by WriteContainer.
+func ReadContainer(r io.Reader) (dims []int64, payload []byte, err error) {
+	hdr := make([]byte, 4)
+	if _, err = io.ReadFull(r, hdr); err != nil {
+		return nil, nil, err
+	}
+	if string(hdr) != magic {
+		return nil, nil, fmt.Errorf("datagen: bad magic %q", hdr)
+	}
+	var rank int32
+	if err = binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, nil, err
+	}
+	if rank <= 0 || rank > 32 {
+		return nil, nil, fmt.Errorf("datagen: rank %d out of range", rank)
+	}
+	dims = make([]int64, rank)
+	vol := int64(1)
+	for i := range dims {
+		if err = binary.Read(r, binary.LittleEndian, &dims[i]); err != nil {
+			return nil, nil, err
+		}
+		if dims[i] <= 0 || vol > (1<<40)/dims[i] {
+			return nil, nil, fmt.Errorf("datagen: unreasonable dims %v", dims)
+		}
+		vol *= dims[i]
+	}
+	payload = make([]byte, vol*4)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return nil, nil, err
+	}
+	return dims, payload, nil
+}

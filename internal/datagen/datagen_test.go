@@ -1,0 +1,160 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"nds/internal/workloads"
+)
+
+func TestMatrixDeterministic(t *testing.T) {
+	a, b := Matrix(16, 16, 7), Matrix(16, 16, 7)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed should reproduce the matrix")
+	}
+	c := Matrix(16, 16, 8)
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGraphEdgeCount(t *testing.T) {
+	adj, err := Graph(32, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges int64
+	for i := 0; i < 32; i++ {
+		if adj.At(i, i) != 0 {
+			t.Fatal("self loop generated")
+		}
+		for j := 0; j < 32; j++ {
+			if adj.At(i, j) != 0 {
+				edges++
+			}
+		}
+	}
+	if edges != 100 {
+		t.Fatalf("generated %d edges, want 100", edges)
+	}
+	if _, err := Graph(1, 0, 1); err == nil {
+		t.Error("degenerate graph accepted")
+	}
+	if _, err := Graph(4, 1000, 1); err == nil {
+		t.Error("overfull graph accepted")
+	}
+}
+
+func TestGraphBackboneReachable(t *testing.T) {
+	adj, err := Graph(64, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := workloads.BFS(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, l := range lv {
+		if l < 0 {
+			t.Fatalf("vertex %d unreachable despite path backbone", v)
+		}
+	}
+}
+
+func TestClusteringStructure(t *testing.T) {
+	pts, centres, err := Clustering(40, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if centres.Rows != 4 || pts.Rows != 40 {
+		t.Fatal("wrong shapes")
+	}
+	// Each point sits within 1.0 of its centre in every attribute.
+	for i := 0; i < 40; i++ {
+		c := i % 4
+		for j := 0; j < 4; j++ {
+			d := pts.At(i, j) - centres.At(c, j)
+			if d > 1 || d < -1 {
+				t.Fatalf("point %d strays %v from its centre", i, d)
+			}
+		}
+	}
+	if _, _, err := Clustering(2, 4, 5, 1); err == nil {
+		t.Error("k > m accepted")
+	}
+}
+
+func TestPageRankGraphSkewed(t *testing.T) {
+	adj, err := PageRankGraph(256, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDeg := make([]int, 256)
+	for u := 0; u < 256; u++ {
+		for v := 0; v < 256; v++ {
+			if adj.At(u, v) != 0 {
+				inDeg[v]++
+			}
+		}
+	}
+	// The head of the distribution must dominate the tail.
+	head, tail := 0, 0
+	for v := 0; v < 32; v++ {
+		head += inDeg[v]
+	}
+	for v := 224; v < 256; v++ {
+		tail += inDeg[v]
+	}
+	if head <= 3*tail {
+		t.Fatalf("in-degree not skewed: head=%d tail=%d", head, tail)
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	m := Matrix(8, 12, 9)
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, []int64{8, 12}, m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	dims, payload, err := ReadContainer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || dims[0] != 8 || dims[1] != 12 {
+		t.Fatalf("dims = %v", dims)
+	}
+	if !bytes.Equal(payload, m.Bytes()) {
+		t.Fatal("payload mismatch")
+	}
+	// Corrupt magic is rejected.
+	if _, _, err := ReadContainer(bytes.NewBufferString("XXXX....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Payload/dims mismatch rejected.
+	if err := WriteContainer(&bytes.Buffer{}, []int64{4}, make([]byte, 3)); err == nil {
+		t.Error("mismatched payload accepted")
+	}
+}
+
+func TestStreamHelpers(t *testing.T) {
+	m := Matrix(4, 4, 10)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m, 0) {
+		t.Fatal("stream round-trip mismatch")
+	}
+	tn := Tensor(2, 3, 4, 11)
+	buf.Reset()
+	if err := WriteTensor(&buf, tn); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 2*3*4*4 {
+		t.Fatalf("tensor stream length %d", buf.Len())
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+func TestSweepChannelsScalesNDS(t *testing.T) {
+	pts, err := SweepChannels(2048, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// NDS rides internal parallelism: monotone improvement with channels.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].HardwareMB <= pts[i-1].HardwareMB {
+			t.Errorf("NDS did not gain from %d->%d channels: %.0f -> %.0f",
+				pts[i-1].X, pts[i].X, pts[i-1].HardwareMB, pts[i].HardwareMB)
+		}
+	}
+	// The baseline's small-request gather is latency/request-bound: adding
+	// channels barely moves it.
+	if pts[2].BaselineMB > 2*pts[0].BaselineMB {
+		t.Errorf("baseline should be request-bound: %.0f @8ch vs %.0f @32ch",
+			pts[0].BaselineMB, pts[2].BaselineMB)
+	}
+	// At every point NDS dominates.
+	for _, p := range pts {
+		if p.HardwareMB < 5*p.BaselineMB {
+			t.Errorf("channels=%d: NDS %.0f should dominate baseline %.0f", p.X, p.HardwareMB, p.BaselineMB)
+		}
+	}
+}
+
+func TestSweepBlockMultiplierTradeoff(t *testing.T) {
+	pts, err := SweepBlockMultiplier(4096, []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small multipliers keep row/column symmetric.
+	if pts[0].RowMB < 0.9*pts[0].ColMB || pts[0].ColMB < 0.9*pts[0].RowMB {
+		t.Errorf("mult=1 should be symmetric: row %.0f vs col %.0f", pts[0].RowMB, pts[0].ColMB)
+	}
+	// Oversized blocks hurt narrow column bands (sub-block amplification).
+	last := pts[len(pts)-1]
+	if last.ColMB >= pts[0].ColMB {
+		t.Errorf("mult=8 column fetch (%.0f) should degrade vs mult=1 (%.0f)", last.ColMB, pts[0].ColMB)
+	}
+	// Oversizing must fail once blocks exceed the matrix.
+	if _, err := SweepBlockMultiplier(256, []int{64}); err == nil {
+		t.Error("blocks larger than the matrix accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package hostsim
+
+import (
+	"testing"
+
+	"nds/internal/sim"
+)
+
+func TestMarshalCost(t *testing.T) {
+	h := New(Params{IOSubmit: 5 * sim.Microsecond, ChunkOverhead: sim.Microsecond, MemcpyBW: 1e9})
+	// 1000 bytes in 4 chunks: 4us fixed + 1us copy.
+	_, end := h.Marshal(0, 1000, 4)
+	if end != 5*sim.Microsecond {
+		t.Fatalf("marshal end = %v, want 5us", end)
+	}
+	if d := h.MarshalDuration(1000, 4); d != 5*sim.Microsecond {
+		t.Fatalf("MarshalDuration = %v, want 5us", d)
+	}
+}
+
+func TestChunkedCopySlowerThanBulk(t *testing.T) {
+	// The software-NDS penalty: the same bytes in many small chunks cost
+	// more CPU than one bulk copy.
+	h := New(DefaultParams())
+	bulk := h.MarshalDuration(1<<20, 1)
+	chunked := h.MarshalDuration(1<<20, 512) // 2 KB pieces
+	if chunked <= bulk {
+		t.Fatalf("chunked copy (%v) should cost more than bulk (%v)", chunked, bulk)
+	}
+}
+
+func TestCPUSerializes(t *testing.T) {
+	h := New(DefaultParams())
+	_, e1 := h.SubmitIO(0)
+	s2, _ := h.SubmitIO(0)
+	if s2 != e1 {
+		t.Fatalf("second submit starts %v, want %v", s2, e1)
+	}
+	_, e3 := h.Translate(e1)
+	if e3 < e1+h.STLTraversal {
+		t.Fatal("translation should occupy the CPU for STLTraversal")
+	}
+	if h.BusyTime() == 0 {
+		t.Fatal("busy time should accumulate")
+	}
+	h.Reset()
+	if h.FreeAt() != 0 {
+		t.Fatal("reset should clear the timeline")
+	}
+}
+
+func TestDefaultsMatchPaperAnchors(t *testing.T) {
+	p := DefaultParams()
+	// §7.3: software NDS adds 41us to a worst-case request.
+	if p.STLTraversal != 41*sim.Microsecond {
+		t.Errorf("STLTraversal = %v, want 41us", p.STLTraversal)
+	}
+	// §7.1: copying a 2 KB chunk must be dominated by fixed overhead, which
+	// is what caps software-NDS assembly near 3.8 GB/s.
+	perChunk := p.ChunkOverhead + sim.TransferTime(2048, p.MemcpyBW)
+	bw := sim.Bandwidth(2048, perChunk)
+	if bw < 3.0e9 || bw > 4.5e9 {
+		t.Errorf("2 KB-chunk assembly bandwidth = %.2f GB/s, want ~3.8", bw/1e9)
+	}
+}

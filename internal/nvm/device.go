@@ -1,0 +1,238 @@
+package nvm
+
+import (
+	"fmt"
+
+	"nds/internal/sim"
+)
+
+// PageCipher is an inline encryption engine (§5.3.3): a size-preserving
+// transformation applied per basic access unit, keyed by physical address.
+// Datacenter controllers run these at line rate, so no extra latency is
+// modelled.
+type PageCipher interface {
+	Seal(p PPA, plain []byte) []byte
+	Open(p PPA, sealed []byte) []byte
+}
+
+// Device is a simulated flash array. It is not safe for concurrent use; the
+// request flows in this repository issue operations in program order and the
+// resource timelines provide the parallelism model.
+type Device struct {
+	geo Geometry
+	tim Timing
+
+	cipher PageCipher
+
+	// Phantom devices skip byte storage so paper-scale datasets can be
+	// simulated without allocating their contents. State (programmed bits,
+	// wear) and timing are still fully tracked.
+	phantom bool
+
+	channels []*sim.Resource
+	banks    []*sim.Resource // indexed channel*Banks+bank
+
+	programmed []uint64         // bitmap over linear PPAs
+	data       map[int64][]byte // linear PPA -> page contents (nil in phantom mode)
+	eraseCount []int64          // per linear block index
+	reads      int64
+	programs   int64
+	erases     int64
+}
+
+// NewDevice builds a device with the given geometry and timing. If phantom is
+// true the device tracks state and timing but stores no page bytes.
+func NewDevice(geo Geometry, tim Timing, phantom bool) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		geo:        geo,
+		tim:        tim,
+		phantom:    phantom,
+		channels:   make([]*sim.Resource, geo.Channels),
+		banks:      make([]*sim.Resource, geo.Channels*geo.Banks),
+		programmed: make([]uint64, (geo.TotalPages()+63)/64),
+		eraseCount: make([]int64, int64(geo.Channels)*int64(geo.Banks)*int64(geo.BlocksPerBank)),
+	}
+	if !phantom {
+		d.data = make(map[int64][]byte)
+	}
+	for c := range d.channels {
+		d.channels[c] = sim.NewResource(fmt.Sprintf("channel%d", c))
+	}
+	for i := range d.banks {
+		d.banks[i] = sim.NewResource(fmt.Sprintf("bank%d.%d", i/geo.Banks, i%geo.Banks))
+	}
+	return d, nil
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Timing returns the device timing parameters.
+func (d *Device) Timing() Timing { return d.tim }
+
+// Phantom reports whether the device stores page bytes.
+func (d *Device) Phantom() bool { return d.phantom }
+
+// SetCipher installs an inline encryption engine. All subsequent programs
+// store sealed bytes; reads return plaintext. Installing a cipher on a
+// device that already holds data would make that data unreadable, so it is
+// rejected.
+func (d *Device) SetCipher(c PageCipher) error {
+	if d.programs > 0 {
+		return fmt.Errorf("nvm: cannot install cipher on a device with programmed data")
+	}
+	d.cipher = c
+	return nil
+}
+
+// RawPage exposes the bytes on the medium (post-cipher) for inspection; nil
+// if the page is unprogrammed or the device is phantom. Test/diagnostic use.
+func (d *Device) RawPage(p PPA) []byte {
+	if d.phantom || !p.Valid(d.geo) {
+		return nil
+	}
+	return d.data[p.Linear(d.geo)]
+}
+
+func (d *Device) bank(p PPA) *sim.Resource {
+	return d.banks[p.Channel*d.geo.Banks+p.Bank]
+}
+
+func (d *Device) blockIndex(p PPA) int64 {
+	return (int64(p.Channel)*int64(d.geo.Banks)+int64(p.Bank))*int64(d.geo.BlocksPerBank) + int64(p.Block)
+}
+
+func (d *Device) isProgrammed(idx int64) bool {
+	return d.programmed[idx/64]&(1<<(uint(idx)%64)) != 0
+}
+
+func (d *Device) setProgrammed(idx int64, v bool) {
+	if v {
+		d.programmed[idx/64] |= 1 << (uint(idx) % 64)
+	} else {
+		d.programmed[idx/64] &^= 1 << (uint(idx) % 64)
+	}
+}
+
+// Programmed reports whether the page at p has been programmed since its
+// block was last erased.
+func (d *Device) Programmed(p PPA) bool {
+	return p.Valid(d.geo) && d.isProgrammed(p.Linear(d.geo))
+}
+
+// ReadPage senses the page at p (arriving at time at) and returns its
+// contents and the completion time. Reading a never-programmed page is legal
+// and yields a zero-filled page (erased state).
+//
+// The returned slice aliases device storage; callers must not modify it.
+func (d *Device) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time, error) {
+	if !p.Valid(d.geo) {
+		return nil, at, fmt.Errorf("nvm: read of invalid address %v", p)
+	}
+	_, senseEnd := d.bank(p).Acquire(at, d.tim.ReadPage)
+	_, done := d.channels[p.Channel].Acquire(senseEnd, d.tim.TransferTime(d.geo.PageSize))
+	d.reads++
+	if d.phantom {
+		return nil, done, nil
+	}
+	if pg, ok := d.data[p.Linear(d.geo)]; ok {
+		if d.cipher != nil {
+			return d.cipher.Open(p, pg), done, nil
+		}
+		return pg, done, nil
+	}
+	return make([]byte, d.geo.PageSize), done, nil
+}
+
+// ProgramPage writes data (at most one page) to p, arriving at time at.
+// Programming an already-programmed page is a flash-rule violation and fails.
+func (d *Device) ProgramPage(at sim.Time, p PPA, data []byte) (sim.Time, error) {
+	if !p.Valid(d.geo) {
+		return at, fmt.Errorf("nvm: program of invalid address %v", p)
+	}
+	if len(data) > d.geo.PageSize {
+		return at, fmt.Errorf("nvm: program of %d bytes exceeds page size %d", len(data), d.geo.PageSize)
+	}
+	idx := p.Linear(d.geo)
+	if d.isProgrammed(idx) {
+		return at, fmt.Errorf("nvm: program to already-programmed page %v (erase first)", p)
+	}
+	_, xferEnd := d.channels[p.Channel].Acquire(at, d.tim.TransferTime(d.geo.PageSize))
+	_, done := d.bank(p).Acquire(xferEnd, d.tim.ProgramPage)
+	d.setProgrammed(idx, true)
+	d.programs++
+	if !d.phantom {
+		pg := make([]byte, d.geo.PageSize)
+		copy(pg, data)
+		if d.cipher != nil {
+			pg = d.cipher.Seal(p, pg)
+		}
+		d.data[idx] = pg
+	}
+	return done, nil
+}
+
+// EraseBlock erases the block containing p (its Page field is ignored),
+// arriving at time at, returning the completion time.
+func (d *Device) EraseBlock(at sim.Time, p PPA) (sim.Time, error) {
+	if !p.Valid(d.geo) && !(PPA{p.Channel, p.Bank, p.Block, 0}).Valid(d.geo) {
+		return at, fmt.Errorf("nvm: erase of invalid address %v", p)
+	}
+	_, done := d.bank(p).Acquire(at, d.tim.EraseBlock)
+	base := PPA{p.Channel, p.Bank, p.Block, 0}.Linear(d.geo)
+	for i := 0; i < d.geo.PagesPerBlock; i++ {
+		idx := base + int64(i)
+		d.setProgrammed(idx, false)
+		if !d.phantom {
+			delete(d.data, idx)
+		}
+	}
+	d.eraseCount[d.blockIndex(p)]++
+	d.erases++
+	return done, nil
+}
+
+// EraseCount reports how many times the block containing p has been erased.
+func (d *Device) EraseCount(p PPA) int64 { return d.eraseCount[d.blockIndex(p)] }
+
+// Counters reports lifetime operation counts (reads, programs, erases).
+func (d *Device) Counters() (reads, programs, erases int64) {
+	return d.reads, d.programs, d.erases
+}
+
+// ChannelUtilization reports the busy fraction of each channel over horizon.
+func (d *Device) ChannelUtilization(horizon sim.Time) []float64 {
+	u := make([]float64, len(d.channels))
+	for i, c := range d.channels {
+		u[i] = c.Utilization(horizon)
+	}
+	return u
+}
+
+// NextIdle reports the earliest time at which every channel and bank is idle:
+// the completion horizon of all issued operations.
+func (d *Device) NextIdle() sim.Time {
+	var t sim.Time
+	for _, c := range d.channels {
+		t = sim.Max(t, c.FreeAt())
+	}
+	for _, b := range d.banks {
+		t = sim.Max(t, b.FreeAt())
+	}
+	return t
+}
+
+// ResetTimeline returns all channel/bank timelines to the epoch without
+// touching stored data or programmed state. Experiment harnesses use this to
+// run independent phases on a pre-loaded device.
+func (d *Device) ResetTimeline() {
+	for _, c := range d.channels {
+		c.Reset()
+	}
+	for _, b := range d.banks {
+		b.Reset()
+	}
+}

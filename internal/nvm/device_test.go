@@ -1,0 +1,260 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nds/internal/sim"
+)
+
+func testGeo() Geometry {
+	return Geometry{Channels: 4, Banks: 2, BlocksPerBank: 8, PagesPerBlock: 16, PageSize: 512}
+}
+
+func newTestDevice(t *testing.T, phantom bool) *Device {
+	t.Helper()
+	d, err := NewDevice(testGeo(), TLCTiming(), phantom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeometryValidate(t *testing.T) {
+	good := testGeo()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []Geometry{
+		{0, 2, 8, 16, 512},
+		{4, 0, 8, 16, 512},
+		{4, 2, 0, 16, 512},
+		{4, 2, 8, 0, 512},
+		{4, 2, 8, 16, 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d accepted", i)
+		}
+	}
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	g := testGeo()
+	if got, want := g.TotalPages(), int64(4*2*8*16); got != want {
+		t.Fatalf("TotalPages = %d, want %d", got, want)
+	}
+	if got, want := g.Capacity(), int64(4*2*8*16*512); got != want {
+		t.Fatalf("Capacity = %d, want %d", got, want)
+	}
+}
+
+func TestPPALinearRoundTrip(t *testing.T) {
+	g := testGeo()
+	f := func(c, b, blk, pg uint8) bool {
+		p := PPA{
+			Channel: int(c) % g.Channels,
+			Bank:    int(b) % g.Banks,
+			Block:   int(blk) % g.BlocksPerBank,
+			Page:    int(pg) % g.PagesPerBlock,
+		}
+		return FromLinear(g, p.Linear(g)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPPALinearDense(t *testing.T) {
+	g := testGeo()
+	seen := make(map[int64]bool)
+	for c := 0; c < g.Channels; c++ {
+		for b := 0; b < g.Banks; b++ {
+			for blk := 0; blk < g.BlocksPerBank; blk++ {
+				for pg := 0; pg < g.PagesPerBlock; pg++ {
+					idx := PPA{c, b, blk, pg}.Linear(g)
+					if idx < 0 || idx >= g.TotalPages() {
+						t.Fatalf("linear index %d out of range", idx)
+					}
+					if seen[idx] {
+						t.Fatalf("linear index %d duplicated", idx)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	d := newTestDevice(t, false)
+	p := PPA{Channel: 1, Bank: 1, Block: 2, Page: 3}
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	if _, err := d.ProgramPage(0, p, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.ReadPage(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read data does not match programmed data")
+	}
+}
+
+func TestReadUnprogrammedIsZero(t *testing.T) {
+	d := newTestDevice(t, false)
+	got, _, err := d.ReadPage(0, PPA{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 512 || !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("unprogrammed page should read as zeros")
+	}
+}
+
+func TestNoInPlaceOverwrite(t *testing.T) {
+	d := newTestDevice(t, false)
+	p := PPA{0, 0, 0, 0}
+	if _, err := d.ProgramPage(0, p, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ProgramPage(0, p, []byte{2}); err == nil {
+		t.Fatal("second program to same page must fail (flash rule)")
+	}
+	// After an erase the page is reusable.
+	if _, err := d.EraseBlock(0, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ProgramPage(0, p, []byte{3}); err != nil {
+		t.Fatalf("program after erase failed: %v", err)
+	}
+	if d.EraseCount(p) != 1 {
+		t.Fatalf("erase count = %d, want 1", d.EraseCount(p))
+	}
+}
+
+func TestEraseClearsData(t *testing.T) {
+	d := newTestDevice(t, false)
+	p := PPA{2, 0, 3, 5}
+	if _, err := d.ProgramPage(0, p, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EraseBlock(0, p); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := d.ReadPage(0, p)
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("erased page should read as zeros")
+	}
+	if d.Programmed(p) {
+		t.Fatal("erased page should not be programmed")
+	}
+}
+
+func TestInvalidAddressesRejected(t *testing.T) {
+	d := newTestDevice(t, false)
+	bad := PPA{Channel: 99}
+	if _, _, err := d.ReadPage(0, bad); err == nil {
+		t.Error("read of invalid PPA should fail")
+	}
+	if _, err := d.ProgramPage(0, bad, nil); err == nil {
+		t.Error("program of invalid PPA should fail")
+	}
+	if _, err := d.ProgramPage(0, PPA{0, 0, 0, 0}, make([]byte, 513)); err == nil {
+		t.Error("oversized program should fail")
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	// Reads spread over distinct channels complete in ~one page latency;
+	// reads queued on a single channel's bank serialize on the bank.
+	d := newTestDevice(t, true)
+	tim := d.Timing()
+	perPage := tim.ReadPage + tim.TransferTime(512)
+
+	var doneSpread sim.Time
+	for c := 0; c < 4; c++ {
+		_, done, err := d.ReadPage(0, PPA{Channel: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doneSpread = sim.Max(doneSpread, done)
+	}
+	if doneSpread != perPage {
+		t.Fatalf("4 reads on 4 channels took %v, want %v", doneSpread, perPage)
+	}
+
+	d2 := newTestDevice(t, true)
+	var doneSerial sim.Time
+	for i := 0; i < 4; i++ {
+		_, done, err := d2.ReadPage(0, PPA{Channel: 0, Page: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doneSerial = sim.Max(doneSerial, done)
+	}
+	// All four sense on the same bank: at least 4x the sense latency.
+	if doneSerial < 4*tim.ReadPage {
+		t.Fatalf("4 reads on one bank took %v, want >= %v", doneSerial, 4*tim.ReadPage)
+	}
+	if doneSerial <= doneSpread {
+		t.Fatal("serialized reads should be slower than spread reads")
+	}
+}
+
+func TestBankParallelismWithinChannel(t *testing.T) {
+	// Two banks on one channel overlap sensing; only the bus serializes.
+	d := newTestDevice(t, true)
+	tim := d.Timing()
+	var done sim.Time
+	for b := 0; b < 2; b++ {
+		_, dn, err := d.ReadPage(0, PPA{Channel: 0, Bank: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = sim.Max(done, dn)
+	}
+	want := tim.ReadPage + 2*tim.TransferTime(512)
+	if done != want {
+		t.Fatalf("2-bank read took %v, want %v (sense overlapped, bus serialized)", done, want)
+	}
+}
+
+func TestPhantomStoresNoData(t *testing.T) {
+	d := newTestDevice(t, true)
+	p := PPA{0, 0, 0, 0}
+	if _, err := d.ProgramPage(0, p, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := d.ReadPage(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Fatal("phantom read should return nil data")
+	}
+	if !d.Programmed(p) {
+		t.Fatal("phantom device must still track programmed state")
+	}
+}
+
+func TestCountersAndTimeline(t *testing.T) {
+	d := newTestDevice(t, false)
+	p := PPA{0, 0, 0, 0}
+	_, _ = d.ProgramPage(0, p, []byte{1})
+	_, _, _ = d.ReadPage(0, p)
+	_, _ = d.EraseBlock(0, p)
+	r, w, e := d.Counters()
+	if r != 1 || w != 1 || e != 1 {
+		t.Fatalf("counters = %d,%d,%d, want 1,1,1", r, w, e)
+	}
+	if d.NextIdle() == 0 {
+		t.Fatal("device should be busy after operations")
+	}
+	d.ResetTimeline()
+	if d.NextIdle() != 0 {
+		t.Fatal("ResetTimeline should clear resource timelines")
+	}
+}

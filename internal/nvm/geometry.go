@@ -1,0 +1,98 @@
+// Package nvm models a multi-channel, multi-bank NAND flash array: the memory
+// substrate beneath both the baseline SSD's FTL and the NDS space-translation
+// layer. The model enforces flash programming rules (no in-place overwrite,
+// erase-before-reuse at block granularity), tracks wear, stores real page
+// bytes for correctness testing (or runs "phantom" without data at paper
+// scale), and schedules every operation on per-channel and per-bank resources
+// so that achieved parallelism falls out of the timing model rather than
+// being assumed.
+package nvm
+
+import "fmt"
+
+// Geometry describes the physical organisation of the array.
+type Geometry struct {
+	Channels      int // parallel channels; all can accept unique requests simultaneously
+	Banks         int // banks (dies) per channel; busy independently of each other
+	BlocksPerBank int // erase blocks per (channel, bank)
+	PagesPerBlock int // program/read units per erase block
+	PageSize      int // bytes per page
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("nvm: geometry needs at least one channel, got %d", g.Channels)
+	case g.Banks <= 0:
+		return fmt.Errorf("nvm: geometry needs at least one bank, got %d", g.Banks)
+	case g.BlocksPerBank <= 0:
+		return fmt.Errorf("nvm: geometry needs at least one block per bank, got %d", g.BlocksPerBank)
+	case g.PagesPerBlock <= 0:
+		return fmt.Errorf("nvm: geometry needs at least one page per block, got %d", g.PagesPerBlock)
+	case g.PageSize <= 0:
+		return fmt.Errorf("nvm: geometry needs a positive page size, got %d", g.PageSize)
+	}
+	return nil
+}
+
+// PagesPerBank is the page count in one (channel, bank) pair.
+func (g Geometry) PagesPerBank() int64 {
+	return int64(g.BlocksPerBank) * int64(g.PagesPerBlock)
+}
+
+// TotalPages is the page count of the whole array.
+func (g Geometry) TotalPages() int64 {
+	return int64(g.Channels) * int64(g.Banks) * g.PagesPerBank()
+}
+
+// Capacity is the raw byte capacity of the array.
+func (g Geometry) Capacity() int64 {
+	return g.TotalPages() * int64(g.PageSize)
+}
+
+// String summarises the geometry.
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dch x %dbank x %dblk x %dpg x %dB (%.1f GiB)",
+		g.Channels, g.Banks, g.BlocksPerBank, g.PagesPerBlock, g.PageSize,
+		float64(g.Capacity())/(1<<30))
+}
+
+// PPA is a physical page address.
+type PPA struct {
+	Channel int
+	Bank    int
+	Block   int
+	Page    int
+}
+
+// Valid reports whether p addresses a page within g.
+func (p PPA) Valid(g Geometry) bool {
+	return p.Channel >= 0 && p.Channel < g.Channels &&
+		p.Bank >= 0 && p.Bank < g.Banks &&
+		p.Block >= 0 && p.Block < g.BlocksPerBank &&
+		p.Page >= 0 && p.Page < g.PagesPerBlock
+}
+
+// Linear flattens p to a dense index in [0, g.TotalPages()).
+// Layout: channel-major, then bank, block, page.
+func (p PPA) Linear(g Geometry) int64 {
+	return ((int64(p.Channel)*int64(g.Banks)+int64(p.Bank))*int64(g.BlocksPerBank)+
+		int64(p.Block))*int64(g.PagesPerBlock) + int64(p.Page)
+}
+
+// FromLinear reconstructs the PPA for a dense index.
+func FromLinear(g Geometry, idx int64) PPA {
+	page := idx % int64(g.PagesPerBlock)
+	idx /= int64(g.PagesPerBlock)
+	block := idx % int64(g.BlocksPerBank)
+	idx /= int64(g.BlocksPerBank)
+	bank := idx % int64(g.Banks)
+	idx /= int64(g.Banks)
+	return PPA{Channel: int(idx), Bank: int(bank), Block: int(block), Page: int(page)}
+}
+
+// String formats the address.
+func (p PPA) String() string {
+	return fmt.Sprintf("ch%d/bk%d/blk%d/pg%d", p.Channel, p.Bank, p.Block, p.Page)
+}

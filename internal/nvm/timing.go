@@ -1,0 +1,32 @@
+package nvm
+
+import "nds/internal/sim"
+
+// Timing holds the latency parameters of the flash array.
+//
+// A page read occupies the bank for ReadPage (cell sensing), then the channel
+// for the data transfer. A program occupies the channel first (data in), then
+// the bank for ProgramPage. An erase occupies the bank for EraseBlock.
+type Timing struct {
+	ReadPage    sim.Time // cell-to-register sensing latency
+	ProgramPage sim.Time // register-to-cell program latency
+	EraseBlock  sim.Time // block erase latency
+	ChannelBW   float64  // channel bus bandwidth, bytes/second
+}
+
+// TLCTiming are representative TLC-NAND parameters, in line with the
+// 30-100 us page-read latency the paper cites (§7.3) and typical TLC program
+// and erase figures.
+func TLCTiming() Timing {
+	return Timing{
+		ReadPage:    55 * sim.Microsecond,
+		ProgramPage: 660 * sim.Microsecond,
+		EraseBlock:  3 * sim.Millisecond,
+		ChannelBW:   800e6, // ONFI-class bus: 800 MB/s per channel
+	}
+}
+
+// TransferTime is the channel-bus occupancy of one page of n bytes.
+func (t Timing) TransferTime(n int) sim.Time {
+	return sim.TransferTime(int64(n), t.ChannelBW)
+}

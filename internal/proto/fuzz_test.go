@@ -1,0 +1,81 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalCoordPayload: arbitrary bytes must never panic, and any page
+// that parses must re-marshal to an equivalent payload.
+func FuzzUnmarshalCoordPayload(f *testing.F) {
+	seed, _ := CoordPayload{Coord: []int64{1, 2}, Sub: []int64{3, 4}}.Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x01}, PageSize))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		p, err := UnmarshalCoordPayload(page)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("parsed payload failed to re-marshal: %v", err)
+		}
+		q, err := UnmarshalCoordPayload(out)
+		if err != nil {
+			t.Fatalf("re-marshalled payload failed to parse: %v", err)
+		}
+		for i := range p.Coord {
+			if p.Coord[i] != q.Coord[i] || p.Sub[i] != q.Sub[i] {
+				t.Fatal("payload not stable under marshal round-trip")
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalSpacePayload: same contract for space pages.
+func FuzzUnmarshalSpacePayload(f *testing.F) {
+	seed, _ := SpacePayload{ElemSize: 8, Dims: []int64{16, 16}}.Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xAA}, 64))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		p, err := UnmarshalSpacePayload(page)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("parsed payload failed to re-marshal: %v", err)
+		}
+		q, err := UnmarshalSpacePayload(out)
+		if err != nil {
+			t.Fatalf("re-marshalled payload failed to parse: %v", err)
+		}
+		if q.ElemSize != p.ElemSize || len(q.Dims) != len(p.Dims) {
+			t.Fatal("payload not stable under marshal round-trip")
+		}
+	})
+}
+
+// FuzzUnmarshalCommand: arbitrary 64-byte entries must never panic and the
+// extended-bit contract must hold.
+func FuzzUnmarshalCommand(f *testing.F) {
+	readEntry := NewRead(1, 2).Marshal()
+	f.Add(readEntry[:], true)
+	var conventional [CommandSize]byte
+	conventional[0] = 0x02
+	f.Add(conventional[:], false)
+	f.Fuzz(func(t *testing.T, raw []byte, _ bool) {
+		var entry [CommandSize]byte
+		copy(entry[:], raw)
+		cmd, err := Unmarshal(entry)
+		if err != nil {
+			return
+		}
+		if !IsExtended(cmd.Marshal()) {
+			t.Fatal("unmarshalled command lost the extended bit")
+		}
+	})
+}

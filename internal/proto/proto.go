@@ -1,0 +1,306 @@
+// Package proto implements the PCIe/NVMe command-set extension of §5.3.1 as
+// a concrete wire format. An extended NVMe command is a standard 64-byte
+// submission entry whose first 64-bit word carries a reserved "extended"
+// bit; a device that sees the bit clear treats the request as conventional
+// one-dimensional I/O. The second 64-bit word points to a 4 KB memory page
+// holding the multi-dimensional payload:
+//
+//   - for read/write: the view coordinates and sub-dimensionality, up to 32
+//     dimensions with 2^24 elements each;
+//   - for open_space: the element size and the dimensionality of the space
+//     (again up to 32 dimensions x 2^24 elements).
+//
+// open_space returns a 64-bit space identifier and a dynamic view ID that
+// read/write commands name; close_space retires the view ID and
+// delete_space removes the space (§5.3.1).
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcode identifies an extended command. Values sit in the NVMe
+// vendor-specific range.
+type Opcode uint8
+
+const (
+	OpRead        Opcode = 0xC1
+	OpWrite       Opcode = 0xC2
+	OpOpenSpace   Opcode = 0xC8
+	OpCloseSpace  Opcode = 0xC9
+	OpDeleteSpace Opcode = 0xCA
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpRead:
+		return "nds_read"
+	case OpWrite:
+		return "nds_write"
+	case OpOpenSpace:
+		return "open_space"
+	case OpCloseSpace:
+		return "close_space"
+	case OpDeleteSpace:
+		return "delete_space"
+	default:
+		return fmt.Sprintf("opcode(%#x)", uint8(o))
+	}
+}
+
+// Limits of the command format (§5.3.1).
+const (
+	MaxDims     = 32
+	MaxDimSize  = 1 << 24
+	PageSize    = 4096 // coordinate/dimensionality page
+	CommandSize = 64   // one NVMe submission-queue entry
+)
+
+// extendedBit marks word 0 of an extended command; conventional NVMe
+// commands never set it (it sits in a reserved region of the entry).
+const extendedBit = uint64(1) << 63
+
+// openCreate is the open_space flag requesting creation of a new space
+// rather than a new view of an existing one (§5.3.1: "can create a new
+// space or change the dimensionality of an existing space depending on the
+// flag set in the command header").
+const openCreate = uint64(1) << 62
+
+// Command is one 64-byte submission entry.
+//
+// Word 0: [63] extended, [62] flags, [7:0] opcode, [39:8] target ID
+// (dynamic view ID for read/write/close, space ID for open/delete).
+// Word 1: host address of the 4 KB payload page (carried out of band here).
+// Words 2..7: reserved, zero.
+type Command struct {
+	words [8]uint64
+}
+
+// IsExtended reports whether a raw submission entry is an NDS command.
+// Conventional entries are handled by the unmodified NVMe path.
+func IsExtended(raw [CommandSize]byte) bool {
+	return binary.LittleEndian.Uint64(raw[:8])&extendedBit != 0
+}
+
+// Opcode returns the command opcode.
+func (c Command) Opcode() Opcode { return Opcode(c.words[0] & 0xFF) }
+
+// Target returns the 32-bit target identifier.
+func (c Command) Target() uint32 { return uint32(c.words[0] >> 8) }
+
+// CreateFlag reports the open_space create flag.
+func (c Command) CreateFlag() bool { return c.words[0]&openCreate != 0 }
+
+// PayloadAddr returns the host address of the payload page.
+func (c Command) PayloadAddr() uint64 { return c.words[1] }
+
+// Marshal serializes the command into a submission entry.
+func (c Command) Marshal() [CommandSize]byte {
+	var out [CommandSize]byte
+	for i, w := range c.words {
+		binary.LittleEndian.PutUint64(out[i*8:], w)
+	}
+	return out
+}
+
+// Unmarshal parses a submission entry, rejecting non-extended entries.
+func Unmarshal(raw [CommandSize]byte) (Command, error) {
+	var c Command
+	for i := range c.words {
+		c.words[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	if c.words[0]&extendedBit == 0 {
+		return Command{}, fmt.Errorf("proto: not an extended command (reserved bit clear)")
+	}
+	switch c.Opcode() {
+	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace:
+	default:
+		return Command{}, fmt.Errorf("proto: unknown opcode %#x", uint8(c.Opcode()))
+	}
+	return c, nil
+}
+
+func newCommand(op Opcode, target uint32, payloadAddr uint64, create bool) Command {
+	var c Command
+	c.words[0] = extendedBit | uint64(op) | uint64(target)<<8
+	if create {
+		c.words[0] |= openCreate
+	}
+	c.words[1] = payloadAddr
+	return c
+}
+
+// NewRead builds an nds_read command against an open view.
+func NewRead(viewID uint32, payloadAddr uint64) Command {
+	return newCommand(OpRead, viewID, payloadAddr, false)
+}
+
+// NewWrite builds an nds_write command against an open view.
+func NewWrite(viewID uint32, payloadAddr uint64) Command {
+	return newCommand(OpWrite, viewID, payloadAddr, false)
+}
+
+// NewOpenSpace builds an open_space command. With create set, the device
+// allocates a new space from the payload's dimensionality; otherwise it
+// opens a new view (of the payload's dimensionality) onto space spaceID.
+func NewOpenSpace(spaceID uint32, payloadAddr uint64, create bool) Command {
+	return newCommand(OpOpenSpace, spaceID, payloadAddr, create)
+}
+
+// NewCloseSpace builds a close_space command retiring a dynamic view ID.
+func NewCloseSpace(viewID uint32) Command {
+	return newCommand(OpCloseSpace, viewID, 0, false)
+}
+
+// NewDeleteSpace builds a delete_space command.
+func NewDeleteSpace(spaceID uint32) Command {
+	return newCommand(OpDeleteSpace, spaceID, 0, false)
+}
+
+// CoordPayload is the 4 KB page named by a read/write command: the
+// application-view coordinate and sub-dimensionality of the partition.
+type CoordPayload struct {
+	Coord []int64
+	Sub   []int64
+}
+
+// Marshal encodes the payload into a 4 KB page:
+// uint32 rank, then rank x (uint32 coord, uint32 sub).
+func (p CoordPayload) Marshal() ([]byte, error) {
+	if len(p.Coord) != len(p.Sub) {
+		return nil, fmt.Errorf("proto: coord rank %d != sub rank %d", len(p.Coord), len(p.Sub))
+	}
+	if len(p.Coord) == 0 || len(p.Coord) > MaxDims {
+		return nil, fmt.Errorf("proto: rank %d out of range [1,%d]", len(p.Coord), MaxDims)
+	}
+	out := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(out, uint32(len(p.Coord)))
+	for i := range p.Coord {
+		if p.Coord[i] < 0 || p.Coord[i] >= MaxDimSize {
+			return nil, fmt.Errorf("proto: coordinate %d = %d out of 24-bit range", i, p.Coord[i])
+		}
+		if p.Sub[i] <= 0 || p.Sub[i] > MaxDimSize {
+			return nil, fmt.Errorf("proto: sub-dimension %d = %d out of range", i, p.Sub[i])
+		}
+		binary.LittleEndian.PutUint32(out[4+8*i:], uint32(p.Coord[i]))
+		binary.LittleEndian.PutUint32(out[8+8*i:], uint32(p.Sub[i]))
+	}
+	return out, nil
+}
+
+// UnmarshalCoordPayload decodes a coordinate page.
+func UnmarshalCoordPayload(page []byte) (CoordPayload, error) {
+	if len(page) < 4 {
+		return CoordPayload{}, fmt.Errorf("proto: coordinate page too short")
+	}
+	rank := binary.LittleEndian.Uint32(page)
+	if rank == 0 || rank > MaxDims {
+		return CoordPayload{}, fmt.Errorf("proto: rank %d out of range", rank)
+	}
+	if len(page) < int(4+8*rank) {
+		return CoordPayload{}, fmt.Errorf("proto: coordinate page truncated")
+	}
+	p := CoordPayload{Coord: make([]int64, rank), Sub: make([]int64, rank)}
+	for i := 0; i < int(rank); i++ {
+		p.Coord[i] = int64(binary.LittleEndian.Uint32(page[4+8*i:]))
+		p.Sub[i] = int64(binary.LittleEndian.Uint32(page[8+8*i:]))
+		if p.Coord[i] >= MaxDimSize {
+			return CoordPayload{}, fmt.Errorf("proto: coordinate %d out of 24-bit range", i)
+		}
+		if p.Sub[i] == 0 || p.Sub[i] > MaxDimSize {
+			return CoordPayload{}, fmt.Errorf("proto: sub-dimension %d invalid", i)
+		}
+	}
+	return p, nil
+}
+
+// SpacePayload is the page named by an open_space command: the element size
+// and dimensionality of the space or view.
+type SpacePayload struct {
+	ElemSize int
+	Dims     []int64
+}
+
+// Marshal encodes the payload: uint32 elemSize, uint32 rank, rank x uint32.
+func (p SpacePayload) Marshal() ([]byte, error) {
+	if p.ElemSize <= 0 || p.ElemSize > 1<<16 {
+		return nil, fmt.Errorf("proto: element size %d out of range", p.ElemSize)
+	}
+	if len(p.Dims) == 0 || len(p.Dims) > MaxDims {
+		return nil, fmt.Errorf("proto: rank %d out of range [1,%d]", len(p.Dims), MaxDims)
+	}
+	out := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(out, uint32(p.ElemSize))
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(p.Dims)))
+	for i, d := range p.Dims {
+		if d <= 0 || d > MaxDimSize {
+			return nil, fmt.Errorf("proto: dimension %d = %d out of 24-bit range", i, d)
+		}
+		binary.LittleEndian.PutUint32(out[8+4*i:], uint32(d))
+	}
+	return out, nil
+}
+
+// UnmarshalSpacePayload decodes a space page.
+func UnmarshalSpacePayload(page []byte) (SpacePayload, error) {
+	if len(page) < 8 {
+		return SpacePayload{}, fmt.Errorf("proto: space page too short")
+	}
+	elem := binary.LittleEndian.Uint32(page)
+	rank := binary.LittleEndian.Uint32(page[4:])
+	if elem == 0 || elem > 1<<16 {
+		return SpacePayload{}, fmt.Errorf("proto: element size %d out of range", elem)
+	}
+	if rank == 0 || rank > MaxDims {
+		return SpacePayload{}, fmt.Errorf("proto: rank %d out of range", rank)
+	}
+	if len(page) < int(8+4*rank) {
+		return SpacePayload{}, fmt.Errorf("proto: space page truncated")
+	}
+	p := SpacePayload{ElemSize: int(elem), Dims: make([]int64, rank)}
+	for i := 0; i < int(rank); i++ {
+		p.Dims[i] = int64(binary.LittleEndian.Uint32(page[8+4*i:]))
+		if p.Dims[i] == 0 || p.Dims[i] > MaxDimSize {
+			return SpacePayload{}, fmt.Errorf("proto: dimension %d out of range", i)
+		}
+	}
+	return p, nil
+}
+
+// Completion is a device response: a status code plus two result words
+// (open_space returns the 64-bit space identifier and the dynamic view ID).
+type Completion struct {
+	Status  Status
+	Result0 uint64
+	Result1 uint64
+}
+
+// Status is the completion status code.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusInvalidField
+	StatusUnknownSpace
+	StatusUnknownView
+	StatusCapacity
+	StatusInternal
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusInvalidField:
+		return "invalid field"
+	case StatusUnknownSpace:
+		return "unknown space"
+	case StatusUnknownView:
+		return "unknown view"
+	case StatusCapacity:
+		return "capacity exceeded"
+	default:
+		return "internal error"
+	}
+}

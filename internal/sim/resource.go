@@ -1,0 +1,94 @@
+package sim
+
+// Resource models a unit that can serve one operation at a time: a flash
+// channel, a bank, a DMA engine, a controller core, an interconnect link.
+// Operations arriving while the resource is busy queue behind it (FIFO in
+// arrival order, which matches the in-order issue of our request flows).
+type Resource struct {
+	Name   string
+	freeAt Time
+	busy   Time
+	ops    int64
+}
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Acquire reserves the resource for duration d for an operation arriving at
+// time at. It returns the operation's start and completion times.
+func (r *Resource) Acquire(at, d Time) (start, end Time) {
+	start = Max(at, r.freeAt)
+	end = start + d
+	r.freeAt = end
+	r.busy += d
+	r.ops++
+	return start, end
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime reports accumulated service time.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Ops reports the number of operations served.
+func (r *Resource) Ops() int64 { return r.ops }
+
+// Utilization reports busy time as a fraction of horizon.
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return r.busy.Seconds() / horizon.Seconds()
+}
+
+// Reset returns the resource to the idle state at the epoch.
+func (r *Resource) Reset() { r.freeAt, r.busy, r.ops = 0, 0, 0 }
+
+// Pool is a set of identical resources; Acquire picks the earliest-free
+// member, modelling k-way parallel units behind one dispatcher.
+type Pool struct {
+	Members []*Resource
+}
+
+// NewPool creates a pool of n resources named name#i.
+func NewPool(name string, n int) *Pool {
+	p := &Pool{Members: make([]*Resource, n)}
+	for i := range p.Members {
+		p.Members[i] = NewResource(name)
+	}
+	return p
+}
+
+// Acquire reserves duration d on the earliest-free member for an operation
+// arriving at time at, returning start, end, and the chosen member index.
+func (p *Pool) Acquire(at, d Time) (start, end Time, idx int) {
+	idx = 0
+	for i, m := range p.Members {
+		if m.freeAt < p.Members[idx].freeAt {
+			idx = i
+		}
+		_ = m
+	}
+	start, end = p.Members[idx].Acquire(at, d)
+	return start, end, idx
+}
+
+// FreeAt reports when the earliest member becomes idle.
+func (p *Pool) FreeAt() Time {
+	if len(p.Members) == 0 {
+		return 0
+	}
+	t := p.Members[0].freeAt
+	for _, m := range p.Members[1:] {
+		t = Min(t, m.freeAt)
+	}
+	return t
+}
+
+// Reset resets every member.
+func (p *Pool) Reset() {
+	for _, m := range p.Members {
+		m.Reset()
+	}
+}

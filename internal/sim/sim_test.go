@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.500us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 GiB at 1 GiB/s is one second.
+	gib := int64(1 << 30)
+	if got := TransferTime(gib, float64(gib)); got != Second {
+		t.Fatalf("TransferTime = %v, want 1s", got)
+	}
+	if TransferTime(0, 1e9) != 0 {
+		t.Fatal("zero bytes should take zero time")
+	}
+	if TransferTime(gib, 0) != 0 {
+		t.Fatal("disabled link (rate 0) should take zero time")
+	}
+}
+
+func TestBandwidthRoundTrip(t *testing.T) {
+	f := func(kb uint16, mbps uint16) bool {
+		n := int64(kb)*1024 + 1
+		rate := float64(mbps)*1e6 + 1e5
+		d := TransferTime(n, rate)
+		got := Bandwidth(n, d)
+		// Within 1% of the requested rate (integer ns truncation).
+		return got > 0.99*rate && got < 1.01*rate
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("chan")
+	s0, e0 := r.Acquire(0, 10)
+	if s0 != 0 || e0 != 10 {
+		t.Fatalf("first op got [%d,%d], want [0,10]", s0, e0)
+	}
+	// Arrives while busy: queues.
+	s1, e1 := r.Acquire(5, 10)
+	if s1 != 10 || e1 != 20 {
+		t.Fatalf("queued op got [%d,%d], want [10,20]", s1, e1)
+	}
+	// Arrives after idle gap: starts immediately.
+	s2, _ := r.Acquire(100, 1)
+	if s2 != 100 {
+		t.Fatalf("late op started %d, want 100", s2)
+	}
+	if r.BusyTime() != 21 {
+		t.Fatalf("busy = %d, want 21", r.BusyTime())
+	}
+	if r.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", r.Ops())
+	}
+	if got := r.Utilization(210); got < 0.099 || got > 0.101 {
+		t.Fatalf("utilization = %v, want 0.1", got)
+	}
+}
+
+func TestPoolParallelism(t *testing.T) {
+	p := NewPool("bank", 4)
+	// 8 ops of 10ns arriving at t=0 on 4 units finish at 20.
+	var last Time
+	for i := 0; i < 8; i++ {
+		_, end, _ := p.Acquire(0, 10)
+		last = Max(last, end)
+	}
+	if last != 20 {
+		t.Fatalf("8 ops on 4 units ended at %d, want 20", last)
+	}
+}
+
+func TestPoolPicksEarliestFree(t *testing.T) {
+	p := NewPool("ch", 2)
+	p.Members[0].Acquire(0, 100)
+	_, end, idx := p.Acquire(0, 10)
+	if idx != 1 || end != 10 {
+		t.Fatalf("got idx=%d end=%d, want idx=1 end=10", idx, end)
+	}
+}
+
+func TestPipelineFullyOverlapped(t *testing.T) {
+	// 3 stages of equal duration d over n iterations:
+	// total = (stages + n - 1) * d.
+	p := NewPipeline(3)
+	const d, n = 10, 5
+	for i := 0; i < n; i++ {
+		p.Feed(d, d, d)
+	}
+	if want := Time((3 + n - 1) * d); p.End() != want {
+		t.Fatalf("pipeline end = %d, want %d", p.End(), want)
+	}
+	// Steady state: no stage starves after fill.
+	if p.Idle(1) != 0 || p.Idle(2) != 0 {
+		t.Fatalf("balanced pipeline should not starve: idle=%d,%d", p.Idle(1), p.Idle(2))
+	}
+}
+
+func TestPipelineBottleneckIdle(t *testing.T) {
+	// Slow I/O stage feeding a fast kernel stage: the kernel idles
+	// (ioDur-kernelDur) per steady-state iteration.
+	p := NewPipeline(2)
+	const io, kern, n = 100, 10, 4
+	for i := 0; i < n; i++ {
+		p.Feed(io, kern)
+	}
+	// Kernel stage i starts at io*(i+1) and was free since io*i+kern; the
+	// first iteration's fill wait is not charged, so each of the n-1
+	// steady-state iterations starves for io-kern.
+	wantIdle := Time((n - 1) * (io - kern))
+	if p.Idle(1) != wantIdle {
+		t.Fatalf("kernel idle = %d, want %d", p.Idle(1), wantIdle)
+	}
+	if want := Time(n*io + kern); p.End() != want {
+		t.Fatalf("end = %d, want %d", p.End(), want)
+	}
+}
+
+func TestPipelinePropertyMonotone(t *testing.T) {
+	// Property: total latency is at least the max over stages of the summed
+	// stage durations, and at most the sum of all durations.
+	f := func(durs [][3]uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		p := NewPipeline(3)
+		var stageSum [3]Time
+		var all Time
+		for _, d := range durs {
+			a, b, c := Time(d[0]), Time(d[1]), Time(d[2])
+			p.Feed(a, b, c)
+			stageSum[0] += a
+			stageSum[1] += b
+			stageSum[2] += c
+			all += a + b + c
+		}
+		lower := Max(stageSum[0], Max(stageSum[1], stageSum[2]))
+		return p.End() >= lower && p.End() <= all
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if FromSeconds(1.5) != Second+500*Millisecond {
+		t.Error("FromSeconds wrong")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Max(3, 5) != 5 {
+		t.Error("Min/Max wrong")
+	}
+	if Bandwidth(100, 0) != 0 {
+		t.Error("Bandwidth with zero duration should be 0")
+	}
+	r := NewResource("x")
+	r.Acquire(0, 10)
+	if r.FreeAt() != 10 {
+		t.Error("FreeAt wrong")
+	}
+	if r.Utilization(0) != 0 {
+		t.Error("Utilization with zero horizon should be 0")
+	}
+	p := NewPool("y", 2)
+	p.Acquire(0, 10)
+	if p.FreeAt() != 0 {
+		t.Error("pool FreeAt should report the idle member")
+	}
+	p.Reset()
+	if p.Members[0].FreeAt() != 0 {
+		t.Error("pool Reset should reset members")
+	}
+	if (&Pool{}).FreeAt() != 0 {
+		t.Error("empty pool FreeAt should be 0")
+	}
+	pl := NewPipeline(3)
+	if pl.Stages() != 3 || pl.Iterations() != 0 {
+		t.Error("pipeline accessors wrong")
+	}
+	pl.Feed(1, 1, 1)
+	if pl.Iterations() != 1 {
+		t.Error("Iterations should count feeds")
+	}
+}
+
+func TestNewPipelinePanicsOnZeroStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPipeline(0) should panic")
+		}
+	}()
+	NewPipeline(0)
+}
+
+func TestFeedArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feed with wrong arity should panic")
+		}
+	}()
+	NewPipeline(2).Feed(1)
+}

@@ -1,0 +1,223 @@
+package stl
+
+import (
+	"fmt"
+
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+// die tracks per-(channel,bank) log-structured allocation state, mirroring
+// the physical constraint that pages within an erase block are programmed in
+// order.
+type die struct {
+	freeBlocks  []int
+	activeBlock int
+	nextPage    int
+	freePages   int64
+	validInBlk  []int32
+}
+
+func (t *STL) die(channel, bank int) *die { return t.dies[channel*t.geo.Banks+bank] }
+
+// takeUnit carves the next programmable page out of the given die, running
+// GC when below the low-water mark. It does not touch reverse maps; callers
+// bind the unit to a building block.
+func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error) {
+	d := t.die(channel, bank)
+	lowWater := int64(t.cfg.GCLowWater * float64(t.geo.PagesPerBank()))
+	if d.freePages <= lowWater {
+		var err error
+		at, err = t.collectDie(at, channel, bank)
+		if err != nil {
+			return nvm.PPA{}, at, err
+		}
+	}
+	if d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock {
+		if len(d.freeBlocks) <= 1 {
+			var err error
+			at, err = t.collectDie(at, channel, bank)
+			if err != nil {
+				return nvm.PPA{}, at, err
+			}
+		}
+		if len(d.freeBlocks) == 0 {
+			return nvm.PPA{}, at, fmt.Errorf("stl: die ch%d/bk%d out of free blocks", channel, bank)
+		}
+		d.activeBlock = d.freeBlocks[0]
+		d.freeBlocks = d.freeBlocks[1:]
+		d.nextPage = 0
+	}
+	p := nvm.PPA{Channel: channel, Bank: bank, Block: d.activeBlock, Page: d.nextPage}
+	d.nextPage++
+	d.freePages--
+	return p, at, nil
+}
+
+// allocateUnit implements the §4.2 allocation policy for page slot idx of a
+// building block:
+//
+//  1. an empty block starts on a random channel and bank;
+//  2. otherwise the unit comes from the block's least-used channel, in the
+//     same bank as the most recently allocated unit;
+//  3. once the block has used every channel in that bank, it moves to an
+//     unused or least-used bank;
+//  4. when every channel/bank combination is used, the least-used bank is
+//     chosen and the sweep repeats.
+//
+// The chosen die may be full; the policy then falls over to the next
+// candidate in least-used order.
+func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, sim.Time, error) {
+	if t.usedPages >= t.maxPages {
+		return nvm.PPA{}, at, fmt.Errorf("stl: logical capacity exhausted (%d pages)", t.maxPages)
+	}
+	if t.cfg.NaiveAllocation {
+		return t.allocateNaive(at, s, blk)
+	}
+	var bank int
+	switch {
+	case blk.used == 0:
+		bank = t.rng.Intn(t.geo.Banks) // rule 1
+	case blk.used%t.geo.Channels == 0:
+		bank = t.leastUsedBank(blk) // rules 3/4: channel sweep complete
+	default:
+		bank = blk.lastBank // rule 2
+	}
+
+	// Try banks in least-used order starting from the policy's choice, and
+	// channels in least-used order within each bank, skipping full dies.
+	bankOrder := t.bankCandidates(blk, bank)
+	for _, bk := range bankOrder {
+		for _, ch := range t.channelCandidates(blk, bk) {
+			p, ready, err := t.takeUnit(at, ch, bk)
+			if err != nil {
+				continue // die exhausted; try the next candidate
+			}
+			blk.chanUse[ch]++
+			blk.bankUse[bk]++
+			blk.lastBank = bk
+			blk.used++
+			s.allocatedPages++
+			return p, ready, nil
+		}
+	}
+	return nvm.PPA{}, at, fmt.Errorf("stl: no die can supply a free unit")
+}
+
+// allocateNaive is the ablation allocator: every unit of a block comes from
+// one die chosen round-robin (with spill-over to neighbouring dies when
+// full), so a block read engages a single channel.
+func (t *STL) allocateNaive(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, sim.Time, error) {
+	die := int(t.naiveNext)
+	if blk.used > 0 && blk.lastBank >= 0 {
+		die = blk.naiveDie
+	} else {
+		t.naiveNext = (t.naiveNext + 1) % int64(len(t.dies))
+	}
+	for off := 0; off < len(t.dies); off++ {
+		d := (die + off) % len(t.dies)
+		ch, bk := d/t.geo.Banks, d%t.geo.Banks
+		p, ready, err := t.takeUnit(at, ch, bk)
+		if err != nil {
+			continue
+		}
+		blk.chanUse[ch]++
+		blk.bankUse[bk]++
+		blk.lastBank = bk
+		blk.naiveDie = d
+		blk.used++
+		s.allocatedPages++
+		return p, ready, nil
+	}
+	return nvm.PPA{}, at, fmt.Errorf("stl: no die can supply a free unit")
+}
+
+// allocateReplacement picks a unit from the same channel and bank as an
+// overwritten unit (§4.2: "the STL simply picks a page from the same channel
+// and bank as the overwritten unit").
+func (t *STL) allocateReplacement(at sim.Time, old nvm.PPA) (nvm.PPA, sim.Time, error) {
+	return t.takeUnit(at, old.Channel, old.Bank)
+}
+
+// leastUsedBank returns the bank with the fewest units in blk, breaking ties
+// randomly to spread blocks across the device.
+func (t *STL) leastUsedBank(blk *BuildingBlock) int {
+	best := []int{}
+	bestUse := uint16(^uint16(0))
+	for b, u := range blk.bankUse {
+		switch {
+		case u < bestUse:
+			bestUse = u
+			best = best[:0]
+			best = append(best, b)
+		case u == bestUse:
+			best = append(best, b)
+		}
+	}
+	return best[t.rng.Intn(len(best))]
+}
+
+// bankCandidates lists banks to try: first the preferred bank, then the rest
+// in ascending block-usage order.
+func (t *STL) bankCandidates(blk *BuildingBlock, preferred int) []int {
+	order := make([]int, 0, t.geo.Banks)
+	order = append(order, preferred)
+	rest := make([]int, 0, t.geo.Banks-1)
+	for b := 0; b < t.geo.Banks; b++ {
+		if b != preferred {
+			rest = append(rest, b)
+		}
+	}
+	// Insertion sort by usage (bank counts are tiny).
+	for i := 1; i < len(rest); i++ {
+		for j := i; j > 0 && blk.bankUse[rest[j]] < blk.bankUse[rest[j-1]]; j-- {
+			rest[j], rest[j-1] = rest[j-1], rest[j]
+		}
+	}
+	return append(order, rest...)
+}
+
+// channelCandidates lists channels in ascending block-usage order; among
+// equally-used channels, the one whose die has the most free pages first.
+func (t *STL) channelCandidates(blk *BuildingBlock, bank int) []int {
+	order := make([]int, t.geo.Channels)
+	for i := range order {
+		order[i] = i
+	}
+	key := func(ch int) (uint16, int64) {
+		return blk.chanUse[ch], -t.die(ch, bank).freePages
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			ua, fa := key(order[j])
+			ub, fb := key(order[j-1])
+			if ua < ub || (ua == ub && fa < fb) {
+				order[j], order[j-1] = order[j-1], order[j]
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// bindUnit records the reverse mapping for a freshly programmed unit and
+// counts it live. Overwrites pair an invalidateUnit with a bindUnit, so
+// usedPages stays balanced.
+func (t *STL) bindUnit(s *Space, blockIdx int64, pageIdx int, p nvm.PPA) {
+	idx := p.Linear(t.geo)
+	t.rev[idx] = revEntry{space: s.id, block: blockIdx, page: int32(pageIdx), valid: true}
+	t.die(p.Channel, p.Bank).validInBlk[p.Block]++
+	t.usedPages++
+}
+
+// invalidateUnit drops a unit's reverse mapping and valid count.
+func (t *STL) invalidateUnit(p nvm.PPA) {
+	idx := p.Linear(t.geo)
+	if !t.rev[idx].valid {
+		return
+	}
+	t.rev[idx].valid = false
+	t.die(p.Channel, p.Bank).validInBlk[p.Block]--
+	t.usedPages--
+}

@@ -1,0 +1,161 @@
+package stl
+
+import (
+	"nds/internal/sim"
+)
+
+// Write buffering (§4.4): "If the fetched partition is smaller than a
+// building block, the STL will try to keep the partition in STL memory and
+// write to storage whenever the collected data is sufficient for a basic
+// access unit in any building block." Sub-page writes to not-yet-programmed
+// pages accumulate in STL memory; the page is programmed once its payload
+// region is fully covered (or on Flush). Because an unallocated page reads
+// as zeros, the zero-initialized staging buffer is also the correct read
+// overlay for bytes not yet covered.
+//
+// Buffering applies only to pages without an allocated unit; overwrites of
+// programmed pages keep the §4.2 read-modify-write + replacement-unit path.
+
+type pendingKey struct {
+	space SpaceID
+	block int64
+	page  int
+}
+
+type pendingPage struct {
+	buf     []byte // nil on phantom devices
+	covered int64  // bytes written so far (extents never overlap per write;
+	// re-writing the same region before flush may overcount, which only
+	// flushes early — never loses data, since buf holds the latest bytes)
+}
+
+// pendingFor returns the staging buffer for a page, if any.
+func (t *STL) pendingFor(s *Space, block int64, page int) *pendingPage {
+	if t.pending == nil {
+		return nil
+	}
+	return t.pending[pendingKey{s.id, block, page}]
+}
+
+// stageWrite buffers n bytes (data may be nil on phantom devices) for an
+// unallocated page. Fullness is evaluated separately (takeIfFull) once the
+// request has staged all of the page's extents.
+func (t *STL) stageWrite(s *Space, block int64, page int, inPageOff int64, data []byte, n int64) {
+	if t.pending == nil {
+		t.pending = make(map[pendingKey]*pendingPage)
+	}
+	key := pendingKey{s.id, block, page}
+	pp := t.pending[key]
+	if pp == nil {
+		pp = &pendingPage{}
+		if !t.dev.Phantom() {
+			pp.buf = make([]byte, t.geo.PageSize)
+		}
+		t.pending[key] = pp
+	}
+	if pp.buf != nil && data != nil {
+		copy(pp.buf[inPageOff:], data[:n])
+	}
+	pp.covered += n
+}
+
+// takeIfFull removes and returns the page's staging entry when its coverage
+// reaches the payload size pb; nil otherwise. Coverage may overcount under
+// overlapping writes, which only programs earlier — never-written bytes are
+// zeros, exactly what unwritten storage reads as.
+func (t *STL) takeIfFull(s *Space, block int64, page int, pb int64) *pendingPage {
+	key := pendingKey{s.id, block, page}
+	pp := t.pending[key]
+	if pp == nil || pp.covered < pb {
+		return nil
+	}
+	delete(t.pending, key)
+	return pp
+}
+
+// dropPending discards staged bytes for a page (overwritten wholesale or the
+// space is going away).
+func (t *STL) dropPending(s *Space, block int64, page int) {
+	if t.pending != nil {
+		delete(t.pending, pendingKey{s.id, block, page})
+	}
+}
+
+// dropPendingSpace discards all staged pages of a space.
+func (t *STL) dropPendingSpace(id SpaceID) {
+	for k := range t.pending {
+		if k.space == id {
+			delete(t.pending, k)
+		}
+	}
+}
+
+// PendingPages reports how many partially-written pages sit in STL memory.
+func (t *STL) PendingPages() int { return len(t.pending) }
+
+// Flush programs every staged page, allocating units under the §4.2 policy.
+// The returned time covers the slowest program.
+func (t *STL) Flush(at sim.Time) (sim.Time, error) {
+	done := at
+	// Deterministic order: collect and sort keys.
+	keys := make([]pendingKey, 0, len(t.pending))
+	for k := range t.pending {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessKey(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		pp := t.pending[k]
+		s, ok := t.spaces[k.space]
+		if !ok {
+			delete(t.pending, k)
+			continue
+		}
+		gcoord := make([]int64, len(s.grid))
+		s.GridCoord(k.block, gcoord)
+		blk, _ := t.block(s, gcoord, true)
+		d, err := t.programStaged(at, s, k.block, blk, k.page, pp)
+		if err != nil {
+			return done, err
+		}
+		delete(t.pending, k)
+		done = sim.Max(done, d)
+	}
+	return done, nil
+}
+
+func lessKey(a, b pendingKey) bool {
+	if a.space != b.space {
+		return a.space < b.space
+	}
+	if a.block != b.block {
+		return a.block < b.block
+	}
+	return a.page < b.page
+}
+
+// programStaged writes a staged page to a fresh unit.
+func (t *STL) programStaged(at sim.Time, s *Space, blockIdx int64, blk *BuildingBlock, page int, pp *pendingPage) (sim.Time, error) {
+	slot := &blk.pages[page]
+	pb := s.pageBytes(t.geo, page)
+	if t.cfg.ZeroPageElision && pp.buf != nil && allZero(pp.buf[:pb]) {
+		t.zeroSkipped++
+		return at, nil
+	}
+	dst, ready, err := t.allocateUnit(at, s, blk)
+	if err != nil {
+		return at, err
+	}
+	d, err := t.dev.ProgramPage(ready, dst, pp.buf)
+	if err != nil {
+		return at, err
+	}
+	slot.ppa = dst
+	slot.allocated = true
+	t.bindUnit(s, blockIdx, page, dst)
+	t.progs++
+	return d, nil
+}

@@ -1,0 +1,242 @@
+package stl
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"nds/internal/sim"
+)
+
+// Software-managed data compression (§5.3.4): when the system compresses
+// data on the host, the mechanism must be part of the software NDS
+// framework, which "can use this information to treat each building block
+// as a basic unit of compression/decompression". With Config.Compress set,
+// every write materialises the affected building blocks, compresses each
+// block image, and stores only the compressed pages; reads fetch the
+// compressed units and decompress per block. Blocks whose content does not
+// compress are stored raw (a per-block flag). Allocation policy and
+// even-wearing are unchanged — a compressed block "simply uses fewer access
+// units" (§5.3.4).
+
+// compressImage deflates a block image, returning nil if compression does
+// not save at least one page.
+func (t *STL) compressImage(s *Space, image []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil
+	}
+	if _, err := w.Write(image); err != nil {
+		return nil
+	}
+	if err := w.Close(); err != nil {
+		return nil
+	}
+	ps := int64(t.geo.PageSize)
+	if ceilDiv(int64(buf.Len()), ps) >= ceilDiv(s.bbBytes, ps) {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// blockImage materialises the current logical content of a building block:
+// decompressing stored pages when the block is compressed, concatenating raw
+// pages otherwise, zeros where nothing was written. The returned completion
+// time covers the page reads.
+func (t *STL) blockImage(at sim.Time, s *Space, blk *BuildingBlock, stats *RequestStats) ([]byte, sim.Time, error) {
+	done := at
+	if blk == nil {
+		return make([]byte, s.bbBytes), done, nil
+	}
+	if blk.compressed {
+		comp := make([]byte, 0, blk.compLen)
+		for i := 0; i < blk.physPages; i++ {
+			if !blk.pages[i].allocated {
+				return nil, done, fmt.Errorf("stl: compressed block missing unit %d", i)
+			}
+			data, d, err := t.dev.ReadPage(at, blk.pages[i].ppa)
+			if err != nil {
+				return nil, done, err
+			}
+			stats.PagesRead++
+			done = sim.Max(done, d)
+			comp = append(comp, data...)
+		}
+		comp = comp[:blk.compLen]
+		image, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
+		if err != nil {
+			return nil, done, fmt.Errorf("stl: block decompression failed: %w", err)
+		}
+		if int64(len(image)) != s.bbBytes {
+			return nil, done, fmt.Errorf("stl: decompressed block is %d bytes, want %d", len(image), s.bbBytes)
+		}
+		return image, done, nil
+	}
+	image := make([]byte, s.bbBytes)
+	ps := int64(t.geo.PageSize)
+	for i := range blk.pages {
+		if !blk.pages[i].allocated {
+			continue
+		}
+		data, d, err := t.dev.ReadPage(at, blk.pages[i].ppa)
+		if err != nil {
+			return nil, done, err
+		}
+		stats.PagesRead++
+		done = sim.Max(done, d)
+		off := int64(i) * ps
+		copy(image[off:min64(off+ps, s.bbBytes)], data)
+	}
+	return image, done, nil
+}
+
+// dropAllUnits invalidates every unit of a block and resets its usage
+// statistics, ready for a fresh rewrite.
+func (t *STL) dropAllUnits(blk *BuildingBlock) {
+	for i := range blk.pages {
+		if blk.pages[i].allocated {
+			t.invalidateUnit(blk.pages[i].ppa)
+			blk.pages[i].allocated = false
+		}
+	}
+	for i := range blk.chanUse {
+		blk.chanUse[i] = 0
+	}
+	for i := range blk.bankUse {
+		blk.bankUse[i] = 0
+	}
+	blk.used = 0
+	blk.lastBank = -1
+	blk.compressed = false
+	blk.compLen = 0
+	blk.physPages = 0
+}
+
+// storeBlockImage writes a block image, compressed when profitable, raw
+// otherwise, allocating fresh units under the §4.2 policy.
+func (t *STL) storeBlockImage(at sim.Time, s *Space, blockIdx int64, blk *BuildingBlock, image []byte, stats *RequestStats) (sim.Time, error) {
+	t.dropAllUnits(blk)
+	ps := int64(t.geo.PageSize)
+	payload := image
+	if comp := t.compressImage(s, image); comp != nil {
+		payload = comp
+		blk.compressed = true
+		blk.compLen = int64(len(comp))
+		t.compressedBlocks++
+	}
+	pages := int(ceilDiv(int64(len(payload)), ps))
+	blk.physPages = pages
+	done := at
+	for i := 0; i < pages; i++ {
+		dst, ready, err := t.allocateUnit(at, s, blk)
+		if err != nil {
+			return done, err
+		}
+		lo := int64(i) * ps
+		hi := min64(lo+ps, int64(len(payload)))
+		d, err := t.dev.ProgramPage(ready, dst, payload[lo:hi])
+		if err != nil {
+			return done, err
+		}
+		blk.pages[i].ppa = dst
+		blk.pages[i].allocated = true
+		t.bindUnit(s, blockIdx, i, dst)
+		t.progs++
+		stats.PagesProgrammed++
+		done = sim.Max(done, d)
+	}
+	return done, nil
+}
+
+// writeCompressed is the Config.Compress write path: block-granular
+// read-modify-write with per-block compression.
+func (t *STL) writeCompressed(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
+	var stats RequestStats
+	exts, err := v.Extents(coord, sub)
+	if err != nil {
+		return at, stats, err
+	}
+	s := v.space
+	_, elems, err := v.PartitionShape(coord, sub)
+	if err != nil {
+		return at, stats, err
+	}
+	want := elems * int64(s.elemSize)
+	if int64(len(data)) != want {
+		return at, stats, fmt.Errorf("stl: write payload is %d bytes, partition needs %d", len(data), want)
+	}
+	stats.Extents = len(exts)
+	stats.Bytes = want
+
+	// Group extents by block, preserving first-touch order.
+	perBlock := make(map[int64][]int)
+	var order []int64
+	for i, e := range exts {
+		if _, ok := perBlock[e.Block]; !ok {
+			order = append(order, e.Block)
+		}
+		perBlock[e.Block] = append(perBlock[e.Block], i)
+	}
+
+	gcoord := make([]int64, len(s.grid))
+	done := at
+	for _, bIdx := range order {
+		s.GridCoord(bIdx, gcoord)
+		blk, steps := t.block(s, gcoord, true)
+		stats.Traversals += steps
+		stats.Blocks++
+
+		fullyCovered := func() bool {
+			var covered int64
+			for _, ei := range perBlock[bIdx] {
+				covered += exts[ei].Len
+			}
+			return covered == s.bbBytes
+		}()
+
+		var image []byte
+		ready := at
+		if fullyCovered {
+			image = make([]byte, s.bbBytes)
+			// Old units are dropped wholesale in storeBlockImage.
+		} else {
+			image, ready, err = t.blockImage(at, s, blk, &stats)
+			if err != nil {
+				return done, stats, err
+			}
+		}
+		for _, ei := range perBlock[bIdx] {
+			e := exts[ei]
+			copy(image[e.Off:e.Off+e.Len], data[e.Dst:e.Dst+e.Len])
+		}
+		d, err := t.storeBlockImage(ready, s, bIdx, blk, image, &stats)
+		if err != nil {
+			return done, stats, err
+		}
+		done = sim.Max(done, d)
+	}
+	return done, stats, nil
+}
+
+// readCompressedExtent serves one extent of a compressed block from the
+// per-request image cache.
+type blockImageCache map[int64][]byte
+
+// CompressedBlocks reports how many block store operations chose the
+// compressed representation.
+func (t *STL) CompressedBlocks() int64 { return t.compressedBlocks }
+
+// ZeroPagesSkipped reports how many all-zero page writes the §8 page-zero
+// optimization elided.
+func (t *STL) ZeroPagesSkipped() int64 { return t.zeroSkipped }
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package stl
+
+import (
+	"fmt"
+
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+// Garbage collection (§4.2): when the free units of any channel/bank
+// combination fall below the low-water threshold, the STL reclaims
+// invalidated units. Unlike a conventional FTL, the reverse-lookup table maps
+// each surviving unit straight back to its building block, so mapping updates
+// are O(1) per relocated page.
+
+// collectDie reclaims space on one die until it is above its low-water mark.
+// Collection is best-effort: it stops without error when no victim block
+// would net free space.
+func (t *STL) collectDie(at sim.Time, channel, bank int) (sim.Time, error) {
+	d := t.die(channel, bank)
+	lowWater := int64(t.cfg.GCLowWater * float64(t.geo.PagesPerBank()))
+	for d.freePages <= lowWater {
+		victim := t.pickVictim(channel, bank)
+		if victim < 0 && d.activeBlock >= 0 && d.validInBlk[d.activeBlock] < int32(d.nextPage) {
+			// Reclaimable pages sit only in the open block: close it.
+			d.freePages -= int64(t.geo.PagesPerBlock - d.nextPage)
+			d.activeBlock = -1
+			victim = t.pickVictim(channel, bank)
+		}
+		if victim < 0 {
+			return at, nil // nothing reclaimable
+		}
+		survivors := int64(d.validInBlk[victim])
+		room := int64(len(d.freeBlocks)) * int64(t.geo.PagesPerBlock)
+		if d.activeBlock >= 0 {
+			room += int64(t.geo.PagesPerBlock - d.nextPage)
+		}
+		if room < survivors {
+			return at, nil
+		}
+		var err error
+		at, err = t.evacuateBlock(at, channel, bank, victim)
+		if err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}
+
+// pickVictim chooses the closed block with the fewest valid pages among
+// those with reclaimable pages; -1 if none.
+func (t *STL) pickVictim(channel, bank int) int {
+	d := t.die(channel, bank)
+	free := make(map[int]bool, len(d.freeBlocks))
+	for _, b := range d.freeBlocks {
+		free[b] = true
+	}
+	best, bestScore := -1, int32(1<<30)
+	for b := 0; b < t.geo.BlocksPerBank; b++ {
+		if b == d.activeBlock || free[b] {
+			continue
+		}
+		v := d.validInBlk[b]
+		if v >= int32(t.geo.PagesPerBlock) {
+			continue
+		}
+		if v < bestScore {
+			best, bestScore = b, v
+		}
+	}
+	return best
+}
+
+// evacuateBlock relocates the victim's valid units within the die (so each
+// building block keeps its channel/bank spread), updates their building
+// blocks through the reverse-lookup table, and erases the victim.
+func (t *STL) evacuateBlock(at sim.Time, channel, bank, block int) (sim.Time, error) {
+	d := t.die(channel, bank)
+	for pg := 0; pg < t.geo.PagesPerBlock; pg++ {
+		src := nvm.PPA{Channel: channel, Bank: bank, Block: block, Page: pg}
+		entry := t.rev[src.Linear(t.geo)]
+		if !entry.valid {
+			continue
+		}
+		s, ok := t.spaces[entry.space]
+		if !ok {
+			return at, fmt.Errorf("stl: GC found unit of unknown space %d", entry.space)
+		}
+		data, done, err := t.dev.ReadPage(at, src)
+		if err != nil {
+			return at, err
+		}
+		if d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock {
+			if len(d.freeBlocks) == 0 {
+				return at, fmt.Errorf("stl: GC relocation out of space on ch%d/bk%d", channel, bank)
+			}
+			d.activeBlock = d.freeBlocks[0]
+			d.freeBlocks = d.freeBlocks[1:]
+			d.nextPage = 0
+		}
+		dst := nvm.PPA{Channel: channel, Bank: bank, Block: d.activeBlock, Page: d.nextPage}
+		d.nextPage++
+		d.freePages--
+		done, err = t.dev.ProgramPage(done, dst, data)
+		if err != nil {
+			return at, err
+		}
+		// Rebind: locate the building block via the reverse entry and point
+		// its page slot at the new unit.
+		gcoord := make([]int64, len(s.grid))
+		s.GridCoord(entry.block, gcoord)
+		blk, _ := t.block(s, gcoord, false)
+		if blk == nil {
+			return at, fmt.Errorf("stl: GC reverse entry names missing block %d of space %d", entry.block, s.id)
+		}
+		blk.pages[entry.page].ppa = dst
+		t.invalidateUnit(src)
+		t.bindUnit(s, entry.block, int(entry.page), dst)
+		t.gcMoves++
+		at = sim.Max(at, done)
+	}
+	done, err := t.dev.EraseBlock(at, nvm.PPA{Channel: channel, Bank: bank, Block: block})
+	if err != nil {
+		return at, err
+	}
+	d.freeBlocks = append(d.freeBlocks, block)
+	d.freePages += int64(t.geo.PagesPerBlock)
+	t.gcErases++
+	return done, nil
+}

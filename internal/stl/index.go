@@ -1,0 +1,150 @@
+package stl
+
+import "nds/internal/nvm"
+
+// The STL maintains an N-level B-tree per N-dimensional space (§4.2). The
+// root level corresponds to the highest-order dimension (d_n), each level
+// below to the next lower dimension, and leaf entries point to the list of
+// physical access units of one building block, sorted by their position
+// within the block. Node degree at the level for dimension i is ceil(d_i /
+// bb_i). Nodes are allocated lazily along the traversal path of the first
+// request that touches them.
+
+// pageSlot records one basic access unit of a building block.
+type pageSlot struct {
+	ppa       nvm.PPA
+	allocated bool
+}
+
+// BuildingBlock is a leaf entry: the page list plus the per-block usage
+// statistics the allocation policy of §4.2 consults.
+type BuildingBlock struct {
+	pages    []pageSlot
+	chanUse  []uint16 // units allocated per channel
+	bankUse  []uint16 // units allocated per bank
+	lastBank int      // bank of the most recently allocated unit
+	used     int      // allocated unit count
+	naiveDie int      // home die under the ablation allocator
+
+	// Compression state (§5.3.4): when compressed, the first physPages
+	// slots hold the deflated image of compLen bytes.
+	compressed bool
+	compLen    int64
+	physPages  int
+}
+
+func newBuildingBlock(pagesPerBB int, geo nvm.Geometry) *BuildingBlock {
+	return &BuildingBlock{
+		pages:    make([]pageSlot, pagesPerBB),
+		chanUse:  make([]uint16, geo.Channels),
+		bankUse:  make([]uint16, geo.Banks),
+		lastBank: -1,
+	}
+}
+
+// Channels reports how many distinct channels the block's units occupy.
+func (b *BuildingBlock) Channels() int {
+	n := 0
+	for _, c := range b.chanUse {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Pages returns the allocated physical addresses in block order.
+func (b *BuildingBlock) Pages() []nvm.PPA {
+	out := make([]nvm.PPA, 0, b.used)
+	for _, s := range b.pages {
+		if s.allocated {
+			out = append(out, s.ppa)
+		}
+	}
+	return out
+}
+
+// indexNode is one node of the per-space B-tree. Non-leaf nodes hold child
+// pointers; leaf nodes hold building-block entries.
+type indexNode struct {
+	children []*indexNode
+	blocks   []*BuildingBlock
+}
+
+// newNode allocates a node for the given dimension level. Following
+// Figure 6, the root (level 0) corresponds to the space's highest-order
+// dimension (the outermost, d_n in the paper's numbering); the leaf level
+// (len(grid)-1) corresponds to the lowest order, whose entries are building
+// blocks.
+func (s *Space) newNode(level int) *indexNode {
+	if level == len(s.grid)-1 {
+		return &indexNode{blocks: make([]*BuildingBlock, s.grid[level])}
+	}
+	return &indexNode{children: make([]*indexNode, s.grid[level])}
+}
+
+// block returns the building block at grid coordinate g, creating the path
+// and entry when alloc is true. It is the geometry-aware variant used by the
+// STL.
+func (t *STL) block(s *Space, g []int64, alloc bool) (*BuildingBlock, int) {
+	n := len(s.grid)
+	if s.root == nil {
+		if !alloc {
+			return nil, 0
+		}
+		s.root = s.newNode(0)
+	}
+	node := s.root
+	steps := 1
+	for level := 0; level < n-1; level++ {
+		idx := g[level]
+		child := node.children[idx]
+		if child == nil {
+			if !alloc {
+				return nil, steps
+			}
+			child = s.newNode(level + 1)
+			node.children[idx] = child
+		}
+		node = child
+		steps++
+	}
+	blk := node.blocks[g[n-1]]
+	if blk == nil && alloc {
+		blk = newBuildingBlock(s.pagesPerBB, t.geo)
+		node.blocks[g[n-1]] = blk
+		s.allocatedBBs++
+	}
+	return blk, steps
+}
+
+// IndexFootprint estimates the controller-DRAM size of a space's B-tree in
+// bytes: 8 bytes per node entry (child pointer / block pointer) and 4 bytes
+// per access-unit entry in the leaf page lists (a physical page number; the
+// full 8-byte reverse entries live in each unit's spare out-of-band area per
+// §4.2, not in DRAM). This is the §7.3 accounting, which bounds the lookup
+// structure at ~0.1% of storage capacity with 4 KB pages.
+func (s *Space) IndexFootprint() int64 {
+	return s.countIndexBytes(s.root)
+}
+
+func (s *Space) countIndexBytes(n *indexNode) int64 {
+	if n == nil {
+		return 0
+	}
+	if n.blocks != nil {
+		var b int64
+		b += int64(len(n.blocks)) * 8
+		for _, blk := range n.blocks {
+			if blk != nil {
+				b += int64(len(blk.pages)) * 4
+			}
+		}
+		return b
+	}
+	b := int64(len(n.children)) * 8
+	for _, c := range n.children {
+		b += s.countIndexBytes(c)
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package stl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestResizeGrowPreservesData(t *testing.T) {
+	st := newTestSTL(t, false)
+	s := mustSpace(t, st, 4, 64, 64)
+	v := mustView(t, s, 64, 64)
+	rng := rand.New(rand.NewSource(1))
+	data := fillRandom(rng, s.Bytes())
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{64, 64}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ResizeSpace(s.ID(), 128); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dims()[0] != 128 {
+		t.Fatalf("dims after grow = %v", s.Dims())
+	}
+	// Views must be reopened after a restructure (volumes changed).
+	v2 := mustView(t, s, 128, 64)
+	got, _, _, err := st.ReadPartition(0, v2, []int64{0, 0}, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("grow lost existing data")
+	}
+	// The fresh region reads zeros and accepts writes.
+	fresh, _, _, err := st.ReadPartition(0, v2, []int64{1, 0}, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allZero(fresh) {
+		t.Fatal("fresh region is not zero")
+	}
+	patch := fillRandom(rng, 64*64*4)
+	if _, _, err := st.WritePartition(0, v2, []int64{1, 0}, []int64{64, 64}, patch); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err = st.ReadPartition(0, v2, []int64{1, 0}, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, patch) {
+		t.Fatal("write into grown region failed")
+	}
+}
+
+func TestResizeShrinkReleasesUnits(t *testing.T) {
+	st := newTestSTL(t, false)
+	s := mustSpace(t, st, 4, 128, 64)
+	v := mustView(t, s, 128, 64)
+	rng := rand.New(rand.NewSource(2))
+	data := fillRandom(rng, s.Bytes())
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{128, 64}, data); err != nil {
+		t.Fatal(err)
+	}
+	before := st.UsedPages()
+	if err := st.ResizeSpace(s.ID(), 64); err != nil {
+		t.Fatal(err)
+	}
+	if st.UsedPages() >= before {
+		t.Fatalf("shrink did not release units: %d -> %d", before, st.UsedPages())
+	}
+	v2 := mustView(t, s, 64, 64)
+	got, _, _, err := st.ReadPartition(0, v2, []int64{0, 0}, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:64*64*4]) {
+		t.Fatal("shrink damaged surviving data")
+	}
+	// Re-growing exposes zeros, not the old contents.
+	if err := st.ResizeSpace(s.ID(), 128); err != nil {
+		t.Fatal(err)
+	}
+	v3 := mustView(t, s, 128, 64)
+	tail, _, _, err := st.ReadPartition(0, v3, []int64{1, 0}, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allZero(tail) {
+		t.Fatal("re-grown region leaked stale data")
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	st := newTestSTL(t, true)
+	s := mustSpace(t, st, 4, 64, 64)
+	if err := st.ResizeSpace(999, 10); err == nil {
+		t.Error("resize of unknown space accepted")
+	}
+	if err := st.ResizeSpace(s.ID(), 0); err == nil {
+		t.Error("resize to zero accepted")
+	}
+	// Resizing within the same block row is a metadata-only change.
+	if err := st.ResizeSpace(s.ID(), 60); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dims()[0] != 60 {
+		t.Fatalf("dims = %v", s.Dims())
+	}
+}
+
+func TestResize1DSpace(t *testing.T) {
+	st := newTestSTL(t, false)
+	s := mustSpace(t, st, 4, 2048)
+	v := mustView(t, s, 2048)
+	rng := rand.New(rand.NewSource(3))
+	data := fillRandom(rng, s.Bytes())
+	if _, _, err := st.WritePartition(0, v, []int64{0}, []int64{2048}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ResizeSpace(s.ID(), 4096); err != nil {
+		t.Fatal(err)
+	}
+	v2 := mustView(t, s, 4096)
+	got, _, _, err := st.ReadPartition(0, v2, []int64{0}, []int64{2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("1-D grow lost data")
+	}
+}

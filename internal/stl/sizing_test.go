@@ -1,0 +1,168 @@
+package stl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nds/internal/nvm"
+)
+
+// TestSizingPaperExample8Channel reproduces §4.1's worked example: an SSD
+// with 4 KB pages and 8 parallel channels gives BB_min = 32 KB (Equation 1);
+// a 2-D space of 4-byte elements gets 128x128 building blocks of 64 KB
+// (Equation 2), i.e. two pages from each channel.
+func TestSizingPaperExample8Channel(t *testing.T) {
+	geo := nvm.Geometry{Channels: 8, Banks: 8, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 4096}
+	sz, err := SizeBuildingBlock(geo, 4, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.MinBytes != 32*1024 {
+		t.Errorf("BB_min = %d, want 32768", sz.MinBytes)
+	}
+	if sz.PerDim != 128 {
+		t.Errorf("per-dim = %d, want 128", sz.PerDim)
+	}
+	if sz.Bytes != 64*1024 {
+		t.Errorf("BB bytes = %d, want 65536", sz.Bytes)
+	}
+	if sz.PagesPerBB != 16 {
+		t.Errorf("pages/BB = %d, want 16 (2 per channel)", sz.PagesPerBB)
+	}
+}
+
+// TestSizing3D checks Equations 3-4: with 8 banks the 3-D minimum is
+// 32 KB x 8 = 256 KB; for 4-byte elements that is 65536 elements, and
+// 2^ceil(16/3) = 64 elements per dimension.
+func TestSizing3D(t *testing.T) {
+	geo := nvm.Geometry{Channels: 8, Banks: 8, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 4096}
+	sz, err := SizeBuildingBlock(geo, 4, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.MinBytes != 256*1024 {
+		t.Errorf("3D BB_min = %d, want 262144", sz.MinBytes)
+	}
+	if sz.PerDim != 64 {
+		t.Errorf("per-dim = %d, want 64", sz.PerDim)
+	}
+	if sz.Order != 3 {
+		t.Errorf("order = %d, want 3", sz.Order)
+	}
+}
+
+// TestSizingPrototypeMicrobench reproduces §7.1's prototype choice: 32
+// channels x 4 KB pages with double (8-byte) elements gives 128 per dim from
+// Equation 2; the prototype runs with 256x256 blocks, i.e. multiplier 2.
+func TestSizingPrototypeMicrobench(t *testing.T) {
+	geo := nvm.Geometry{Channels: 32, Banks: 8, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 4096}
+	sz, err := SizeBuildingBlock(geo, 8, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.PerDim != 128 {
+		t.Errorf("per-dim (multiplier 1) = %d, want 128", sz.PerDim)
+	}
+	sz2, err := SizeBuildingBlock(geo, 8, 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz2.PerDim != 256 {
+		t.Errorf("per-dim (multiplier 2) = %d, want 256", sz2.PerDim)
+	}
+	if sz2.Bytes != 256*256*8 {
+		t.Errorf("BB bytes = %d, want 524288", sz2.Bytes)
+	}
+}
+
+func TestSizingDefaultsAndErrors(t *testing.T) {
+	geo := nvm.Geometry{Channels: 8, Banks: 2, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 4096}
+	// 1-D space defaults to a 1-D block.
+	sz, err := SizeBuildingBlock(geo, 4, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.Order != 1 {
+		t.Errorf("1-D space got order %d", sz.Order)
+	}
+	if sz.Dims[0]*4 < sz.MinBytes {
+		t.Errorf("1-D block %d elements does not reach BB_min %d", sz.Dims[0], sz.MinBytes)
+	}
+	// Order is clamped to the space rank.
+	sz, err = SizeBuildingBlock(geo, 4, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.Order != 2 {
+		t.Errorf("order should clamp to rank: got %d", sz.Order)
+	}
+	if _, err := SizeBuildingBlock(geo, 0, 2, 0, 1); err == nil {
+		t.Error("zero element size accepted")
+	}
+	if _, err := SizeBuildingBlock(geo, 4, 0, 0, 1); err == nil {
+		t.Error("zero-rank space accepted")
+	}
+	if _, err := SizeBuildingBlock(geo, 4, 2, 7, 1); err == nil {
+		t.Error("order 7 accepted")
+	}
+}
+
+// TestSizingProperties quick-checks Equation 1-4 invariants over random
+// geometries and element sizes: the block is at least BB_min bytes, blocked
+// dimensions are equal powers of two, and block bytes equal the product of
+// dims times the element size.
+func TestSizingProperties(t *testing.T) {
+	f := func(chExp, bankExp, pageExp, elemExp, rankSel, orderSel uint8) bool {
+		geo := nvm.Geometry{
+			Channels:      1 << (chExp % 6),   // 1..32
+			Banks:         1 << (bankExp % 4), // 1..8
+			BlocksPerBank: 4, PagesPerBlock: 4,
+			PageSize: 512 << (pageExp % 4), // 512..4096
+		}
+		elem := 1 << (elemExp % 5) // 1..16
+		rank := 1 + int(rankSel)%3
+		order := int(orderSel) % 4 // 0..3
+		sz, err := SizeBuildingBlock(geo, elem, rank, order, 1)
+		if err != nil {
+			return false
+		}
+		if sz.Bytes < sz.MinBytes {
+			return false
+		}
+		if prod(sz.Dims)*int64(elem) != sz.Bytes {
+			return false
+		}
+		blocked := 0
+		for _, d := range sz.Dims {
+			if d > 1 {
+				blocked++
+				if d != sz.PerDim || d&(d-1) != 0 {
+					return false
+				}
+			}
+		}
+		// PerDim may be 1 for tiny devices; blocked count never exceeds the
+		// effective order or the rank.
+		return blocked <= sz.Order && sz.Order <= rank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSizingBlockSpansAllChannels: any sized block holds at least one page
+// per channel — the property Equation 1 exists to guarantee.
+func TestSizingBlockSpansAllChannels(t *testing.T) {
+	for _, ch := range []int{1, 2, 4, 8, 16, 32} {
+		for _, es := range []int{1, 2, 4, 8, 16} {
+			geo := nvm.Geometry{Channels: ch, Banks: 4, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 4096}
+			sz, err := SizeBuildingBlock(geo, es, 2, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sz.PagesPerBB < ch {
+				t.Errorf("ch=%d elem=%d: %d pages/BB cannot span all channels", ch, es, sz.PagesPerBB)
+			}
+		}
+	}
+}

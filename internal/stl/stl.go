@@ -1,0 +1,247 @@
+package stl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nds/internal/nvm"
+)
+
+// Config holds STL policy parameters.
+type Config struct {
+	// BBMultiplier scales each blocked dimension beyond the Equation 2/4
+	// minimum (>= 1). The paper's prototype uses 256x256 blocks where the
+	// equations give 128x128, i.e. a multiplier of 2.
+	BBMultiplier int
+	// BBOrder forces the building-block dimensionality (1-3); 0 selects the
+	// paper default (2-D for spaces with two or more dimensions).
+	BBOrder int
+	// OverProvision is the raw-capacity fraction reserved for GC headroom.
+	OverProvision float64
+	// GCLowWater triggers collection on a die below this free fraction
+	// (the paper uses 10%).
+	GCLowWater float64
+	// Seed drives the allocation policy's randomized choices.
+	Seed int64
+	// NaiveAllocation disables the §4.2 channel/bank-spreading policy and
+	// places each building block entirely within one die (round-robin by
+	// block index). Exists only for the ablation benchmarks that quantify
+	// what the policy buys.
+	NaiveAllocation bool
+	// Compress enables §5.3.4's software-managed compression: each building
+	// block is a compression unit, stored in fewer access units when its
+	// content deflates. Requires a data-bearing (non-phantom) device.
+	Compress bool
+	// ZeroPageElision enables the §8 page-zero optimization for sparse
+	// content: all-zero pages are never programmed (reads of unwritten
+	// units already return zeros).
+	ZeroPageElision bool
+	// WriteBuffering enables §4.4's sub-unit write staging: partitions
+	// smaller than a basic access unit collect in STL memory and are
+	// programmed once a unit fills (or on Flush). Ignored when Compress is
+	// set (the compression path has its own block-granular staging).
+	WriteBuffering bool
+}
+
+// DefaultConfig mirrors the paper's prototype settings.
+func DefaultConfig() Config {
+	return Config{BBMultiplier: 1, OverProvision: 0.10, GCLowWater: 0.10, Seed: 1}
+}
+
+// revEntry maps a physical access unit back to its building block — the
+// reverse-lookup table of §4.2 that accelerates GC mapping updates.
+type revEntry struct {
+	space SpaceID
+	block int64
+	page  int32
+	valid bool
+}
+
+// STL is the space translation layer over a raw flash array. It owns the
+// whole device (it replaces the FTL in an NDS-compliant drive, and drives an
+// open-channel drive in the software-only configuration).
+type STL struct {
+	dev *nvm.Device
+	geo nvm.Geometry
+	cfg Config
+	rng *rand.Rand
+
+	spaces map[SpaceID]*Space
+	nextID SpaceID
+
+	dies      []*die
+	rev       []revEntry
+	naiveNext int64 // round-robin cursor for the ablation allocator
+
+	maxPages  int64 // allocation budget (raw minus over-provision)
+	usedPages int64 // live units across all spaces
+
+	gcErases int64
+	gcMoves  int64
+	progs    int64 // host-initiated programs
+
+	compressedBlocks int64
+	zeroSkipped      int64
+
+	pending map[pendingKey]*pendingPage // §4.4 write staging
+}
+
+// New builds an STL over dev.
+func New(dev *nvm.Device, cfg Config) (*STL, error) {
+	if cfg.OverProvision < 0 || cfg.OverProvision >= 1 {
+		return nil, fmt.Errorf("stl: over-provision fraction %v out of range [0,1)", cfg.OverProvision)
+	}
+	if cfg.BBMultiplier < 1 {
+		cfg.BBMultiplier = 1
+	}
+	if cfg.Compress && dev.Phantom() {
+		return nil, fmt.Errorf("stl: compression needs a data-bearing device (phantom devices store no bytes)")
+	}
+	geo := dev.Geometry()
+	t := &STL{
+		dev:      dev,
+		geo:      geo,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		spaces:   make(map[SpaceID]*Space),
+		nextID:   1,
+		dies:     make([]*die, geo.Channels*geo.Banks),
+		rev:      make([]revEntry, geo.TotalPages()),
+		maxPages: int64(float64(geo.TotalPages()) * (1 - cfg.OverProvision)),
+	}
+	for i := range t.dies {
+		d := &die{
+			activeBlock: -1,
+			freePages:   geo.PagesPerBank(),
+			validInBlk:  make([]int32, geo.BlocksPerBank),
+		}
+		for b := 0; b < geo.BlocksPerBank; b++ {
+			d.freeBlocks = append(d.freeBlocks, b)
+		}
+		t.dies[i] = d
+	}
+	return t, nil
+}
+
+// Device exposes the underlying array for instrumentation.
+func (t *STL) Device() *nvm.Device { return t.dev }
+
+// Geometry returns the device geometry.
+func (t *STL) Geometry() nvm.Geometry { return t.geo }
+
+// GCStats reports garbage-collection work done so far.
+func (t *STL) GCStats() (erases, pageMoves int64) { return t.gcErases, t.gcMoves }
+
+// WriteAmplification is (host+GC programs)/host programs, 1.0 when idle.
+func (t *STL) WriteAmplification() float64 {
+	if t.progs == 0 {
+		return 1
+	}
+	return float64(t.progs+t.gcMoves) / float64(t.progs)
+}
+
+// UsedPages reports live access units across all spaces.
+func (t *STL) UsedPages() int64 { return t.usedPages }
+
+// CreateSpace creates a multi-dimensional address space: the paper's space
+// creation API (§5.1), where a producer supplies dimensionality and element
+// size and the STL sizes building blocks and builds the index skeleton.
+func (t *STL) CreateSpace(elemSize int, dims []int64) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("stl: space needs at least one dimension")
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("stl: dimension %d is %d, must be positive", i, d)
+		}
+	}
+	sizing, err := SizeBuildingBlock(t.geo, elemSize, len(dims), t.cfg.BBOrder, t.cfg.BBMultiplier)
+	if err != nil {
+		return nil, err
+	}
+	s := &Space{
+		id:         t.nextID,
+		elemSize:   elemSize,
+		dims:       append([]int64(nil), dims...),
+		bb:         sizing.Dims,
+		grid:       make([]int64, len(dims)),
+		bbElems:    prod(sizing.Dims),
+		bbBytes:    sizing.Bytes,
+		pagesPerBB: sizing.PagesPerBB,
+	}
+	for i := range dims {
+		s.grid[i] = ceilDiv(dims[i], s.bb[i])
+	}
+	t.spaces[s.id] = s
+	t.nextID++
+	return s, nil
+}
+
+// Space returns the space with the given id, if it exists.
+func (t *STL) Space(id SpaceID) (*Space, bool) {
+	s, ok := t.spaces[id]
+	return s, ok
+}
+
+// SpaceIDs lists all live space identifiers in ascending order.
+func (t *STL) SpaceIDs() []SpaceID {
+	ids := make([]SpaceID, 0, len(t.spaces))
+	for id := range t.spaces {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// DeleteSpace permanently removes a space, invalidating all of its building
+// blocks and dropping its translation structures (the delete_space command
+// of §5.3.1).
+func (t *STL) DeleteSpace(id SpaceID) error {
+	s, ok := t.spaces[id]
+	if !ok {
+		return fmt.Errorf("stl: delete of unknown space %d", id)
+	}
+	t.invalidateTree(s, s.root)
+	t.dropPendingSpace(id)
+	delete(t.spaces, id)
+	return nil
+}
+
+func (t *STL) invalidateTree(s *Space, n *indexNode) {
+	if n == nil {
+		return
+	}
+	if n.blocks != nil {
+		for _, blk := range n.blocks {
+			if blk == nil {
+				continue
+			}
+			for i := range blk.pages {
+				if blk.pages[i].allocated {
+					t.invalidateUnit(blk.pages[i].ppa)
+					blk.pages[i].allocated = false
+				}
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.invalidateTree(s, c)
+	}
+}
+
+// pageBytes is the number of payload bytes held by page idx of a building
+// block (the final page may be partial when the block size is not a multiple
+// of the page size).
+func (s *Space) pageBytes(geo nvm.Geometry, idx int) int64 {
+	ps := int64(geo.PageSize)
+	remain := s.bbBytes - int64(idx)*ps
+	if remain > ps {
+		return ps
+	}
+	return remain
+}

@@ -1,0 +1,167 @@
+package stl
+
+import "fmt"
+
+// The space translator (§4.3). An application opens a space with its own view
+// dimensionality (delta_1..delta_m) — any shape whose volume matches the
+// space — and addresses data with a partition coordinate (x_1..x_m) plus a
+// sub-dimensionality (f_1..f_m): the partition covers view elements
+// [x_i*f_i, (x_i+1)*f_i) in each dimension (clamped at the view boundary).
+//
+// Both the view and the storage space linearize elements in row-major order
+// over the same underlying sequence, so view-linear index and storage-linear
+// index coincide; the translator decomposes a partition into maximal runs of
+// consecutive linear indices and maps each run onto byte extents within
+// building blocks — the concrete realisation of the paper's Equation 5.
+
+// Extent is a contiguous byte range within one building block, paired with
+// its destination offset in the partition buffer.
+type Extent struct {
+	Block int64 // row-major building-block grid index
+	Off   int64 // byte offset within the building block
+	Len   int64 // length in bytes
+	Dst   int64 // byte offset within the partition buffer
+}
+
+// View is a validated application view of a space.
+type View struct {
+	space *Space
+	dims  []int64
+}
+
+// NewView validates an application view of space s: every dimension positive
+// and the volume equal to the space volume (§3: "the volumes of these two
+// dimensionalities [must] match").
+func NewView(s *Space, dims []int64) (*View, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("stl: view needs at least one dimension")
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("stl: view dimension %d is %d, must be positive", i, d)
+		}
+	}
+	if prod(dims) != s.Volume() {
+		return nil, fmt.Errorf("stl: view volume %d does not match space volume %d", prod(dims), s.Volume())
+	}
+	return &View{space: s, dims: append([]int64(nil), dims...)}, nil
+}
+
+// Dims returns a copy of the view shape.
+func (v *View) Dims() []int64 { return append([]int64(nil), v.dims...) }
+
+// Space returns the underlying space.
+func (v *View) Space() *Space { return v.space }
+
+// PartitionShape returns the clamped extent of the partition at coord with
+// sub-dimensionality sub, along with the element count.
+func (v *View) PartitionShape(coord, sub []int64) ([]int64, int64, error) {
+	m := len(v.dims)
+	if len(coord) != m || len(sub) != m {
+		return nil, 0, fmt.Errorf("stl: coordinate/sub-dimensionality rank %d/%d does not match view rank %d",
+			len(coord), len(sub), m)
+	}
+	shape := make([]int64, m)
+	for i := 0; i < m; i++ {
+		if sub[i] <= 0 {
+			return nil, 0, fmt.Errorf("stl: sub-dimension %d is %d, must be positive", i, sub[i])
+		}
+		lo := coord[i] * sub[i]
+		hi := lo + sub[i]
+		if coord[i] < 0 || lo >= v.dims[i] {
+			return nil, 0, fmt.Errorf("stl: coordinate %d=%d out of view dimension %d", i, coord[i], v.dims[i])
+		}
+		if hi > v.dims[i] {
+			hi = v.dims[i]
+		}
+		shape[i] = hi - lo
+	}
+	return shape, prod(shape), nil
+}
+
+// Extents decomposes the partition at coord/sub into building-block byte
+// extents ordered by destination offset. The extent list is exact: its
+// destinations tile [0, elements*elemSize) without gaps or overlaps.
+func (v *View) Extents(coord, sub []int64) ([]Extent, error) {
+	shape, elems, err := v.PartitionShape(coord, sub)
+	if err != nil {
+		return nil, err
+	}
+	s := v.space
+	es := int64(s.elemSize)
+	m := len(v.dims)
+	n := len(s.dims)
+
+	// Iterate over the partition's outer coordinates; each step yields a run
+	// of shape[m-1] consecutive view-linear (== storage-linear) elements.
+	outer := make([]int64, m) // counters over shape[0..m-2]
+	cur := make([]int64, m)   // absolute view coordinate of the run start
+	sc := make([]int64, n)    // scratch storage coordinate
+	runLen := shape[m-1]
+	runs := elems / runLen
+
+	// Rough pre-sizing: each run splits across at least one block.
+	exts := make([]Extent, 0, runs)
+	var dst int64
+	for r := int64(0); r < runs; r++ {
+		for i := 0; i < m; i++ {
+			cur[i] = coord[i]*sub[i] + outer[i]
+		}
+		l := rank(cur, v.dims)
+		remaining := runLen
+		for remaining > 0 {
+			unrank(l, s.dims, sc)
+			// Longest stretch within the current storage row.
+			t := s.dims[n-1] - sc[n-1]
+			if t > remaining {
+				t = remaining
+			}
+			// Split the row stretch at building-block boundaries of the last
+			// storage dimension.
+			pos := sc[n-1]
+			end := sc[n-1] + t
+			for pos < end {
+				bbLast := s.bb[n-1]
+				take := bbLast - pos%bbLast
+				if take > end-pos {
+					take = end - pos
+				}
+				// Grid coordinate and in-block offset.
+				var gIdx, off int64
+				for i := 0; i < n; i++ {
+					c := sc[i]
+					if i == n-1 {
+						c = pos
+					}
+					gIdx = gIdx*s.grid[i] + c/s.bb[i]
+					off = off*s.bb[i] + c%s.bb[i]
+				}
+				exts = append(exts, Extent{
+					Block: gIdx,
+					Off:   off * es,
+					Len:   take * es,
+					Dst:   dst,
+				})
+				dst += take * es
+				pos += take
+			}
+			l += t
+			remaining -= t
+		}
+		// Advance outer counters (last outer dimension fastest).
+		for i := m - 2; i >= 0; i-- {
+			outer[i]++
+			if outer[i] < shape[i] {
+				break
+			}
+			outer[i] = 0
+		}
+	}
+	return exts, nil
+}
+
+// BlockGridIndex returns the row-major grid index of grid coordinate g.
+func (s *Space) BlockGridIndex(g []int64) int64 { return rank(g, s.grid) }
+
+// GridCoord fills out with the grid coordinate of row-major grid index idx.
+func (s *Space) GridCoord(idx int64, out []int64) { unrank(idx, s.grid, out) }

@@ -1,0 +1,74 @@
+package stl
+
+import (
+	"math/rand"
+	"testing"
+
+	"nds/internal/nvm"
+)
+
+// TestWearSpreadsAcrossDies: sustained overwrite churn must distribute
+// erases across dies rather than burning out a few — the even-wearing
+// property §5.3.4 relies on ("NDS can still ensure performance and
+// even-wearing").
+func TestWearSpreadsAcrossDies(t *testing.T) {
+	geo := nvm.Geometry{Channels: 4, Banks: 2, BlocksPerBank: 8, PagesPerBlock: 8, PageSize: 512}
+	dev, err := nvm.NewDevice(geo, nvm.TLCTiming(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.CreateSpace(4, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{160, 160}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		sub := []int64{32, 32}
+		coord := []int64{rng.Int63n(5), rng.Int63n(5)}
+		if _, _, err := st.WritePartition(0, v, coord, sub, nil); err != nil {
+			t.Fatalf("churn %d: %v", i, err)
+		}
+	}
+	erases, _ := st.GCStats()
+	if erases == 0 {
+		t.Skip("churn did not trigger GC at this geometry")
+	}
+	// Per-die erase totals.
+	var counts []int64
+	var total, maxC int64
+	minC := int64(1 << 62)
+	for ch := 0; ch < geo.Channels; ch++ {
+		for bk := 0; bk < geo.Banks; bk++ {
+			var c int64
+			for blk := 0; blk < geo.BlocksPerBank; blk++ {
+				c += dev.EraseCount(nvm.PPA{Channel: ch, Bank: bk, Block: blk})
+			}
+			counts = append(counts, c)
+			total += c
+			if c > maxC {
+				maxC = c
+			}
+			if c < minC {
+				minC = c
+			}
+		}
+	}
+	if minC == 0 {
+		t.Fatalf("some die never erased: %v", counts)
+	}
+	avg := float64(total) / float64(len(counts))
+	if float64(maxC) > 3*avg {
+		t.Fatalf("wear skewed: max %d vs avg %.1f (%v)", maxC, avg, counts)
+	}
+}

@@ -1,0 +1,243 @@
+package system
+
+import (
+	"fmt"
+
+	"nds/internal/sim"
+	"nds/internal/stl"
+)
+
+// Run is one contiguous byte range in the baseline SSD's linear space.
+type Run struct {
+	Off int64
+	Len int64
+}
+
+// BaselineRead issues one I/O command per run through the conventional
+// stack: host submission (CPU), command handling and address lookup in the
+// controller, FTL page reads, link transfer, and — when marshal is true —
+// a host-side copy placing each arrived run into the destination object
+// (problem [P1]). qd is the application's I/O queue depth: run i+qd is
+// submitted only after run i completes (qd=1 is a synchronous read loop,
+// qd<=0 is unlimited async). Every shared resource serializes naturally, so
+// throughput is set by the bottleneck stage.
+//
+// The returned buffer concatenates the runs in order (nil on phantom
+// devices).
+func (s *System) BaselineRead(at sim.Time, runs []Run, marshal bool, qd int) ([]byte, OpStats, error) {
+	if s.Kind != Baseline {
+		return nil, OpStats{}, fmt.Errorf("system: BaselineRead on %v system", s.Kind)
+	}
+	var stats OpStats
+	var total int64
+	for _, r := range runs {
+		total += r.Len
+	}
+	var buf []byte
+	if !s.Dev.Phantom() {
+		buf = make([]byte, 0, total)
+	}
+	var window []sim.Time
+	if qd > 0 {
+		window = make([]sim.Time, 0, len(runs))
+	}
+	done := at
+	for i, r := range runs {
+		issue := at
+		if qd > 0 && i >= qd {
+			issue = sim.Max(issue, window[i-qd])
+		}
+		_, subEnd := s.Host.SubmitIO(issue)
+		_, cmdEnd := s.Ctrl.HandleCommand(subEnd)
+		_, lkEnd := s.Ctrl.Lookup(cmdEnd)
+		data, devDone, err := s.FTL.Read(lkEnd, r.Off, r.Len)
+		if err != nil {
+			return nil, stats, err
+		}
+		ps := s.pageSize()
+		stats.Pages += (r.Off%ps + r.Len + ps - 1) / ps
+		_, linkEnd := s.Link.Transfer(lkEnd, r.Len)
+		arrive := sim.Max(devDone, linkEnd)
+		if marshal {
+			_, mEnd := s.Host.Marshal(arrive, r.Len, 1)
+			arrive = mEnd
+		}
+		if buf != nil {
+			buf = append(buf, data...)
+		}
+		if qd > 0 {
+			window = append(window, arrive)
+		}
+		done = sim.Max(done, arrive)
+		stats.Commands++
+		stats.Bytes += r.Len
+		stats.RawBytes += r.Len
+	}
+	stats.Extents = len(runs)
+	stats.Done = done
+	return buf, stats, nil
+}
+
+// BaselineWrite writes runs synchronously (the paper's Figure 9(d) disables
+// asynchronous writes): each run's data crosses the link, is programmed
+// through the FTL, and the next run is issued only after completion. data,
+// when non-nil, concatenates the runs' payloads; offsets and lengths must be
+// page-aligned.
+func (s *System) BaselineWrite(at sim.Time, runs []Run, data []byte) (OpStats, error) {
+	if s.Kind != Baseline {
+		return OpStats{}, fmt.Errorf("system: BaselineWrite on %v system", s.Kind)
+	}
+	var stats OpStats
+	ps := s.pageSize()
+	var pos int64
+	now := at
+	for _, r := range runs {
+		if r.Off%ps != 0 || r.Len%ps != 0 {
+			return stats, fmt.Errorf("system: baseline write run [%d,%d) not page-aligned", r.Off, r.Off+r.Len)
+		}
+		_, subEnd := s.Host.SubmitIO(now)
+		_, linkEnd := s.Link.Transfer(subEnd, r.Len)
+		_, cmdEnd := s.Ctrl.HandleCommand(subEnd)
+		_, lkEnd := s.Ctrl.Lookup(cmdEnd)
+		start := sim.Max(linkEnd, lkEnd)
+		var payload []byte
+		if data != nil {
+			payload = data[pos : pos+r.Len]
+		}
+		devDone, err := s.FTL.WritePages(start, r.Off/ps, payload, r.Len/ps)
+		if err != nil {
+			return stats, err
+		}
+		now = devDone
+		pos += r.Len
+		stats.Commands++
+		stats.Bytes += r.Len
+		stats.RawBytes += r.Len
+		stats.Pages += r.Len / ps
+	}
+	stats.Done = now
+	return stats, nil
+}
+
+// NDSRead reads one partition through an NDS configuration.
+//
+// Software NDS (Figure 7b): the host submits, translates on its own CPU
+// (§7.3: 41 us), raw pages cross the link, and the host assembles the
+// object from per-extent copies — the 2 KB-chunk cost §7.1 identifies.
+//
+// Hardware NDS (Figure 7c): one extended NVMe command carries the
+// coordinates; the controller translates and dispatches, the data assembler
+// gathers extents in device DRAM, and only the assembled object crosses the
+// link. Device reads, assembly, and the link stream concurrently.
+func (s *System) NDSRead(at sim.Time, v *stl.View, coord, sub []int64) ([]byte, OpStats, error) {
+	var stats OpStats
+	switch s.Kind {
+	case SoftwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, trEnd := s.Host.Translate(subEnd)
+		data, devDone, st, err := s.STL.ReadPartition(trEnd, v, coord, sub)
+		if err != nil {
+			return nil, stats, err
+		}
+		raw := st.PagesRead * s.pageSize()
+		_, linkEnd := s.Link.Transfer(trEnd, raw)
+		_, mEnd := s.Host.Marshal(trEnd, st.Bytes, s.assemblyChunks(st))
+		stats = OpStats{
+			Done:     sim.Max(devDone, sim.Max(linkEnd, mEnd)),
+			Bytes:    st.Bytes,
+			RawBytes: raw,
+			Extents:  st.Extents,
+			Pages:    st.PagesRead,
+			Commands: 1,
+		}
+		return data, stats, nil
+
+	case HardwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, cmdXfer := s.Link.Transfer(subEnd, int64(s.Cfg.Geometry.PageSize)) // command + coordinate page
+		_, cmdEnd := s.Ctrl.HandleCommand(cmdXfer)
+		_, trEnd := s.Ctrl.Translate(cmdEnd)
+		data, devDone, st, err := s.STL.ReadPartition(trEnd, v, coord, sub)
+		if err != nil {
+			return nil, stats, err
+		}
+		_, dpEnd := s.Ctrl.DispatchPages(trEnd, st.PagesRead)
+		_, asmEnd := s.Ctrl.Assemble(trEnd, st.Bytes, s.assemblyChunks(st))
+		_, linkEnd := s.Link.Transfer(trEnd, st.Bytes)
+		done := sim.Max(sim.Max(devDone, dpEnd), sim.Max(asmEnd, linkEnd))
+		stats = OpStats{
+			Done:     done,
+			Bytes:    st.Bytes,
+			RawBytes: st.Bytes,
+			Extents:  st.Extents,
+			Pages:    st.PagesRead,
+			Commands: 1,
+		}
+		return data, stats, nil
+	}
+	return nil, stats, fmt.Errorf("system: NDSRead on %v system", s.Kind)
+}
+
+// NDSWrite writes one partition through an NDS configuration,
+// synchronously (matching Figure 9(d)'s methodology).
+func (s *System) NDSWrite(at sim.Time, v *stl.View, coord, sub []int64, data []byte) (OpStats, error) {
+	var stats OpStats
+	exts, err := v.Extents(coord, sub)
+	if err != nil {
+		return stats, err
+	}
+	_, elems, err := v.PartitionShape(coord, sub)
+	if err != nil {
+		return stats, err
+	}
+	bytes := elems * int64(v.Space().ElemSize())
+
+	switch s.Kind {
+	case SoftwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, trEnd := s.Host.Translate(subEnd)
+		// Host breaks the object into building-block pieces (the strided
+		// scatter §7.1 blames for the 30% write loss)...
+		_, scEnd := s.Host.Scatter(trEnd, bytes, len(exts))
+		// ...then raw pages cross the link before programming starts.
+		_, linkEnd := s.Link.Transfer(scEnd, bytes)
+		devDone, st, err := s.STL.WritePartition(linkEnd, v, coord, sub, data)
+		if err != nil {
+			return stats, err
+		}
+		stats = OpStats{
+			Done:     devDone,
+			Bytes:    st.Bytes,
+			RawBytes: st.PagesProgrammed * s.pageSize(),
+			Extents:  st.Extents,
+			Pages:    st.PagesProgrammed + st.PagesRead,
+			Commands: 1,
+		}
+		return stats, nil
+
+	case HardwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, cmdXfer := s.Link.Transfer(subEnd, int64(s.Cfg.Geometry.PageSize))
+		_, cmdEnd := s.Ctrl.HandleCommand(cmdXfer)
+		_, trEnd := s.Ctrl.Translate(cmdEnd)
+		// Bulk data follows the command over the link in large pieces;
+		// the controller's firmware-driven disassembly is the write-path
+		// bottleneck behind the 17% loss of §7.1.
+		_, linkEnd := s.Link.Transfer(subEnd, bytes)
+		_, disEnd := s.Ctrl.Disassemble(sim.Max(trEnd, linkEnd), bytes, len(exts))
+		devDone, st, err := s.STL.WritePartition(disEnd, v, coord, sub, data)
+		if err != nil {
+			return stats, err
+		}
+		stats = OpStats{
+			Done:     devDone,
+			Bytes:    st.Bytes,
+			RawBytes: bytes,
+			Extents:  st.Extents,
+			Pages:    st.PagesProgrammed + st.PagesRead,
+			Commands: 1,
+		}
+		return stats, nil
+	}
+	return stats, fmt.Errorf("system: NDSWrite on %v system", s.Kind)
+}

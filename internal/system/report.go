@@ -1,0 +1,103 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"nds/internal/sim"
+)
+
+// Report is a utilization/telemetry snapshot of one system over a measured
+// horizon: where the time went (host, link, controller elements, channels)
+// and what the storage layer did (GC work, write amplification). ndsbench
+// prints it after microbenchmark phases; tests use it to assert bottleneck
+// locations.
+type Report struct {
+	Kind    Kind
+	Horizon sim.Time
+
+	HostBusy sim.Time
+	LinkBusy sim.Time
+
+	CtrlCmd       sim.Time
+	CtrlTranslate sim.Time
+	CtrlAssemble  sim.Time
+	CtrlChannels  sim.Time
+
+	ChannelUtil []float64 // per-channel busy fraction
+	AvgChannel  float64
+	MaxChannel  float64
+
+	DeviceReads    int64
+	DevicePrograms int64
+	DeviceErases   int64
+
+	GCErases  int64
+	GCMoves   int64
+	WriteAmp  float64
+	UsedPages int64
+}
+
+// Report snapshots the system's resource accounting over the horizon
+// (normally the completion time of the measured phase).
+func (s *System) Report(horizon sim.Time) Report {
+	r := Report{
+		Kind:     s.Kind,
+		Horizon:  horizon,
+		HostBusy: s.Host.BusyTime(),
+		LinkBusy: s.Link.BusyTime(),
+	}
+	r.CtrlCmd, r.CtrlTranslate, r.CtrlAssemble, r.CtrlChannels = s.Ctrl.BusyTimes()
+	r.ChannelUtil = s.Dev.ChannelUtilization(horizon)
+	for _, u := range r.ChannelUtil {
+		r.AvgChannel += u
+		if u > r.MaxChannel {
+			r.MaxChannel = u
+		}
+	}
+	if len(r.ChannelUtil) > 0 {
+		r.AvgChannel /= float64(len(r.ChannelUtil))
+	}
+	r.DeviceReads, r.DevicePrograms, r.DeviceErases = s.Dev.Counters()
+	switch {
+	case s.FTL != nil:
+		r.GCErases, r.GCMoves = s.FTL.GCStats()
+		r.WriteAmp = s.FTL.WriteAmplification()
+	case s.STL != nil:
+		r.GCErases, r.GCMoves = s.STL.GCStats()
+		r.WriteAmp = s.STL.WriteAmplification()
+		r.UsedPages = s.STL.UsedPages()
+	}
+	return r
+}
+
+// ActiveChannels counts channels with meaningful utilization (> 1% of the
+// busiest), the quantity behind problem [P3].
+func (r Report) ActiveChannels() int {
+	n := 0
+	for _, u := range r.ChannelUtil {
+		if u > 0.01*r.MaxChannel && u > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact multi-line summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v over %v:\n", r.Kind, r.Horizon)
+	fmt.Fprintf(&b, "  host %v busy, link %v busy\n", r.HostBusy, r.LinkBusy)
+	if r.CtrlTranslate > 0 || r.CtrlAssemble > 0 {
+		fmt.Fprintf(&b, "  controller: cmd %v, translate %v, assemble %v, channels %v\n",
+			r.CtrlCmd, r.CtrlTranslate, r.CtrlAssemble, r.CtrlChannels)
+	}
+	fmt.Fprintf(&b, "  channels: %d/%d active, avg %.1f%%, max %.1f%%\n",
+		r.ActiveChannels(), len(r.ChannelUtil), 100*r.AvgChannel, 100*r.MaxChannel)
+	fmt.Fprintf(&b, "  device ops: %d reads, %d programs, %d erases",
+		r.DeviceReads, r.DevicePrograms, r.DeviceErases)
+	if r.GCErases > 0 {
+		fmt.Fprintf(&b, " (GC: %d erases, %d moves, WA %.2f)", r.GCErases, r.GCMoves, r.WriteAmp)
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+// Package system composes the substrate models into the paper's three
+// evaluated configurations (Figure 7):
+//
+//   - Baseline: a conventional SSD — host software stack, NVMe(-oF) link,
+//     baseline controller with an FTL exposing a linear LBA space. The host
+//     must marshal multi-dimensional objects itself.
+//   - SoftwareNDS: the STL runs on the host over an open-channel
+//     (LightNVM-style) device; translation and object assembly consume host
+//     CPU, and raw pages cross the interconnect.
+//   - HardwareNDS: the STL runs inside the device controller; one extended
+//     NVMe command per partition, translation and assembly in the device,
+//     and only the assembled object crosses the interconnect.
+//
+// Each operation is scheduled on the shared resource timelines (host CPU,
+// link, controller elements, flash channels/banks), so pipelining and
+// bottleneck shifts emerge from the model rather than from per-configuration
+// formulas.
+package system
+
+import (
+	"fmt"
+
+	"nds/internal/controller"
+	"nds/internal/crypt"
+	"nds/internal/ftl"
+	"nds/internal/hostsim"
+	"nds/internal/interconnect"
+	"nds/internal/nvm"
+	"nds/internal/sim"
+	"nds/internal/stl"
+)
+
+// Kind selects one of the three evaluated system configurations.
+type Kind int
+
+const (
+	Baseline Kind = iota
+	SoftwareNDS
+	HardwareNDS
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case SoftwareNDS:
+		return "software-nds"
+	case HardwareNDS:
+		return "hardware-nds"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config assembles the model parameters of one platform.
+type Config struct {
+	Geometry nvm.Geometry
+	Timing   nvm.Timing
+	Phantom  bool
+	Host     hostsim.Params
+	LinkPeak float64
+	LinkOvh  sim.Time
+	FTL      ftl.Config
+	STL      stl.Config
+	// CipherKey, when non-empty, installs the §5.3.3 inline encryption
+	// engine on the flash array (data-bearing devices only).
+	CipherKey []byte
+}
+
+// EvalTiming is the evaluation platform's flash timing, calibrated so the
+// device's internal-to-external bandwidth ratio is the paper's 8:5 (§7.2):
+// 32 channels x 250 MB/s = 8 GB/s internal vs the 4.6 GB/s NVMeoF link.
+func EvalTiming() nvm.Timing {
+	return nvm.Timing{
+		ReadPage:    55 * sim.Microsecond,
+		ProgramPage: 1600 * sim.Microsecond,
+		EraseBlock:  3 * sim.Millisecond,
+		ChannelBW:   250e6,
+	}
+}
+
+// PrototypeConfig reproduces the paper's evaluation platform (§6.1): a
+// 32-channel, 8-bank, 4 KB-page SSD reached over NVMe-oF, 10%
+// over-provisioning, and the paper's 256x256 building blocks for 8-byte
+// elements (BBMultiplier 2). The flash array is sized to hold datasetBytes
+// plus slack, keeping phantom-mode state maps proportional to the
+// experiment instead of the paper's full 2 TB.
+func PrototypeConfig(datasetBytes int64, phantom bool) Config {
+	geo := nvm.Geometry{Channels: 32, Banks: 8, PagesPerBlock: 256, PageSize: 4096}
+	dies := int64(geo.Channels * geo.Banks)
+	needPages := ceilDiv64(datasetBytes*13/10, int64(geo.PageSize)) // dataset + 30% slack
+	geo.BlocksPerBank = int(ceilDiv64(ceilDiv64(needPages, dies), int64(geo.PagesPerBlock)))
+	if geo.BlocksPerBank < 4 {
+		geo.BlocksPerBank = 4
+	}
+	stlCfg := stl.DefaultConfig()
+	stlCfg.BBMultiplier = 2
+	return Config{
+		Geometry: geo,
+		Timing:   EvalTiming(),
+		Phantom:  phantom,
+		Host:     hostsim.DefaultParams(),
+		LinkPeak: 4.6e9,
+		LinkOvh:  3 * sim.Microsecond,
+		FTL:      ftl.DefaultConfig(),
+		STL:      stlCfg,
+	}
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// System is one instantiated configuration.
+type System struct {
+	Kind Kind
+	Cfg  Config
+
+	Host *hostsim.Host
+	Link *interconnect.Link
+	Ctrl *controller.Controller
+	Dev  *nvm.Device
+
+	FTL *ftl.FTL // Baseline only
+	STL *stl.STL // SoftwareNDS and HardwareNDS
+
+	// BlockedAssembly declares that the consumer kernels accept objects in
+	// building-block-tiled layout (e.g. tensor kernels operating on tiles),
+	// so assembly copies whole pages instead of per-extent fragments.
+	BlockedAssembly bool
+}
+
+// assemblyChunks is the number of discrete copies object assembly performs.
+func (s *System) assemblyChunks(st stl.RequestStats) int {
+	if s.BlockedAssembly {
+		return int(st.PagesRead)
+	}
+	return st.Extents
+}
+
+// New builds a system of the given kind.
+func New(kind Kind, cfg Config) (*System, error) {
+	dev, err := nvm.NewDevice(cfg.Geometry, cfg.Timing, cfg.Phantom)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.CipherKey) > 0 {
+		eng, err := crypt.New(cfg.CipherKey)
+		if err != nil {
+			return nil, err
+		}
+		if err := dev.SetCipher(eng); err != nil {
+			return nil, err
+		}
+	}
+	s := &System{
+		Kind: kind,
+		Cfg:  cfg,
+		Host: hostsim.New(cfg.Host),
+		Link: interconnect.New("host-link", cfg.LinkPeak, cfg.LinkOvh),
+		Dev:  dev,
+	}
+	switch kind {
+	case Baseline:
+		s.Ctrl = controller.New(controller.BaselineParams())
+		s.FTL, err = ftl.New(dev, cfg.FTL)
+	case SoftwareNDS:
+		// The open-channel device retains a baseline-class controller for
+		// command handling; translation happens on the host.
+		s.Ctrl = controller.New(controller.BaselineParams())
+		s.STL, err = stl.New(dev, cfg.STL)
+	case HardwareNDS:
+		s.Ctrl = controller.New(controller.NDSParams())
+		s.STL, err = stl.New(dev, cfg.STL)
+	default:
+		err = fmt.Errorf("system: unknown kind %d", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResetTimelines zeroes every resource timeline (host CPU, link, controller,
+// device) without touching stored data, so an experiment phase starts from a
+// quiet system.
+func (s *System) ResetTimelines() {
+	s.Host.Reset()
+	s.Link.Reset()
+	s.Ctrl.Reset()
+	s.Dev.ResetTimeline()
+}
+
+// OpStats summarizes one operation.
+type OpStats struct {
+	Done     sim.Time // completion time
+	Bytes    int64    // payload bytes the application asked for
+	RawBytes int64    // bytes that crossed the host link
+	Extents  int      // marshalling/assembly chunks
+	Pages    int64    // device page operations
+	Commands int      // I/O commands issued by the host
+}
+
+// pageSize is a small convenience.
+func (s *System) pageSize() int64 { return int64(s.Cfg.Geometry.PageSize) }

@@ -1,0 +1,258 @@
+package system
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nds/internal/sim"
+	"nds/internal/stl"
+)
+
+func smallConfig(phantom bool) Config {
+	cfg := PrototypeConfig(8<<20, phantom)
+	return cfg
+}
+
+func TestKindString(t *testing.T) {
+	if Baseline.String() != "baseline" || SoftwareNDS.String() != "software-nds" ||
+		HardwareNDS.String() != "hardware-nds" {
+		t.Fatal("kind names changed")
+	}
+}
+
+func TestNewWiresTheRightStack(t *testing.T) {
+	for _, k := range []Kind{Baseline, SoftwareNDS, HardwareNDS} {
+		s, err := New(k, smallConfig(true))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if k == Baseline && (s.FTL == nil || s.STL != nil) {
+			t.Errorf("baseline should have an FTL and no STL")
+		}
+		if k != Baseline && (s.STL == nil || s.FTL != nil) {
+			t.Errorf("%v should have an STL and no FTL", k)
+		}
+	}
+	if _, err := New(Kind(99), smallConfig(true)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestOpsRejectWrongKind(t *testing.T) {
+	base, _ := New(Baseline, smallConfig(true))
+	swn, _ := New(SoftwareNDS, smallConfig(true))
+	if _, _, err := base.NDSRead(0, nil, nil, nil); err == nil {
+		t.Error("NDSRead on baseline should fail")
+	}
+	if _, _, err := swn.BaselineRead(0, nil, false, 1); err == nil {
+		t.Error("BaselineRead on NDS system should fail")
+	}
+	if _, err := swn.BaselineWrite(0, nil, nil); err == nil {
+		t.Error("BaselineWrite on NDS system should fail")
+	}
+}
+
+func TestBaselineRoundTripWithData(t *testing.T) {
+	s, err := New(Baseline, smallConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := int64(s.Cfg.Geometry.PageSize)
+	payload := make([]byte, 4*ps)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if _, err := s.BaselineWrite(0, []Run{{Off: 2 * ps, Len: 4 * ps}}, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := s.BaselineRead(0, []Run{{Off: 2 * ps, Len: 4 * ps}}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("baseline read-back mismatch")
+	}
+	if st.Commands != 1 || st.Bytes != 4*ps {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBaselineWriteRequiresAlignment(t *testing.T) {
+	s, _ := New(Baseline, smallConfig(true))
+	if _, err := s.BaselineWrite(0, []Run{{Off: 1, Len: 100}}, nil); err == nil {
+		t.Error("unaligned baseline write accepted")
+	}
+}
+
+func TestNDSRoundTripWithData(t *testing.T) {
+	for _, k := range []Kind{SoftwareNDS, HardwareNDS} {
+		s, err := New(k, smallConfig(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := s.STL.CreateSpace(8, []int64{512, 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := stl.NewView(sp, []int64{512, 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 256*256*8)
+		rand.New(rand.NewSource(2)).Read(payload)
+		if _, err := s.NDSWrite(0, v, []int64{1, 1}, []int64{256, 256}, payload); err != nil {
+			t.Fatalf("%v write: %v", k, err)
+		}
+		got, st, err := s.NDSRead(0, v, []int64{1, 1}, []int64{256, 256})
+		if err != nil {
+			t.Fatalf("%v read: %v", k, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%v read-back mismatch", k)
+		}
+		if st.Commands != 1 {
+			t.Fatalf("%v: NDS access should need one command, got %d", k, st.Commands)
+		}
+	}
+}
+
+func TestQueueDepthThrottles(t *testing.T) {
+	mk := func() *System {
+		s, err := New(Baseline, smallConfig(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.FTL.WritePages(0, 0, nil, 512); err != nil {
+			t.Fatal(err)
+		}
+		s.ResetTimelines()
+		return s
+	}
+	runs := make([]Run, 256)
+	for i := range runs {
+		runs[i] = Run{Off: int64(i) * 4096, Len: 4096}
+	}
+	sSync := mk()
+	_, stSync, err := sSync.BaselineRead(0, runs, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAsync := mk()
+	_, stAsync, err := sAsync.BaselineRead(0, runs, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSync.Done <= stAsync.Done {
+		t.Fatalf("sync (%v) should be slower than unlimited async (%v)", stSync.Done, stAsync.Done)
+	}
+}
+
+func TestWritesAreSynchronous(t *testing.T) {
+	s, _ := New(Baseline, smallConfig(true))
+	runs := []Run{{Off: 0, Len: 4096}, {Off: 4096, Len: 4096}}
+	st, err := s.BaselineWrite(0, runs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two synchronous writes take at least two full program latencies.
+	if st.Done < 2*s.Cfg.Timing.ProgramPage {
+		t.Fatalf("sync writes finished at %v, want >= %v", st.Done, 2*s.Cfg.Timing.ProgramPage)
+	}
+}
+
+// TestRowFetchOrdering pins the Figure 9(a) relationship at a small scale:
+// hardware NDS tracks the baseline closely while software NDS pays the
+// host-assembly penalty.
+func TestRowFetchOrdering(t *testing.T) {
+	cfg := PrototypeConfig(32<<20, true)
+	mkLoaded := func(k Kind) (*System, *stl.View) {
+		s, err := New(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == Baseline {
+			if _, err := s.FTL.WritePages(0, 0, nil, 8192); err != nil {
+				t.Fatal(err)
+			}
+			s.ResetTimelines()
+			return s, nil
+		}
+		sp, err := s.STL.CreateSpace(8, []int64{2048, 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := stl.NewView(sp, []int64{2048, 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 8; i++ {
+			if _, _, err := s.STL.WritePartition(0, v, []int64{i, 0}, []int64{256, 2048}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.ResetTimelines()
+		return s, v
+	}
+
+	rowBand := func(s *System, v *stl.View) sim.Time {
+		if s.Kind == Baseline {
+			_, st, err := s.BaselineRead(0, []Run{{Off: 0, Len: 1024 * 2048 * 8}}, false, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.Done
+		}
+		_, st, err := s.NDSRead(0, v, []int64{0, 0}, []int64{1024, 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Done
+	}
+
+	base, _ := mkLoaded(Baseline)
+	swn, swv := mkLoaded(SoftwareNDS)
+	hwn, hwv := mkLoaded(HardwareNDS)
+	tb := rowBand(base, nil)
+	tsw := rowBand(swn, swv)
+	thw := rowBand(hwn, hwv)
+
+	if tsw <= tb {
+		t.Errorf("software NDS row fetch (%v) should trail the baseline (%v)", tsw, tb)
+	}
+	if float64(thw) > 1.15*float64(tb) {
+		t.Errorf("hardware NDS row fetch (%v) should be within ~15%% of the baseline (%v)", thw, tb)
+	}
+}
+
+func TestBlockedAssemblyCheapens(t *testing.T) {
+	cfg := PrototypeConfig(32<<20, true)
+	fetch := func(blocked bool) sim.Time {
+		s, err := New(SoftwareNDS, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.BlockedAssembly = blocked
+		sp, err := s.STL.CreateSpace(8, []int64{2048, 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := stl.NewView(sp, []int64{2048, 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 8; i++ {
+			if _, _, err := s.STL.WritePartition(0, v, []int64{i, 0}, []int64{256, 2048}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.ResetTimelines()
+		// A column band: many small extents.
+		_, st, err := s.NDSRead(0, v, []int64{0, 1}, []int64{2048, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Done
+	}
+	if b, u := fetch(true), fetch(false); b > u {
+		t.Fatalf("blocked assembly (%v) should not be slower than unblocked (%v)", b, u)
+	}
+}

@@ -1,0 +1,60 @@
+package tensor
+
+// HotspotStep advances the Rodinia Hotspot thermal simulation by one time
+// step on a temperature grid with a power map: each cell moves toward the
+// average of its 4-neighbourhood plus local power dissipation. Boundary
+// cells clamp to themselves (adiabatic edges).
+func HotspotStep(temp, power *Matrix, stepScale float32) *Matrix {
+	out := NewMatrix(temp.Rows, temp.Cols)
+	at := func(r, c int) float32 {
+		if r < 0 {
+			r = 0
+		}
+		if r >= temp.Rows {
+			r = temp.Rows - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		if c >= temp.Cols {
+			c = temp.Cols - 1
+		}
+		return temp.At(r, c)
+	}
+	for r := 0; r < temp.Rows; r++ {
+		for c := 0; c < temp.Cols; c++ {
+			t := temp.At(r, c)
+			lap := at(r-1, c) + at(r+1, c) + at(r, c-1) + at(r, c+1) - 4*t
+			out.Set(r, c, t+stepScale*(lap+power.At(r, c)))
+		}
+	}
+	return out
+}
+
+// Conv2D computes a direct 2-D convolution of input with an odd-sized
+// square kernel, zero-padded at the borders (the CUDA separable-convolution
+// benchmark's semantics for a non-separated kernel).
+func Conv2D(in, kernel *Matrix) *Matrix {
+	out := NewMatrix(in.Rows, in.Cols)
+	kh, kw := kernel.Rows/2, kernel.Cols/2
+	for r := 0; r < in.Rows; r++ {
+		for c := 0; c < in.Cols; c++ {
+			var s float32
+			for i := 0; i < kernel.Rows; i++ {
+				rr := r + i - kh
+				if rr < 0 || rr >= in.Rows {
+					continue
+				}
+				for j := 0; j < kernel.Cols; j++ {
+					cc := c + j - kw
+					if cc < 0 || cc >= in.Cols {
+						continue
+					}
+					s += kernel.At(i, j) * in.At(rr, cc)
+				}
+			}
+			out.Set(r, c, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor3 is a dense row-major float32 3-D tensor (index order i, j, k with
+// k fastest-varying).
+type Tensor3 struct {
+	D1, D2, D3 int
+	Data       []float32
+}
+
+// NewTensor3 allocates a zero tensor.
+func NewTensor3(d1, d2, d3 int) *Tensor3 {
+	return &Tensor3{D1: d1, D2: d2, D3: d3, Data: make([]float32, d1*d2*d3)}
+}
+
+// RandTensor3 fills a tensor with deterministic pseudo-random values.
+func RandTensor3(d1, d2, d3 int, seed int64) *Tensor3 {
+	t := NewTensor3(d1, d2, d3)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.Data {
+		t.Data[i] = rng.Float32()
+	}
+	return t
+}
+
+// At returns element (i, j, k).
+func (t *Tensor3) At(i, j, k int) float32 { return t.Data[(i*t.D2+j)*t.D3+k] }
+
+// Set stores v at (i, j, k).
+func (t *Tensor3) Set(i, j, k int, v float32) { t.Data[(i*t.D2+j)*t.D3+k] = v }
+
+// TTV computes the tensor-times-vector product along the given mode (0-2):
+// contracting mode m of t with v yields a matrix over the remaining modes.
+func TTV(t *Tensor3, v []float32, mode int) (*Matrix, error) {
+	dims := [3]int{t.D1, t.D2, t.D3}
+	if mode < 0 || mode > 2 {
+		return nil, fmt.Errorf("tensor: TTV mode %d out of range", mode)
+	}
+	if len(v) != dims[mode] {
+		return nil, fmt.Errorf("tensor: TTV vector length %d does not match mode size %d", len(v), dims[mode])
+	}
+	var out *Matrix
+	switch mode {
+	case 0:
+		out = NewMatrix(t.D2, t.D3)
+		for i := 0; i < t.D1; i++ {
+			w := v[i]
+			for j := 0; j < t.D2; j++ {
+				for k := 0; k < t.D3; k++ {
+					out.Data[j*t.D3+k] += w * t.At(i, j, k)
+				}
+			}
+		}
+	case 1:
+		out = NewMatrix(t.D1, t.D3)
+		for i := 0; i < t.D1; i++ {
+			for j := 0; j < t.D2; j++ {
+				w := v[j]
+				for k := 0; k < t.D3; k++ {
+					out.Data[i*t.D3+k] += w * t.At(i, j, k)
+				}
+			}
+		}
+	case 2:
+		out = NewMatrix(t.D1, t.D2)
+		for i := 0; i < t.D1; i++ {
+			for j := 0; j < t.D2; j++ {
+				var s float32
+				for k := 0; k < t.D3; k++ {
+					s += v[k] * t.At(i, j, k)
+				}
+				out.Data[i*t.D2+j] = s
+			}
+		}
+	}
+	return out, nil
+}
+
+// Contract computes the mode-1 tensor contraction C[i,k] = sum_j A[i,j,:]
+// . B[j,:] — contracting tensor mode 1 with matrix rows, the TC kernel shape
+// (a GEMM-like contraction over one tensor mode).
+func Contract(t *Tensor3, b *Matrix) (*Tensor3, error) {
+	if b.Rows != t.D2 {
+		return nil, fmt.Errorf("tensor: contract mode size %d does not match matrix rows %d", t.D2, b.Rows)
+	}
+	out := NewTensor3(t.D1, b.Cols, t.D3)
+	for i := 0; i < t.D1; i++ {
+		for j := 0; j < t.D2; j++ {
+			row := t.Data[(i*t.D2+j)*t.D3 : (i*t.D2+j)*t.D3+t.D3]
+			for c := 0; c < b.Cols; c++ {
+				w := b.At(j, c)
+				if w == 0 {
+					continue
+				}
+				oRow := out.Data[(i*b.Cols+c)*t.D3 : (i*b.Cols+c)*t.D3+t.D3]
+				for k := range row {
+					oRow[k] += w * row[k]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Equal reports element-wise equality within tol.
+func (t *Tensor3) Equal(o *Tensor3, tol float64) bool {
+	if t.D1 != o.D1 || t.D2 != o.D2 || t.D3 != o.D3 {
+		return false
+	}
+	for i := range t.Data {
+		if math.Abs(float64(t.Data[i]-o.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes encodes the tensor row-major as little-endian float32.
+func (t *Tensor3) Bytes() []byte {
+	out := make([]byte, 4*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// Tensor3FromBytes decodes a d1 x d2 x d3 tensor.
+func Tensor3FromBytes(d1, d2, d3 int, b []byte) (*Tensor3, error) {
+	if len(b) != d1*d2*d3*4 {
+		return nil, fmt.Errorf("tensor: %d bytes cannot hold %dx%dx%d float32", len(b), d1, d2, d3)
+	}
+	t := NewTensor3(d1, d2, d3)
+	for i := range t.Data {
+		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return t, nil
+}

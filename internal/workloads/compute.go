@@ -1,0 +1,225 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"nds/internal/tensor"
+)
+
+// This file holds the functional (real-compute) forms of the graph and
+// data-mining kernels of Table 1; the dense linear-algebra and tensor
+// kernels live in internal/tensor. The examples run these kernels on data
+// fetched through the actual NDS data path, and the tests here pin their
+// semantics against brute-force references.
+
+// BFS computes breadth-first levels over a dense adjacency matrix (non-zero
+// = edge), returning -1 for unreachable vertices — the Rodinia BFS kernel's
+// output.
+func BFS(adj *tensor.Matrix, src int) ([]int, error) {
+	n := adj.Rows
+	if adj.Cols != n {
+		return nil, fmt.Errorf("workloads: BFS needs a square adjacency, got %dx%d", adj.Rows, adj.Cols)
+	}
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("workloads: BFS source %d out of range", src)
+	}
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int{src}
+	for d := 1; len(frontier) > 0; d++ {
+		var next []int
+		for _, u := range frontier {
+			row := adj.Data[u*n : (u+1)*n]
+			for v, w := range row {
+				if w != 0 && level[v] < 0 {
+					level[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level, nil
+}
+
+// SSSP runs Bellman-Ford over a dense weight matrix (0 = no edge, weights
+// must be positive), returning +Inf for unreachable vertices.
+func SSSP(w *tensor.Matrix, src int) ([]float32, error) {
+	n := w.Rows
+	if w.Cols != n {
+		return nil, fmt.Errorf("workloads: SSSP needs a square weight matrix")
+	}
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("workloads: SSSP source %d out of range", src)
+	}
+	inf := float32(math.Inf(1))
+	dist := make([]float32, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for pass := 0; pass < n-1; pass++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if dist[u] == inf {
+				continue
+			}
+			row := w.Data[u*n : (u+1)*n]
+			for v, wt := range row {
+				if wt > 0 && dist[u]+wt < dist[v] {
+					dist[v] = dist[u] + wt
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist, nil
+}
+
+// KMeans clusters the rows of points into k clusters with Lloyd iterations
+// from deterministic initial centroids (the first k points), returning the
+// centroids and per-point assignment.
+func KMeans(points *tensor.Matrix, k, iters int) (*tensor.Matrix, []int, error) {
+	n, d := points.Rows, points.Cols
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("workloads: k=%d out of range for %d points", k, n)
+	}
+	centroids := points.Sub(0, 0, k, d)
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				var s float64
+				for j := 0; j < d; j++ {
+					diff := float64(points.At(i, j) - centroids.At(c, j))
+					s += diff * diff
+				}
+				if s < bestD {
+					best, bestD = c, s
+				}
+			}
+			assign[i] = best
+		}
+		// Update step.
+		next := tensor.NewMatrix(k, d)
+		count := make([]int, k)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			count[c]++
+			for j := 0; j < d; j++ {
+				next.Set(c, j, next.At(c, j)+points.At(i, j))
+			}
+		}
+		for c := 0; c < k; c++ {
+			if count[c] == 0 {
+				// Keep an empty cluster's centroid in place.
+				for j := 0; j < d; j++ {
+					next.Set(c, j, centroids.At(c, j))
+				}
+				continue
+			}
+			inv := 1 / float32(count[c])
+			for j := 0; j < d; j++ {
+				next.Set(c, j, next.At(c, j)*inv)
+			}
+		}
+		centroids = next
+	}
+	return centroids, assign, nil
+}
+
+// KNN returns the indices of the k nearest rows of points to query, in
+// ascending distance order (the kNN-CUDA kernel's output).
+func KNN(points *tensor.Matrix, query []float32, k int) ([]int, error) {
+	n, d := points.Rows, points.Cols
+	if len(query) != d {
+		return nil, fmt.Errorf("workloads: query dimension %d does not match points %d", len(query), d)
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("workloads: k=%d out of range for %d points", k, n)
+	}
+	type cand struct {
+		idx int
+		d   float64
+	}
+	best := make([]cand, 0, k+1)
+	for i := 0; i < n; i++ {
+		var s float64
+		row := points.Data[i*d : (i+1)*d]
+		for j, q := range query {
+			diff := float64(row[j] - q)
+			s += diff * diff
+		}
+		pos := len(best)
+		for pos > 0 && best[pos-1].d > s {
+			pos--
+		}
+		if pos < k {
+			best = append(best, cand{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = cand{i, s}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.idx
+	}
+	return out, nil
+}
+
+// PageRank runs damped power iteration over a dense adjacency matrix
+// (non-zero = edge), returning the rank vector.
+func PageRank(adj *tensor.Matrix, damping float32, iters int) ([]float32, error) {
+	n := adj.Rows
+	if adj.Cols != n {
+		return nil, fmt.Errorf("workloads: PageRank needs a square adjacency")
+	}
+	outDeg := make([]float32, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if adj.At(u, v) != 0 {
+				outDeg[u]++
+			}
+		}
+	}
+	rank := make([]float32, n)
+	for i := range rank {
+		rank[i] = 1 / float32(n)
+	}
+	base := (1 - damping) / float32(n)
+	for it := 0; it < iters; it++ {
+		next := make([]float32, n)
+		var dangling float32
+		for u := 0; u < n; u++ {
+			if outDeg[u] == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := damping * rank[u] / outDeg[u]
+			row := adj.Data[u*n : (u+1)*n]
+			for v, w := range row {
+				if w != 0 {
+					next[v] += share
+				}
+			}
+		}
+		spread := damping * dangling / float32(n)
+		for v := range next {
+			next[v] += base + spread
+		}
+		rank = next
+	}
+	return rank, nil
+}

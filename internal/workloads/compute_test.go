@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"nds/internal/tensor"
+)
+
+// pathGraph builds a directed path 0 -> 1 -> ... -> n-1 with unit weights.
+func pathGraph(n int) *tensor.Matrix {
+	m := tensor.NewMatrix(n, n)
+	for i := 0; i < n-1; i++ {
+		m.Set(i, i+1, 1)
+	}
+	return m
+}
+
+func TestBFSPath(t *testing.T) {
+	adj := pathGraph(6)
+	lv, err := BFS(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if lv[i] != want {
+			t.Fatalf("level[%d] = %d, want %d", i, lv[i], want)
+		}
+	}
+	// From the middle, earlier vertices are unreachable (directed).
+	lv, _ = BFS(adj, 3)
+	if lv[0] != -1 || lv[5] != 2 {
+		t.Fatalf("directed reachability wrong: %v", lv)
+	}
+	if _, err := BFS(adj, 99); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := BFS(tensor.NewMatrix(2, 3), 0); err == nil {
+		t.Fatal("non-square adjacency accepted")
+	}
+}
+
+func TestSSSPPrefersCheaperDetour(t *testing.T) {
+	// 0->1 (10), 0->2 (1), 2->1 (2): best 0->1 distance is 3.
+	w := tensor.NewMatrix(3, 3)
+	w.Set(0, 1, 10)
+	w.Set(0, 2, 1)
+	w.Set(2, 1, 2)
+	dist, err := SSSP(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[1] != 3 || dist[2] != 1 || dist[0] != 0 {
+		t.Fatalf("dist = %v", dist)
+	}
+	// Unreachable vertex is +Inf.
+	w2 := tensor.NewMatrix(3, 3)
+	dist, _ = SSSP(w2, 0)
+	if !math.IsInf(float64(dist[1]), 1) {
+		t.Fatal("unreachable vertex should be +Inf")
+	}
+}
+
+func TestBFSAndSSSPAgreeOnUnitWeights(t *testing.T) {
+	// With unit weights, SSSP distances equal BFS levels.
+	adj := tensor.NewMatrix(8, 8)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {2, 6}}
+	for _, e := range edges {
+		adj.Set(e[0], e[1], 1)
+	}
+	lv, err := BFS(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SSSP(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		if lv[v] == -1 {
+			if !math.IsInf(float64(dist[v]), 1) {
+				t.Fatalf("vertex %d: BFS unreachable but SSSP = %v", v, dist[v])
+			}
+			continue
+		}
+		if float32(lv[v]) != dist[v] {
+			t.Fatalf("vertex %d: BFS level %d != SSSP dist %v", v, lv[v], dist[v])
+		}
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	// Two tight groups far apart must split cleanly.
+	pts := tensor.NewMatrix(8, 2)
+	for i := 0; i < 4; i++ {
+		pts.Set(i, 0, float32(i)*0.01)
+		pts.Set(i, 1, 0)
+	}
+	for i := 4; i < 8; i++ {
+		pts.Set(i, 0, 100+float32(i)*0.01)
+		pts.Set(i, 1, 100)
+	}
+	// Initial centroids are points 0 and 1 (both in group A); Lloyd must
+	// still converge to the two groups.
+	_, assign, err := KMeans(pts, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("group A split: %v", assign)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if assign[i] != assign[4] {
+			t.Fatalf("group B split: %v", assign)
+		}
+	}
+	if assign[0] == assign[4] {
+		t.Fatalf("groups merged: %v", assign)
+	}
+	if _, _, err := KMeans(pts, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestKNNOrdersByDistance(t *testing.T) {
+	pts := tensor.NewMatrix(5, 1)
+	for i := 0; i < 5; i++ {
+		pts.Set(i, 0, float32(i*i)) // 0, 1, 4, 9, 16
+	}
+	got, err := KNN(pts, []float32{6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 1} // squared distances 4, 9, 25
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("knn = %v, want %v", got, want)
+		}
+	}
+	if _, err := KNN(pts, []float32{1, 2}, 1); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := KNN(pts, []float32{0}, 9); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	// A cycle has uniform rank; ranks always sum to ~1.
+	n := 5
+	cyc := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cyc.Set(i, (i+1)%n, 1)
+	}
+	rank, err := PageRank(cyc, 0.85, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += float64(r)
+		if math.Abs(float64(r)-0.2) > 1e-3 {
+			t.Fatalf("cycle rank not uniform: %v", rank)
+		}
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("ranks sum to %v, want 1", sum)
+	}
+	// A sink-pointing star: the hub's target outranks the leaves.
+	star := tensor.NewMatrix(4, 4)
+	star.Set(1, 0, 1)
+	star.Set(2, 0, 1)
+	star.Set(3, 0, 1)
+	rank, _ = PageRank(star, 0.85, 50)
+	if rank[0] <= rank[1] {
+		t.Fatalf("popular vertex should outrank leaves: %v", rank)
+	}
+}

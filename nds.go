@@ -1,0 +1,339 @@
+// Package nds is the public interface of this repository's reproduction of
+// "NDS: N-Dimensional Storage" (Liu & Tseng, MICRO 2021): a multi-dimensional
+// storage system in which applications create address spaces with their own
+// dimensionality and read/write partitions by coordinate, while the space
+// translation layer (STL) places data in building blocks spread across all
+// flash channels so that rows, columns, and tiles are all fast.
+//
+// A Device simulates a complete NDS-compliant drive (flash array, controller,
+// interconnect, and host software stack) with either the software-only or the
+// hardware-assisted STL of the paper. Data written through the API is really
+// stored and really translated — only time is simulated: every operation
+// advances the device's simulated clock by the modelled latency, which is how
+// the repository reproduces the paper's evaluation.
+//
+// Basic use:
+//
+//	dev, _ := nds.Open(nds.Options{Mode: nds.ModeHardware})
+//	id, _ := dev.CreateSpace(4, []int64{1024, 1024})   // 1Kx1K float32 space
+//	prod, _ := dev.OpenSpace(id, []int64{1024, 1024})  // producer view
+//	prod.Write([]int64{0, 0}, []int64{1024, 1024}, data)
+//	cons, _ := dev.OpenSpace(id, []int64{2048, 512})   // reshaped consumer view
+//	tile, stats, _ := cons.Read([]int64{1, 0}, []int64{512, 512})
+package nds
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nds/internal/sim"
+	"nds/internal/stl"
+	"nds/internal/system"
+)
+
+// Mode selects which NDS implementation of the paper backs the device.
+type Mode int
+
+const (
+	// ModeSoftware runs the STL on the host over an open-channel device
+	// (Figure 7b): translation and object assembly cost host CPU and raw
+	// pages cross the interconnect.
+	ModeSoftware Mode = iota
+	// ModeHardware runs the STL inside the device controller (Figure 7c):
+	// one command per access, in-device assembly, full internal bandwidth.
+	ModeHardware
+)
+
+func (m Mode) String() string {
+	if m == ModeSoftware {
+		return "software"
+	}
+	return "hardware"
+}
+
+// Options configures Open.
+type Options struct {
+	// Mode picks the software-only or hardware-assisted implementation.
+	Mode Mode
+	// CapacityHint sizes the simulated flash array (bytes of expected data).
+	// Zero selects a small default of 64 MiB.
+	CapacityHint int64
+	// Phantom disables byte storage: operations keep exact timing and
+	// translation state but Read returns nil data. Used for paper-scale
+	// experiments.
+	Phantom bool
+	// BlockOrder forces the building-block dimensionality (1-3); zero keeps
+	// the paper default (2-D blocks for spaces of two or more dimensions).
+	BlockOrder int
+	// EncryptionKey, when non-empty, installs the §5.3.3 inline AES engine:
+	// the medium holds ciphertext, the API speaks plaintext, and building
+	// blocks, GC, and views are unaffected. Data-bearing devices only.
+	EncryptionKey []byte
+	// Compress enables §5.3.4's building-block-granular compression
+	// (data-bearing devices only).
+	Compress bool
+	// ZeroPageElision enables the §8 page-zero optimization for sparse
+	// content: all-zero pages occupy no flash units.
+	ZeroPageElision bool
+	// WriteBuffering enables §4.4's sub-unit write staging: partitions
+	// smaller than a basic access unit collect in STL memory and program
+	// once a unit fills or Flush is called.
+	WriteBuffering bool
+}
+
+// SpaceID names a created address space.
+type SpaceID uint32
+
+// Stats summarizes one operation.
+type Stats struct {
+	Elapsed  time.Duration // simulated service time of this operation
+	Bytes    int64         // payload bytes
+	RawBytes int64         // bytes that crossed the host interconnect
+	Pages    int64         // flash page operations
+	Commands int           // I/O commands issued
+	Extents  int           // building-block fragments translated
+}
+
+// Device is a simulated NDS-compliant storage device. It is safe for
+// concurrent use: operations serialize on an internal lock (the simulated
+// device processes one request stream, matching the in-order command model
+// of the underlying simulator).
+type Device struct {
+	mu   sync.Mutex
+	sys  *system.System
+	now  sim.Time
+	open map[*Space]bool
+
+	// Wire-protocol state (Exec): dynamic view IDs from open_space. execMu
+	// serializes whole commands and guards the view table; it is always
+	// acquired before mu.
+	execMu   sync.Mutex
+	views    map[uint32]*Space
+	nextView uint32
+}
+
+// Open builds a device following the paper's prototype platform (32
+// channels, 8 banks, 4 KB pages, NVMe-oF host link).
+func Open(opts Options) (*Device, error) {
+	hint := opts.CapacityHint
+	if hint <= 0 {
+		hint = 64 << 20
+	}
+	cfg := system.PrototypeConfig(hint, opts.Phantom)
+	if opts.BlockOrder != 0 {
+		cfg.STL.BBOrder = opts.BlockOrder
+		cfg.STL.BBMultiplier = 1
+	}
+	cfg.CipherKey = opts.EncryptionKey
+	cfg.STL.Compress = opts.Compress
+	cfg.STL.ZeroPageElision = opts.ZeroPageElision
+	cfg.STL.WriteBuffering = opts.WriteBuffering
+	kind := system.SoftwareNDS
+	if opts.Mode == ModeHardware {
+		kind = system.HardwareNDS
+	}
+	sys, err := system.New(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{sys: sys, open: make(map[*Space]bool)}, nil
+}
+
+// Now reports the device's simulated clock.
+func (d *Device) Now() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Duration(d.now)
+}
+
+// Capacity reports the raw capacity of the simulated flash array.
+func (d *Device) Capacity() int64 { return d.sys.Cfg.Geometry.Capacity() }
+
+// CreateSpace creates a multi-dimensional address space of the given element
+// size (bytes) and dimensionality, returning its identifier. The STL sizes
+// building blocks for the device geometry per the paper's Equations 1-4.
+func (d *Device) CreateSpace(elemSize int, dims []int64) (SpaceID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	sp, err := d.sys.STL.CreateSpace(elemSize, dims)
+	if err != nil {
+		return 0, err
+	}
+	return SpaceID(sp.ID()), nil
+}
+
+// DeleteSpace permanently removes a space and invalidates its storage (the
+// delete_space command of §5.3.1).
+func (d *Device) DeleteSpace(id SpaceID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	return d.sys.STL.DeleteSpace(stl.SpaceID(id))
+}
+
+// ResizeSpace expands or shrinks a space along its outermost dimension
+// (§5.1: passing an existing identifier to the space-management API
+// restructures the space). Existing data within the new bound is preserved;
+// open views become stale and must be reopened with matching volumes.
+func (d *Device) ResizeSpace(id SpaceID, newDim0 int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	return d.sys.STL.ResizeSpace(stl.SpaceID(id), newDim0)
+}
+
+// Flush programs every §4.4-staged partial unit (WriteBuffering devices);
+// a no-op otherwise.
+func (d *Device) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.sys.STL.Flush(d.now)
+	if done > d.now {
+		d.now = done
+	}
+	return err
+}
+
+// SpaceInfo describes a space's layout decisions.
+type SpaceInfo struct {
+	ID         SpaceID
+	ElemSize   int
+	Dims       []int64
+	BlockDims  []int64
+	GridDims   []int64
+	PagesPerBB int
+	IndexBytes int64
+}
+
+// Inspect reports a space's dimensionality and building-block layout.
+func (d *Device) Inspect(id SpaceID) (SpaceInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	sp, ok := d.sys.STL.Space(stl.SpaceID(id))
+	if !ok {
+		return SpaceInfo{}, fmt.Errorf("nds: unknown space %d", id)
+	}
+	return SpaceInfo{
+		ID:         id,
+		ElemSize:   sp.ElemSize(),
+		Dims:       sp.Dims(),
+		BlockDims:  sp.BlockDims(),
+		GridDims:   sp.GridDims(),
+		PagesPerBB: sp.PagesPerBlock(),
+		IndexBytes: sp.IndexFootprint(),
+	}, nil
+}
+
+// Space is an opened application view of an address space (the open_space
+// command of §5.3.1 with a dynamic view ID). The view's dimensionality may
+// differ from the producer's as long as the volumes match.
+type Space struct {
+	dev  *Device
+	view *stl.View
+	id   SpaceID
+}
+
+// openInternal is OpenSpace without locking (callers hold d.mu).
+func (d *Device) openInternal(id uint32, viewDims []int64) (*Space, error) {
+	sp, ok := d.sys.STL.Space(stl.SpaceID(id))
+	if !ok {
+		return nil, fmt.Errorf("nds: unknown space %d", id)
+	}
+	v, err := stl.NewView(sp, viewDims)
+	if err != nil {
+		return nil, err
+	}
+	s := &Space{dev: d, view: v, id: SpaceID(id)}
+	d.open[s] = true
+	return s, nil
+}
+
+// OpenSpace opens a view of space id with the given dimensionality.
+func (d *Device) OpenSpace(id SpaceID, viewDims []int64) (*Space, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	sp, ok := d.sys.STL.Space(stl.SpaceID(id))
+	if !ok {
+		return nil, fmt.Errorf("nds: unknown space %d", id)
+	}
+	v, err := stl.NewView(sp, viewDims)
+	if err != nil {
+		return nil, err
+	}
+	s := &Space{dev: d, view: v, id: id}
+	d.open[s] = true
+	return s, nil
+}
+
+// Close releases the view (the close_space command). Further accesses fail.
+func (s *Space) Close() error {
+	s.dev.mu.Lock()
+	defer s.dev.mu.Unlock()
+
+	if s.view == nil {
+		return fmt.Errorf("nds: space view already closed")
+	}
+	delete(s.dev.open, s)
+	s.view = nil
+	return nil
+}
+
+// ID returns the underlying space identifier.
+func (s *Space) ID() SpaceID { return s.id }
+
+// Dims returns the view's dimensionality.
+func (s *Space) Dims() []int64 { return s.view.Dims() }
+
+// Read fetches the partition at coord with sub-dimensionality sub, assembled
+// in the partition's own row-major layout. On a phantom device the data is
+// nil but stats are exact.
+func (s *Space) Read(coord, sub []int64) ([]byte, Stats, error) {
+	s.dev.mu.Lock()
+	defer s.dev.mu.Unlock()
+
+	if s.view == nil {
+		return nil, Stats{}, fmt.Errorf("nds: read on closed space view")
+	}
+	data, st, err := s.dev.sys.NDSRead(s.dev.now, s.view, coord, sub)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := s.dev.account(st)
+	return data, stats, nil
+}
+
+// Write stores data (laid out in the partition's row-major shape) at the
+// partition coord/sub. On a phantom device pass nil data.
+func (s *Space) Write(coord, sub []int64, data []byte) (Stats, error) {
+	s.dev.mu.Lock()
+	defer s.dev.mu.Unlock()
+
+	if s.view == nil {
+		return Stats{}, fmt.Errorf("nds: write on closed space view")
+	}
+	st, err := s.dev.sys.NDSWrite(s.dev.now, s.view, coord, sub, data)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.dev.account(st), nil
+}
+
+// account advances the device clock and converts stats.
+func (d *Device) account(st system.OpStats) Stats {
+	elapsed := st.Done - d.now
+	if st.Done > d.now {
+		d.now = st.Done
+	}
+	return Stats{
+		Elapsed:  time.Duration(elapsed),
+		Bytes:    st.Bytes,
+		RawBytes: st.RawBytes,
+		Pages:    st.Pages,
+		Commands: st.Commands,
+		Extents:  st.Extents,
+	}
+}

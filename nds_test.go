@@ -1,0 +1,211 @@
+package nds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func openTest(t *testing.T, mode Mode) *Device {
+	t.Helper()
+	d, err := Open(Options{Mode: mode, CapacityHint: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPublicRoundTripBothModes(t *testing.T) {
+	for _, mode := range []Mode{ModeSoftware, ModeHardware} {
+		d := openTest(t, mode)
+		id, err := d.CreateSpace(4, []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := d.OpenSpace(id, []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 256*256*4)
+		rand.New(rand.NewSource(3)).Read(data)
+		if _, err := sp.Write([]int64{0, 0}, []int64{256, 256}, data); err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := sp.Read([]int64{0, 0}, []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%v: read-back mismatch", mode)
+		}
+		if st.Commands != 1 || st.Bytes != int64(len(data)) {
+			t.Fatalf("%v: stats = %+v", mode, st)
+		}
+		if st.Elapsed <= 0 {
+			t.Fatalf("%v: simulated time did not advance", mode)
+		}
+	}
+}
+
+func TestReshapedConsumerView(t *testing.T) {
+	d := openTest(t, ModeHardware)
+	id, err := d.CreateSpace(8, []int64{128, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := d.OpenSpace(id, []int64{128, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write elements numbered by linear index.
+	data := make([]byte, 128*64*8)
+	for i := 0; i < 128*64; i++ {
+		binary.LittleEndian.PutUint64(data[i*8:], uint64(i))
+	}
+	if _, err := prod.Write([]int64{0, 0}, []int64{128, 64}, data); err != nil {
+		t.Fatal(err)
+	}
+	// A flat consumer sees the same linear order.
+	flat, err := d.OpenSpace(id, []int64{128 * 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := flat.Read([]int64{3}, []int64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v := binary.LittleEndian.Uint64(got[i*8:]); v != uint64(300+i) {
+			t.Fatalf("flat view element %d = %d, want %d", i, v, 300+i)
+		}
+	}
+	// A column read through the 2-D view.
+	col, _, err := prod.Read([]int64{0, 17}, []int64{128, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 128; r++ {
+		if v := binary.LittleEndian.Uint64(col[r*8:]); v != uint64(r*64+17) {
+			t.Fatalf("column element %d = %d, want %d", r, v, r*64+17)
+		}
+	}
+}
+
+func TestSpaceLifecycle(t *testing.T) {
+	d := openTest(t, ModeSoftware)
+	id, err := d.CreateSpace(4, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.OpenSpace(id, []int64{64, 63}); err == nil {
+		t.Error("volume-mismatched view accepted")
+	}
+	if _, err := d.OpenSpace(999, []int64{64, 64}); err == nil {
+		t.Error("unknown space opened")
+	}
+	sp, err := d.OpenSpace(id, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err == nil {
+		t.Error("double close accepted")
+	}
+	if _, _, err := sp.Read([]int64{0, 0}, []int64{64, 64}); err == nil {
+		t.Error("read through closed view accepted")
+	}
+	if err := d.DeleteSpace(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteSpace(id); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	d := openTest(t, ModeHardware)
+	id, err := d.CreateSpace(8, []int64{1024, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := d.Inspect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prototype platform: 256x256 blocks for 8-byte elements (§7.1).
+	if info.BlockDims[0] != 256 || info.BlockDims[1] != 256 {
+		t.Fatalf("block dims = %v, want [256 256]", info.BlockDims)
+	}
+	if info.GridDims[0] != 4 || info.GridDims[1] != 4 {
+		t.Fatalf("grid dims = %v, want [4 4]", info.GridDims)
+	}
+	if info.PagesPerBB != 128 {
+		t.Fatalf("pages per block = %d, want 128", info.PagesPerBB)
+	}
+	if _, err := d.Inspect(999); err == nil {
+		t.Error("inspect of unknown space accepted")
+	}
+	if d.Capacity() <= 0 {
+		t.Error("capacity not reported")
+	}
+}
+
+func TestHardwareReadsFasterThanSoftwareOnTiles(t *testing.T) {
+	elapsed := func(mode Mode) int64 {
+		d := openTest(t, mode)
+		id, _ := d.CreateSpace(8, []int64{1024, 1024})
+		sp, _ := d.OpenSpace(id, []int64{1024, 1024})
+		buf := make([]byte, 1024*256*8)
+		for i := int64(0); i < 4; i++ {
+			if _, err := sp.Write([]int64{i, 0}, []int64{256, 1024}, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := d.Now()
+		if _, _, err := sp.Read([]int64{1, 1}, []int64{512, 512}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(d.Now() - start)
+	}
+	sw, hw := elapsed(ModeSoftware), elapsed(ModeHardware)
+	if hw >= sw {
+		t.Fatalf("hardware tile read (%d ns) should beat software (%d ns)", hw, sw)
+	}
+}
+
+// TestPropertyPublicRoundTrip: any rectangular write read back through the
+// public API equals what was written (quick-checked shapes).
+func TestPropertyPublicRoundTrip(t *testing.T) {
+	d := openTest(t, ModeHardware)
+	id, err := d.CreateSpace(4, []int64{96, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := d.OpenSpace(id, []int64{96, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	f := func(a, b, c, e uint8) bool {
+		sub := []int64{1 + int64(a)%32, 1 + int64(b)%32}
+		coord := []int64{int64(c) % (96 / sub[0]), int64(e) % (96 / sub[1])}
+		n := sub[0] * sub[1] * 4
+		data := make([]byte, n)
+		rng.Read(data)
+		if _, err := sp.Write(coord, sub, data); err != nil {
+			return false
+		}
+		got, _, err := sp.Read(coord, sub)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

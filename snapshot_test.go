@@ -1,0 +1,184 @@
+package nds
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestExportImportRoundTrip moves two spaces between devices — including
+// into the other implementation mode — and verifies contents survive while
+// the receiving STL re-decides the physical layout.
+func TestExportImportRoundTrip(t *testing.T) {
+	src, err := Open(Options{Mode: ModeHardware, CapacityHint: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	// Space 1: a 2-D matrix.
+	idA, err := src.CreateSpace(8, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spA, err := src.OpenSpace(idA, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataA := make([]byte, 128*128*8)
+	rng.Read(dataA)
+	if _, err := spA.Write([]int64{0, 0}, []int64{128, 128}, dataA); err != nil {
+		t.Fatal(err)
+	}
+	// Space 2: a 1-D vector.
+	idB, err := src.CreateSpace(4, []int64{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB, err := src.OpenSpace(idB, []int64{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataB := make([]byte, 4096*4)
+	rng.Read(dataB)
+	if _, err := spB.Write([]int64{0}, []int64{4096}, dataB); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := src.Export(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Import into a software-mode device (the other platform half).
+	dst, err := Open(Options{Mode: ModeSoftware, CapacityHint: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := dst.Import(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping) != 2 {
+		t.Fatalf("imported %d spaces, want 2", len(mapping))
+	}
+
+	gotA, err := dst.OpenSpace(mapping[idA], []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA, _, err := gotA.Read([]int64{0, 0}, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawA, dataA) {
+		t.Fatal("2-D space content lost in transit")
+	}
+	gotB, err := dst.OpenSpace(mapping[idB], []int64{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, _, err := gotB.Read([]int64{0}, []int64{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawB, dataB) {
+		t.Fatal("1-D space content lost in transit")
+	}
+	// The destination re-decided layout for its own geometry.
+	info, err := dst.Inspect(mapping[idA])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BlockDims[0] != 256 {
+		t.Fatalf("destination block dims = %v", info.BlockDims)
+	}
+}
+
+// TestImportIntoFeatureDevices round-trips a snapshot into compressed and
+// encrypted devices: snapshots are logical, so device features compose.
+func TestImportIntoFeatureDevices(t *testing.T) {
+	src, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := src.CreateSpace(4, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := src.OpenSpace(id, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256*256*4)
+	for i := range data {
+		data[i] = byte(i / 1024) // compressible
+	}
+	if _, err := sp.Write([]int64{0, 0}, []int64{256, 256}, data); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := src.Export(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []Options{
+		{Mode: ModeSoftware, CapacityHint: 8 << 20, Compress: true},
+		{Mode: ModeHardware, CapacityHint: 8 << 20, EncryptionKey: []byte("k2")},
+	} {
+		dst, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapping, err := dst.Import(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.OpenSpace(mapping[id], []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _, err := got.Read([]int64{0, 0}, []int64{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, data) {
+			t.Fatalf("feature device %+v corrupted snapshot", opts)
+		}
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	phantom, err := Open(Options{Mode: ModeHardware, CapacityHint: 4 << 20, Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phantom.Export(&bytes.Buffer{}); err == nil {
+		t.Error("export of a phantom device accepted")
+	}
+	if _, err := phantom.Import(bytes.NewReader(nil)); err == nil {
+		t.Error("import into a phantom device accepted")
+	}
+	real, err := Open(Options{Mode: ModeHardware, CapacityHint: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := real.Import(bytes.NewReader([]byte("XXXXgarbage"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated snapshot.
+	var snap bytes.Buffer
+	id, _ := real.CreateSpace(4, []int64{64})
+	sp, _ := real.OpenSpace(id, []int64{64})
+	if _, err := sp.Write([]int64{0}, []int64{64}, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := real.Export(&snap); err != nil {
+		t.Fatal(err)
+	}
+	trunc := snap.Bytes()[:snap.Len()-10]
+	dst, _ := Open(Options{Mode: ModeHardware, CapacityHint: 4 << 20})
+	if _, err := dst.Import(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}

@@ -1,9 +1,10 @@
 package nds
 
 import (
-	"strings"
+	"errors"
 
 	"nds/internal/proto"
+	"nds/internal/stl"
 )
 
 // Exec processes one raw extended-NVMe submission entry (§5.3.1): the
@@ -15,9 +16,11 @@ import (
 // The returned bytes are the read payload (nil for non-reads and phantom
 // devices). Errors in command handling surface as completion statuses, not
 // Go errors; only a malformed entry returns an error.
+//
+// Exec is safe for concurrent use: commands from multiple submission queues
+// are translated and scheduled concurrently, exactly like the typed API (see
+// the package comment's Concurrency section).
 func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte, proto.Completion, Stats, error) {
-	d.execMu.Lock()
-	defer d.execMu.Unlock()
 	cmd, err := proto.Unmarshal(raw)
 	if err != nil {
 		return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, err
@@ -29,40 +32,36 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 			return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
 		}
 		var id SpaceID
+		var view *Space
 		if cmd.CreateFlag() {
-			id, err = d.CreateSpace(sp.ElemSize, sp.Dims)
-			if err != nil {
-				return nil, completionFor(err), Stats{}, nil
-			}
+			id, view, err = d.execCreateSpace(sp.ElemSize, sp.Dims, d.OpenSpace)
 		} else {
 			id = SpaceID(cmd.Target())
+			view, err = d.OpenSpace(id, sp.Dims)
 		}
-		view, err := d.OpenSpace(id, sp.Dims)
 		if err != nil {
 			return nil, completionFor(err), Stats{}, nil
 		}
-		vid := d.registerView(view)
-		return nil, proto.Completion{Status: proto.StatusOK, Result0: uint64(id), Result1: uint64(vid)}, Stats{}, nil
+		return nil, proto.Completion{Status: proto.StatusOK, Result0: uint64(id), Result1: uint64(view.WireID())}, Stats{}, nil
 
 	case proto.OpCloseSpace:
-		view, ok := d.views[cmd.Target()]
+		view, ok := d.lookupView(cmd.Target())
 		if !ok {
 			return nil, proto.Completion{Status: proto.StatusUnknownView}, Stats{}, nil
 		}
-		delete(d.views, cmd.Target())
 		if err := view.Close(); err != nil {
-			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
+			return nil, completionFor(err), Stats{}, nil
 		}
 		return nil, proto.Completion{Status: proto.StatusOK}, Stats{}, nil
 
 	case proto.OpDeleteSpace:
 		if err := d.DeleteSpace(SpaceID(cmd.Target())); err != nil {
-			return nil, proto.Completion{Status: proto.StatusUnknownSpace}, Stats{}, nil
+			return nil, completionFor(err), Stats{}, nil
 		}
 		return nil, proto.Completion{Status: proto.StatusOK}, Stats{}, nil
 
 	case proto.OpRead, proto.OpWrite:
-		view, ok := d.views[cmd.Target()]
+		view, ok := d.lookupView(cmd.Target())
 		if !ok {
 			return nil, proto.Completion{Status: proto.StatusUnknownView}, Stats{}, nil
 		}
@@ -86,27 +85,42 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 	return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
 }
 
-// registerView assigns a dynamic view ID (the open_space return value).
-func (d *Device) registerView(s *Space) uint32 {
-	if d.views == nil {
-		d.views = make(map[uint32]*Space)
+// execCreateSpace handles open_space with the create flag: create, then open
+// the producer view. If the open fails the just-created space is deleted, so
+// a failed command never leaks an unreachable space. The open step is
+// injectable so tests can force the failure path.
+func (d *Device) execCreateSpace(elemSize int, dims []int64, open func(SpaceID, []int64) (*Space, error)) (SpaceID, *Space, error) {
+	id, err := d.CreateSpace(elemSize, dims)
+	if err != nil {
+		return 0, nil, err
 	}
-	d.nextView++
-	d.views[d.nextView] = s
-	return d.nextView
+	view, err := open(id, dims)
+	if err != nil {
+		_ = d.DeleteSpace(id)
+		return 0, nil, err
+	}
+	return id, view, nil
 }
 
-// completionFor maps library errors onto wire statuses.
+// lookupView resolves a dynamic view ID from the registry.
+func (d *Device) lookupView(id uint32) (*Space, bool) {
+	d.viewMu.RLock()
+	defer d.viewMu.RUnlock()
+	s, ok := d.views[id]
+	return s, ok
+}
+
+// completionFor maps library errors onto wire statuses via the typed
+// sentinels wrapped at each error's origin.
 func completionFor(err error) proto.Completion {
-	msg := err.Error()
 	switch {
-	case strings.Contains(msg, "unknown space"):
+	case errors.Is(err, stl.ErrUnknownSpace):
 		return proto.Completion{Status: proto.StatusUnknownSpace}
-	case strings.Contains(msg, "capacity"):
+	case errors.Is(err, ErrClosedView):
+		return proto.Completion{Status: proto.StatusUnknownView}
+	case errors.Is(err, stl.ErrCapacity):
 		return proto.Completion{Status: proto.StatusCapacity}
-	case strings.Contains(msg, "out of"), strings.Contains(msg, "volume"),
-		strings.Contains(msg, "rank"), strings.Contains(msg, "positive"),
-		strings.Contains(msg, "dimension"):
+	case errors.Is(err, stl.ErrBounds), errors.Is(err, stl.ErrInvalid):
 		return proto.Completion{Status: proto.StatusInvalidField}
 	default:
 		return proto.Completion{Status: proto.StatusInternal}

@@ -1,0 +1,218 @@
+package nds
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"nds/internal/proto"
+	"nds/internal/stl"
+)
+
+// execFixture builds a device with one created space (32x32 float32) and one
+// open wire view of it.
+func execFixture(t *testing.T) (*Device, uint32, uint32) {
+	t.Helper()
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := proto.SpacePayload{ElemSize: 4, Dims: []int64{32, 32}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cpl, _, err := d.Exec(proto.NewOpenSpace(0, 0, true).Marshal(), page, nil)
+	if err != nil || cpl.Status != proto.StatusOK {
+		t.Fatalf("fixture open_space(create): %v / %v", cpl.Status, err)
+	}
+	return d, uint32(cpl.Result0), uint32(cpl.Result1)
+}
+
+// TestExecErrorStatuses walks every opcode's error paths over the wire
+// format, asserting the exact completion status of each.
+func TestExecErrorStatuses(t *testing.T) {
+	coordPage := func(coord, sub []int64) []byte {
+		p, err := proto.CoordPayload{Coord: coord, Sub: sub}.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, d *Device, space, view uint32) proto.Status
+		want proto.Status
+	}{
+		{"read unknown view", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewRead(777, 0).Marshal(), coordPage([]int64{0, 0}, []int64{1, 1}), nil)
+			return cpl.Status
+		}, proto.StatusUnknownView},
+
+		{"write unknown view", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewWrite(777, 0).Marshal(), coordPage([]int64{0, 0}, []int64{1, 1}), make([]byte, 4))
+			return cpl.Status
+		}, proto.StatusUnknownView},
+
+		{"close unknown view", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewCloseSpace(777).Marshal(), nil, nil)
+			return cpl.Status
+		}, proto.StatusUnknownView},
+
+		{"close twice", func(t *testing.T, d *Device, _, view uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewCloseSpace(view).Marshal(), nil, nil)
+			if cpl.Status != proto.StatusOK {
+				t.Fatalf("first close: %v", cpl.Status)
+			}
+			_, cpl, _, _ = d.Exec(proto.NewCloseSpace(view).Marshal(), nil, nil)
+			return cpl.Status
+		}, proto.StatusUnknownView},
+
+		{"delete unknown space", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewDeleteSpace(999).Marshal(), nil, nil)
+			return cpl.Status
+		}, proto.StatusUnknownSpace},
+
+		{"open view of unknown space", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			page, _ := proto.SpacePayload{ElemSize: 4, Dims: []int64{32, 32}}.Marshal()
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(999, 0, false).Marshal(), page, nil)
+			return cpl.Status
+		}, proto.StatusUnknownSpace},
+
+		{"truncated space payload", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(0, 0, true).Marshal(), []byte{1, 2, 3}, nil)
+			return cpl.Status
+		}, proto.StatusInvalidField},
+
+		{"truncated coord payload", func(t *testing.T, d *Device, _, view uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewRead(view, 0).Marshal(), []byte{9}, nil)
+			return cpl.Status
+		}, proto.StatusInvalidField},
+
+		{"volume-mismatched view", func(t *testing.T, d *Device, space, _ uint32) proto.Status {
+			page, _ := proto.SpacePayload{ElemSize: 4, Dims: []int64{33}}.Marshal()
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(space, 0, false).Marshal(), page, nil)
+			return cpl.Status
+		}, proto.StatusInvalidField},
+
+		{"out-of-bounds coordinate", func(t *testing.T, d *Device, _, view uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewRead(view, 0).Marshal(), coordPage([]int64{99, 0}, []int64{8, 8}), nil)
+			return cpl.Status
+		}, proto.StatusInvalidField},
+
+		{"wrong-size write payload", func(t *testing.T, d *Device, _, view uint32) proto.Status {
+			_, cpl, _, _ := d.Exec(proto.NewWrite(view, 0).Marshal(), coordPage([]int64{0, 0}, []int64{8, 8}), make([]byte, 5))
+			return cpl.Status
+		}, proto.StatusInvalidField},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, space, view := execFixture(t)
+			if got := c.run(t, d, space, view); got != c.want {
+				t.Fatalf("status = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestCompletionForSentinels pins the sentinel-to-status mapping, including
+// wrapped errors several levels deep.
+func TestCompletionForSentinels(t *testing.T) {
+	cases := []struct {
+		err  error
+		want proto.Status
+	}{
+		{fmt.Errorf("stl: delete of space 9: %w", stl.ErrUnknownSpace), proto.StatusUnknownSpace},
+		{fmt.Errorf("outer: %w", fmt.Errorf("stl: no die can supply a free unit: %w", stl.ErrCapacity)), proto.StatusCapacity},
+		{fmt.Errorf("stl: coordinate 0=99 out of view dimension 32: %w", stl.ErrBounds), proto.StatusInvalidField},
+		{fmt.Errorf("stl: view volume 33 does not match space volume 1024: %w", stl.ErrInvalid), proto.StatusInvalidField},
+		{fmt.Errorf("nds: read on %w", ErrClosedView), proto.StatusUnknownView},
+		{errors.New("something with the words unknown space and capacity in it"), proto.StatusInternal},
+	}
+	for _, c := range cases {
+		if got := completionFor(c.err); got.Status != c.want {
+			t.Errorf("completionFor(%v) = %v, want %v", c.err, got.Status, c.want)
+		}
+	}
+}
+
+// TestExecCreateOpenRollback: when open_space(create) creates the space but
+// the subsequent view open fails, the just-created space must be deleted —
+// a failed command must not leak an unreachable space.
+func TestExecCreateOpenRollback(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created SpaceID
+	failOpen := func(id SpaceID, dims []int64) (*Space, error) {
+		created = id
+		return nil, fmt.Errorf("injected open failure: %w", stl.ErrInvalid)
+	}
+	_, _, err = d.execCreateSpace(4, []int64{16, 16}, failOpen)
+	if err == nil {
+		t.Fatal("execCreateSpace should surface the open failure")
+	}
+	if completionFor(err).Status != proto.StatusInvalidField {
+		t.Fatalf("status = %v, want invalid field", completionFor(err).Status)
+	}
+	if created == 0 {
+		t.Fatal("open was never attempted")
+	}
+	if _, err := d.Inspect(created); !errors.Is(err, stl.ErrUnknownSpace) {
+		t.Fatalf("space %d leaked after failed open: Inspect err = %v", created, err)
+	}
+	// The success path still works and reuses nothing stale.
+	id, view, err := d.execCreateSpace(4, []int64{16, 16}, d.OpenSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view == nil || view.ID() != id {
+		t.Fatal("create+open success path broken")
+	}
+}
+
+// TestTypedCloseRetiresWireView: closing a Space through the typed API must
+// retire its dynamic view ID too, so a host that learned the ID sees
+// UnknownView — not an internal error — afterwards. (The typed and wire
+// paths share one view lifecycle.)
+func TestTypedCloseRetiresWireView(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.CreateSpace(4, []int64{32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := d.OpenSpace(id, []int64{32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := proto.CoordPayload{Coord: []int64{0, 0}, Sub: []int64{32, 32}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The typed view is addressable over the wire...
+	_, cpl, _, _ := d.Exec(proto.NewRead(sp.WireID(), 0).Marshal(), page, nil)
+	if cpl.Status != proto.StatusOK {
+		t.Fatalf("wire read through typed view: %v", cpl.Status)
+	}
+	// ...until it is closed through the typed API.
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, cpl, _, _ = d.Exec(proto.NewRead(sp.WireID(), 0).Marshal(), page, nil)
+	if cpl.Status != proto.StatusUnknownView {
+		t.Fatalf("wire read after typed close: %v, want unknown view", cpl.Status)
+	}
+	// Typed double close and use-after-close report ErrClosedView.
+	if err := sp.Close(); !errors.Is(err, ErrClosedView) {
+		t.Fatalf("double close err = %v, want ErrClosedView", err)
+	}
+	if _, _, err := sp.Read([]int64{0, 0}, []int64{1, 1}); !errors.Is(err, ErrClosedView) {
+		t.Fatalf("read after close err = %v, want ErrClosedView", err)
+	}
+	if _, err := sp.Write([]int64{0, 0}, []int64{1, 1}, make([]byte, 4)); !errors.Is(err, ErrClosedView) {
+		t.Fatalf("write after close err = %v, want ErrClosedView", err)
+	}
+}

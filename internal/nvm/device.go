@@ -2,6 +2,7 @@ package nvm
 
 import (
 	"fmt"
+	"sync"
 
 	"nds/internal/sim"
 )
@@ -15,9 +16,14 @@ type PageCipher interface {
 	Open(p PPA, sealed []byte) []byte
 }
 
-// Device is a simulated flash array. It is not safe for concurrent use; the
-// request flows in this repository issue operations in program order and the
-// resource timelines provide the parallelism model.
+// Device is a simulated flash array. It is safe for concurrent use: each
+// channel and bank timeline carries its own lock (per-die in-flight
+// tracking), so operations from concurrent request streams overlap when they
+// target distinct dies and queue behind each other when they collide; a
+// device-level lock guards the programmed bitmap, stored bytes, and
+// counters. Callers remain responsible for flash-rule discipline (no two
+// concurrent programs of the same page) — in this repository the STL's
+// exclusive write path guarantees it.
 type Device struct {
 	geo Geometry
 	tim Timing
@@ -32,6 +38,7 @@ type Device struct {
 	channels []*sim.Resource
 	banks    []*sim.Resource // indexed channel*Banks+bank
 
+	mu         sync.Mutex       // guards all fields below
 	programmed []uint64         // bitmap over linear PPAs
 	data       map[int64][]byte // linear PPA -> page contents (nil in phantom mode)
 	eraseCount []int64          // per linear block index
@@ -81,6 +88,8 @@ func (d *Device) Phantom() bool { return d.phantom }
 // device that already holds data would make that data unreadable, so it is
 // rejected.
 func (d *Device) SetCipher(c PageCipher) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.programs > 0 {
 		return fmt.Errorf("nvm: cannot install cipher on a device with programmed data")
 	}
@@ -94,6 +103,8 @@ func (d *Device) RawPage(p PPA) []byte {
 	if d.phantom || !p.Valid(d.geo) {
 		return nil
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.data[p.Linear(d.geo)]
 }
 
@@ -120,7 +131,12 @@ func (d *Device) setProgrammed(idx int64, v bool) {
 // Programmed reports whether the page at p has been programmed since its
 // block was last erased.
 func (d *Device) Programmed(p PPA) bool {
-	return p.Valid(d.geo) && d.isProgrammed(p.Linear(d.geo))
+	if !p.Valid(d.geo) {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.isProgrammed(p.Linear(d.geo))
 }
 
 // ReadPage senses the page at p (arriving at time at) and returns its
@@ -128,12 +144,16 @@ func (d *Device) Programmed(p PPA) bool {
 // and yields a zero-filled page (erased state).
 //
 // The returned slice aliases device storage; callers must not modify it.
+// Pages are never mutated in place (overwrites program a fresh unit), so the
+// alias stays valid even when other streams write concurrently.
 func (d *Device) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	if !p.Valid(d.geo) {
 		return nil, at, fmt.Errorf("nvm: read of invalid address %v", p)
 	}
 	_, senseEnd := d.bank(p).Acquire(at, d.tim.ReadPage)
 	_, done := d.channels[p.Channel].Acquire(senseEnd, d.tim.TransferTime(d.geo.PageSize))
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.reads++
 	if d.phantom {
 		return nil, done, nil
@@ -157,11 +177,16 @@ func (d *Device) ProgramPage(at sim.Time, p PPA, data []byte) (sim.Time, error) 
 		return at, fmt.Errorf("nvm: program of %d bytes exceeds page size %d", len(data), d.geo.PageSize)
 	}
 	idx := p.Linear(d.geo)
+	d.mu.Lock()
 	if d.isProgrammed(idx) {
+		d.mu.Unlock()
 		return at, fmt.Errorf("nvm: program to already-programmed page %v (erase first)", p)
 	}
+	d.mu.Unlock()
 	_, xferEnd := d.channels[p.Channel].Acquire(at, d.tim.TransferTime(d.geo.PageSize))
 	_, done := d.bank(p).Acquire(xferEnd, d.tim.ProgramPage)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.setProgrammed(idx, true)
 	d.programs++
 	if !d.phantom {
@@ -183,6 +208,8 @@ func (d *Device) EraseBlock(at sim.Time, p PPA) (sim.Time, error) {
 	}
 	_, done := d.bank(p).Acquire(at, d.tim.EraseBlock)
 	base := PPA{p.Channel, p.Bank, p.Block, 0}.Linear(d.geo)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
 		idx := base + int64(i)
 		d.setProgrammed(idx, false)
@@ -196,10 +223,16 @@ func (d *Device) EraseBlock(at sim.Time, p PPA) (sim.Time, error) {
 }
 
 // EraseCount reports how many times the block containing p has been erased.
-func (d *Device) EraseCount(p PPA) int64 { return d.eraseCount[d.blockIndex(p)] }
+func (d *Device) EraseCount(p PPA) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eraseCount[d.blockIndex(p)]
+}
 
 // Counters reports lifetime operation counts (reads, programs, erases).
 func (d *Device) Counters() (reads, programs, erases int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.reads, d.programs, d.erases
 }
 
@@ -210,6 +243,20 @@ func (d *Device) ChannelUtilization(horizon sim.Time) []float64 {
 		u[i] = c.Utilization(horizon)
 	}
 	return u
+}
+
+// BusyDies reports how many (channel,bank) dies still have work in flight at
+// simulated time at — i.e. their bank timeline extends beyond at. Concurrency
+// diagnostics: a concurrent request mix engaging the whole array shows many
+// busy dies, a serialized one at most a handful.
+func (d *Device) BusyDies(at sim.Time) int {
+	n := 0
+	for _, b := range d.banks {
+		if b.FreeAt() > at {
+			n++
+		}
+	}
+	return n
 }
 
 // NextIdle reports the earliest time at which every channel and bank is idle:

@@ -1,53 +1,151 @@
 package sim
 
+import "sync"
+
 // Resource models a unit that can serve one operation at a time: a flash
 // channel, a bank, a DMA engine, a controller core, an interconnect link.
-// Operations arriving while the resource is busy queue behind it (FIFO in
-// arrival order, which matches the in-order issue of our request flows).
+//
+// A Resource is safe for concurrent use: multiple request streams reserve
+// intervals on the same timeline, and each Acquire atomically claims the
+// earliest idle interval at or after the operation's arrival time. The
+// timeline keeps its recent busy intervals (not just a single horizon), so a
+// stream whose command carries an early issue time backfills idle gaps even
+// when another stream has already reserved later work — simulated-time
+// scheduling is therefore independent of the wall-clock order in which
+// concurrent goroutines happen to call Acquire. This is the per-unit
+// in-flight tracking that lets concurrent host commands overlap on disjoint
+// channels/banks, queue where they collide, and complete out of order.
 type Resource struct {
-	Name   string
-	freeAt Time
-	busy   Time
-	ops    int64
+	Name string
+	mu   sync.Mutex
+	// ivals are the busy intervals still eligible for backfill, sorted,
+	// disjoint, and coalesced; everything before floor is considered busy.
+	ivals []interval
+	floor Time
+	busy  Time
+	ops   int64
 }
+
+type interval struct{ start, end Time }
+
+// maxIntervals bounds the backfill window. When a timeline fragments past
+// this, the oldest intervals (and their gaps) collapse into the floor —
+// degrading gracefully toward the pure-horizon model rather than growing
+// without bound.
+const maxIntervals = 256
 
 // NewResource returns an idle resource with the given diagnostic name.
 func NewResource(name string) *Resource { return &Resource{Name: name} }
 
 // Acquire reserves the resource for duration d for an operation arriving at
-// time at. It returns the operation's start and completion times.
+// time at. It returns the operation's start and completion times: the
+// earliest interval of length d that is idle and begins at or after at.
+// Operations contending for the same instant serialize; operations arriving
+// for an idle gap start immediately, even if later work is already queued.
 func (r *Resource) Acquire(at, d Time) (start, end Time) {
-	start = Max(at, r.freeAt)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d <= 0 {
+		// Zero-length operations synchronize with the busy horizon but
+		// reserve nothing.
+		start = Max(at, r.horizonLocked())
+		return start, start
+	}
+	prevEnd := r.floor
+	pos := len(r.ivals)
+	for i, iv := range r.ivals {
+		s := Max(at, prevEnd)
+		if s+d <= iv.start {
+			start, pos = s, i
+			break
+		}
+		prevEnd = iv.end
+	}
+	if pos == len(r.ivals) {
+		start = Max(at, prevEnd)
+	}
 	end = start + d
-	r.freeAt = end
+	r.insertLocked(pos, interval{start, end})
 	r.busy += d
 	r.ops++
 	return start, end
 }
 
-// FreeAt reports when the resource next becomes idle.
-func (r *Resource) FreeAt() Time { return r.freeAt }
+// insertLocked places iv at index pos, coalescing with touching neighbours
+// and pruning the oldest intervals past the window cap.
+func (r *Resource) insertLocked(pos int, iv interval) {
+	if pos > 0 && r.ivals[pos-1].end == iv.start {
+		r.ivals[pos-1].end = iv.end
+		if pos < len(r.ivals) && r.ivals[pos].start == iv.end {
+			r.ivals[pos-1].end = r.ivals[pos].end
+			r.ivals = append(r.ivals[:pos], r.ivals[pos+1:]...)
+		}
+		return
+	}
+	if pos < len(r.ivals) && r.ivals[pos].start == iv.end {
+		r.ivals[pos].start = iv.start
+		return
+	}
+	r.ivals = append(r.ivals, interval{})
+	copy(r.ivals[pos+1:], r.ivals[pos:])
+	r.ivals[pos] = iv
+	if len(r.ivals) > maxIntervals {
+		drop := len(r.ivals) - maxIntervals
+		r.floor = r.ivals[drop-1].end
+		r.ivals = append(r.ivals[:0], r.ivals[drop:]...)
+	}
+}
+
+func (r *Resource) horizonLocked() Time {
+	if n := len(r.ivals); n > 0 {
+		return r.ivals[n-1].end
+	}
+	return r.floor
+}
+
+// FreeAt reports when the resource's timeline drains: the end of its last
+// reserved interval.
+func (r *Resource) FreeAt() Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.horizonLocked()
+}
 
 // BusyTime reports accumulated service time.
-func (r *Resource) BusyTime() Time { return r.busy }
+func (r *Resource) BusyTime() Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
 
 // Ops reports the number of operations served.
-func (r *Resource) Ops() int64 { return r.ops }
+func (r *Resource) Ops() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ops
+}
 
 // Utilization reports busy time as a fraction of horizon.
 func (r *Resource) Utilization(horizon Time) float64 {
 	if horizon <= 0 {
 		return 0
 	}
-	return r.busy.Seconds() / horizon.Seconds()
+	return r.BusyTime().Seconds() / horizon.Seconds()
 }
 
 // Reset returns the resource to the idle state at the epoch.
-func (r *Resource) Reset() { r.freeAt, r.busy, r.ops = 0, 0, 0 }
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ivals, r.floor, r.busy, r.ops = nil, 0, 0, 0
+}
 
 // Pool is a set of identical resources; Acquire picks the earliest-free
-// member, modelling k-way parallel units behind one dispatcher.
+// member, modelling k-way parallel units behind one dispatcher. The
+// dispatcher itself is serialized (a pool-level lock) so that concurrent
+// acquisitions see a consistent earliest-free choice.
 type Pool struct {
+	mu      sync.Mutex
 	Members []*Resource
 }
 
@@ -63,12 +161,13 @@ func NewPool(name string, n int) *Pool {
 // Acquire reserves duration d on the earliest-free member for an operation
 // arriving at time at, returning start, end, and the chosen member index.
 func (p *Pool) Acquire(at, d Time) (start, end Time, idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	idx = 0
 	for i, m := range p.Members {
-		if m.freeAt < p.Members[idx].freeAt {
+		if m.FreeAt() < p.Members[idx].FreeAt() {
 			idx = i
 		}
-		_ = m
 	}
 	start, end = p.Members[idx].Acquire(at, d)
 	return start, end, idx
@@ -76,18 +175,22 @@ func (p *Pool) Acquire(at, d Time) (start, end Time, idx int) {
 
 // FreeAt reports when the earliest member becomes idle.
 func (p *Pool) FreeAt() Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(p.Members) == 0 {
 		return 0
 	}
-	t := p.Members[0].freeAt
+	t := p.Members[0].FreeAt()
 	for _, m := range p.Members[1:] {
-		t = Min(t, m.freeAt)
+		t = Min(t, m.FreeAt())
 	}
 	return t
 }
 
 // Reset resets every member.
 func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, m := range p.Members {
 		m.Reset()
 	}

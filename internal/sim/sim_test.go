@@ -41,6 +41,12 @@ func TestBandwidthRoundTrip(t *testing.T) {
 		n := int64(kb)*1024 + 1
 		rate := float64(mbps)*1e6 + 1e5
 		d := TransferTime(n, rate)
+		if d < 100 {
+			// Below 100 ns the integer-ns truncation alone exceeds the 1%
+			// tolerance (a 1-byte transfer on a fast link rounds to 0 ns),
+			// so the round-trip property does not apply.
+			return true
+		}
 		got := Bandwidth(n, d)
 		// Within 1% of the requested rate (integer ns truncation).
 		return got > 0.99*rate && got < 1.01*rate
@@ -74,6 +80,74 @@ func TestResourceSerializes(t *testing.T) {
 	}
 	if got := r.Utilization(210); got < 0.099 || got > 0.101 {
 		t.Fatalf("utilization = %v, want 0.1", got)
+	}
+}
+
+func TestResourceBackfillsIdleGaps(t *testing.T) {
+	r := NewResource("bank")
+	r.Acquire(0, 10)  // [0,10)
+	r.Acquire(20, 10) // [20,30)
+	// An op arriving (in wall-clock order) after those reservations but with
+	// an earlier issue time fills the idle gap instead of queuing at the end:
+	// simulated scheduling must not depend on goroutine interleaving.
+	if s, e := r.Acquire(0, 5); s != 10 || e != 15 {
+		t.Fatalf("backfill got [%d,%d], want [10,15]", s, e)
+	}
+	// A too-large op skips gaps it cannot fit in.
+	if s, e := r.Acquire(0, 6); s != 30 || e != 36 {
+		t.Fatalf("oversized op got [%d,%d], want [30,36]", s, e)
+	}
+	// Exact-fit backfill coalesces the timeline back into one interval.
+	if s, e := r.Acquire(0, 5); s != 15 || e != 20 {
+		t.Fatalf("exact fit got [%d,%d], want [15,20]", s, e)
+	}
+	if r.FreeAt() != 36 {
+		t.Fatalf("FreeAt = %d, want 36", r.FreeAt())
+	}
+	if r.BusyTime() != 36 {
+		t.Fatalf("busy = %d, want 36", r.BusyTime())
+	}
+}
+
+func TestResourceScheduleOrderIndependent(t *testing.T) {
+	// Two streams whose demands fit in each other's idle gaps produce the
+	// same per-op schedule regardless of the wall-clock order their Acquire
+	// calls land in. (Ops contending for the same instant still serialize by
+	// acquisition order — that part is inherently a queue.)
+	type op struct{ at, d Time }
+	streamA := []op{{0, 10}, {30, 10}, {60, 10}}
+	streamB := []op{{10, 10}, {40, 10}, {70, 10}}
+	run := func(order []op) map[op]Time {
+		r := NewResource("x")
+		starts := make(map[op]Time)
+		for _, o := range order {
+			s, _ := r.Acquire(o.at, o.d)
+			starts[o] = s
+		}
+		return starts
+	}
+	ab := run(append(append([]op{}, streamA...), streamB...))
+	ba := run(append(append([]op{}, streamB...), streamA...))
+	for o, s := range ab {
+		if ba[o] != s {
+			t.Errorf("op{at=%d,d=%d}: start %d when A first, %d when B first", o.at, o.d, s, ba[o])
+		}
+	}
+}
+
+func TestResourcePrunesToFloor(t *testing.T) {
+	r := NewResource("x")
+	// Build far more disjoint intervals than the window keeps.
+	for i := Time(0); i < 2*maxIntervals; i++ {
+		r.Acquire(i*10, 5) // [10i, 10i+5): never coalesces
+	}
+	// Gaps older than the floor are no longer eligible: this op would fit at
+	// [5,10) with an unbounded window, but must land at or after the floor.
+	if s, _ := r.Acquire(0, 5); s < 5 {
+		t.Fatalf("pruned gap reused: start %d", s)
+	}
+	if r.Ops() != 2*maxIntervals+1 {
+		t.Fatalf("ops = %d", r.Ops())
 	}
 }
 

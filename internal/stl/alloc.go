@@ -42,7 +42,7 @@ func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error
 			}
 		}
 		if len(d.freeBlocks) == 0 {
-			return nvm.PPA{}, at, fmt.Errorf("stl: die ch%d/bk%d out of free blocks", channel, bank)
+			return nvm.PPA{}, at, fmt.Errorf("stl: die ch%d/bk%d out of free blocks: %w", channel, bank, ErrCapacity)
 		}
 		d.activeBlock = d.freeBlocks[0]
 		d.freeBlocks = d.freeBlocks[1:]
@@ -69,7 +69,7 @@ func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error
 // candidate in least-used order.
 func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, sim.Time, error) {
 	if t.usedPages >= t.maxPages {
-		return nvm.PPA{}, at, fmt.Errorf("stl: logical capacity exhausted (%d pages)", t.maxPages)
+		return nvm.PPA{}, at, fmt.Errorf("stl: logical capacity exhausted (%d pages): %w", t.maxPages, ErrCapacity)
 	}
 	if t.cfg.NaiveAllocation {
 		return t.allocateNaive(at, s, blk)
@@ -101,7 +101,7 @@ func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, 
 			return p, ready, nil
 		}
 	}
-	return nvm.PPA{}, at, fmt.Errorf("stl: no die can supply a free unit")
+	return nvm.PPA{}, at, fmt.Errorf("stl: no die can supply a free unit: %w", ErrCapacity)
 }
 
 // allocateNaive is the ablation allocator: every unit of a block comes from
@@ -129,7 +129,7 @@ func (t *STL) allocateNaive(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA,
 		s.allocatedPages++
 		return p, ready, nil
 	}
-	return nvm.PPA{}, at, fmt.Errorf("stl: no die can supply a free unit")
+	return nvm.PPA{}, at, fmt.Errorf("stl: no die can supply a free unit: %w", ErrCapacity)
 }
 
 // allocateReplacement picks a unit from the same channel and bank as an

@@ -165,7 +165,7 @@ func (t *STL) writeCompressed(at sim.Time, v *View, coord, sub []int64, data []b
 	}
 	want := elems * int64(s.elemSize)
 	if int64(len(data)) != want {
-		return at, stats, fmt.Errorf("stl: write payload is %d bytes, partition needs %d", len(data), want)
+		return at, stats, fmt.Errorf("stl: write payload is %d bytes, partition needs %d: %w", len(data), want, ErrInvalid)
 	}
 	stats.Extents = len(exts)
 	stats.Bytes = want

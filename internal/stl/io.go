@@ -136,7 +136,7 @@ func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, s
 func (t *STL) WritePartition(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
 	if t.cfg.Compress {
 		if data == nil {
-			return at, RequestStats{}, fmt.Errorf("stl: compressed writes need payload data")
+			return at, RequestStats{}, fmt.Errorf("stl: compressed writes need payload data: %w", ErrInvalid)
 		}
 		return t.writeCompressed(at, v, coord, sub, data)
 	}
@@ -152,10 +152,10 @@ func (t *STL) WritePartition(at sim.Time, v *View, coord, sub []int64, data []by
 	}
 	want := elems * int64(s.elemSize)
 	if data != nil && int64(len(data)) != want {
-		return at, stats, fmt.Errorf("stl: write payload is %d bytes, partition needs %d", len(data), want)
+		return at, stats, fmt.Errorf("stl: write payload is %d bytes, partition needs %d: %w", len(data), want, ErrInvalid)
 	}
 	if data == nil && !t.dev.Phantom() {
-		return at, stats, fmt.Errorf("stl: nil payload on a data-bearing device")
+		return at, stats, fmt.Errorf("stl: nil payload on a data-bearing device: %w", ErrInvalid)
 	}
 	stats.Extents = len(exts)
 	stats.Bytes = want

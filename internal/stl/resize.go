@@ -18,10 +18,10 @@ import "fmt"
 func (t *STL) ResizeSpace(id SpaceID, newDim0 int64) error {
 	s, ok := t.spaces[id]
 	if !ok {
-		return fmt.Errorf("stl: resize of unknown space %d", id)
+		return fmt.Errorf("stl: resize of space %d: %w", id, ErrUnknownSpace)
 	}
 	if newDim0 <= 0 {
-		return fmt.Errorf("stl: new dimension must be positive, got %d", newDim0)
+		return fmt.Errorf("stl: new dimension must be positive, got %d: %w", newDim0, ErrInvalid)
 	}
 	newGrid0 := ceilDiv(newDim0, s.bb[0])
 	oldGrid0 := s.grid[0]

@@ -165,10 +165,10 @@ type BlockSizing struct {
 // blocks where Equation 2 yields 128x128.
 func SizeBuildingBlock(geo nvm.Geometry, elemSize, ndims, order, multiplier int) (BlockSizing, error) {
 	if elemSize <= 0 {
-		return BlockSizing{}, fmt.Errorf("stl: element size must be positive, got %d", elemSize)
+		return BlockSizing{}, fmt.Errorf("stl: element size must be positive, got %d: %w", elemSize, ErrInvalid)
 	}
 	if ndims <= 0 {
-		return BlockSizing{}, fmt.Errorf("stl: space needs at least one dimension")
+		return BlockSizing{}, fmt.Errorf("stl: space needs at least one dimension: %w", ErrInvalid)
 	}
 	if multiplier < 1 {
 		multiplier = 1
@@ -181,7 +181,7 @@ func SizeBuildingBlock(geo nvm.Geometry, elemSize, ndims, order, multiplier int)
 		}
 	}
 	if order < 1 || order > 3 {
-		return BlockSizing{}, fmt.Errorf("stl: building-block order %d unsupported (1-3)", order)
+		return BlockSizing{}, fmt.Errorf("stl: building-block order %d unsupported (1-3): %w", order, ErrInvalid)
 	}
 	if order > ndims {
 		order = ndims

@@ -148,11 +148,11 @@ func (t *STL) UsedPages() int64 { return t.usedPages }
 // size and the STL sizes building blocks and builds the index skeleton.
 func (t *STL) CreateSpace(elemSize int, dims []int64) (*Space, error) {
 	if len(dims) == 0 {
-		return nil, fmt.Errorf("stl: space needs at least one dimension")
+		return nil, fmt.Errorf("stl: space needs at least one dimension: %w", ErrInvalid)
 	}
 	for i, d := range dims {
 		if d <= 0 {
-			return nil, fmt.Errorf("stl: dimension %d is %d, must be positive", i, d)
+			return nil, fmt.Errorf("stl: dimension %d is %d, must be positive: %w", i, d, ErrInvalid)
 		}
 	}
 	sizing, err := SizeBuildingBlock(t.geo, elemSize, len(dims), t.cfg.BBOrder, t.cfg.BBMultiplier)
@@ -203,7 +203,7 @@ func (t *STL) SpaceIDs() []SpaceID {
 func (t *STL) DeleteSpace(id SpaceID) error {
 	s, ok := t.spaces[id]
 	if !ok {
-		return fmt.Errorf("stl: delete of unknown space %d", id)
+		return fmt.Errorf("stl: delete of space %d: %w", id, ErrUnknownSpace)
 	}
 	t.invalidateTree(s, s.root)
 	t.dropPendingSpace(id)

@@ -34,15 +34,15 @@ type View struct {
 // dimensionalities [must] match").
 func NewView(s *Space, dims []int64) (*View, error) {
 	if len(dims) == 0 {
-		return nil, fmt.Errorf("stl: view needs at least one dimension")
+		return nil, fmt.Errorf("stl: view needs at least one dimension: %w", ErrInvalid)
 	}
 	for i, d := range dims {
 		if d <= 0 {
-			return nil, fmt.Errorf("stl: view dimension %d is %d, must be positive", i, d)
+			return nil, fmt.Errorf("stl: view dimension %d is %d, must be positive: %w", i, d, ErrInvalid)
 		}
 	}
 	if prod(dims) != s.Volume() {
-		return nil, fmt.Errorf("stl: view volume %d does not match space volume %d", prod(dims), s.Volume())
+		return nil, fmt.Errorf("stl: view volume %d does not match space volume %d: %w", prod(dims), s.Volume(), ErrInvalid)
 	}
 	return &View{space: s, dims: append([]int64(nil), dims...)}, nil
 }
@@ -58,18 +58,18 @@ func (v *View) Space() *Space { return v.space }
 func (v *View) PartitionShape(coord, sub []int64) ([]int64, int64, error) {
 	m := len(v.dims)
 	if len(coord) != m || len(sub) != m {
-		return nil, 0, fmt.Errorf("stl: coordinate/sub-dimensionality rank %d/%d does not match view rank %d",
-			len(coord), len(sub), m)
+		return nil, 0, fmt.Errorf("stl: coordinate/sub-dimensionality rank %d/%d does not match view rank %d: %w",
+			len(coord), len(sub), m, ErrInvalid)
 	}
 	shape := make([]int64, m)
 	for i := 0; i < m; i++ {
 		if sub[i] <= 0 {
-			return nil, 0, fmt.Errorf("stl: sub-dimension %d is %d, must be positive", i, sub[i])
+			return nil, 0, fmt.Errorf("stl: sub-dimension %d is %d, must be positive: %w", i, sub[i], ErrInvalid)
 		}
 		lo := coord[i] * sub[i]
 		hi := lo + sub[i]
 		if coord[i] < 0 || lo >= v.dims[i] {
-			return nil, 0, fmt.Errorf("stl: coordinate %d=%d out of view dimension %d", i, coord[i], v.dims[i])
+			return nil, 0, fmt.Errorf("stl: coordinate %d=%d out of view dimension %d: %w", i, coord[i], v.dims[i], ErrBounds)
 		}
 		if hi > v.dims[i] {
 			hi = v.dims[i]

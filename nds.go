@@ -20,9 +20,32 @@
 //	prod.Write([]int64{0, 0}, []int64{1024, 1024}, data)
 //	cons, _ := dev.OpenSpace(id, []int64{2048, 512})   // reshaped consumer view
 //	tile, stats, _ := cons.Read([]int64{1, 0}, []int64{512, 512})
+//
+// # Concurrency
+//
+// A Device serves multiple request streams concurrently, like the real
+// multi-queue drive it models. Each opened view is one command stream —
+// the moral equivalent of an NVMe submission queue. A stream's commands
+// issue back-to-back in simulated time: each one's issue time is the
+// completion of the stream's previous command (the stream's creation time
+// for the first), and its flash operations are scheduled on the
+// per-channel/per-bank resource timelines from that point. Distinct streams
+// issue independently, so commands from concurrent clients overlap on
+// disjoint dies and queue behind each other where they collide — regardless
+// of how the host happens to interleave the calls. The device clock (Now)
+// only moves forward, to the latest completion seen, and a command's
+// Stats.Elapsed is its own completion minus its own issue time — not the
+// distance the global clock moved.
+//
+// Internally, reads and view opens share the translation structures under a
+// reader lock and may run fully in parallel; writes and space management
+// (create/delete/resize/flush/import) update translation state under the
+// writer side. View lifecycle (open/close, wire-protocol view IDs) is guarded
+// separately, so closing one view never stalls I/O on another.
 package nds
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -31,6 +54,11 @@ import (
 	"nds/internal/stl"
 	"nds/internal/system"
 )
+
+// ErrClosedView reports an operation on a view that has been closed (or an
+// attempt to close it twice). The wire layer maps it to StatusUnknownView,
+// matching what a host sees when it reuses a retired dynamic view ID.
+var ErrClosedView = errors.New("closed space view")
 
 // Mode selects which NDS implementation of the paper backs the device.
 type Mode int
@@ -87,7 +115,7 @@ type SpaceID uint32
 
 // Stats summarizes one operation.
 type Stats struct {
-	Elapsed  time.Duration // simulated service time of this operation
+	Elapsed  time.Duration // simulated service time of this operation (completion minus its issue time)
 	Bytes    int64         // payload bytes
 	RawBytes int64         // bytes that crossed the host interconnect
 	Pages    int64         // flash page operations
@@ -96,19 +124,28 @@ type Stats struct {
 }
 
 // Device is a simulated NDS-compliant storage device. It is safe for
-// concurrent use: operations serialize on an internal lock (the simulated
-// device processes one request stream, matching the in-order command model
-// of the underlying simulator).
+// concurrent use and serves concurrent request streams: see the package
+// comment's Concurrency section for the scheduling and timing model.
+//
+// Lock order (for maintainers): Space.mu, then Device.io; Device.viewMu and
+// Device.clockMu are leaves and never held across another lock acquisition.
 type Device struct {
-	mu   sync.Mutex
-	sys  *system.System
-	now  sim.Time
-	open map[*Space]bool
+	sys *system.System
 
-	// Wire-protocol state (Exec): dynamic view IDs from open_space. execMu
-	// serializes whole commands and guards the view table; it is always
-	// acquired before mu.
-	execMu   sync.Mutex
+	// clockMu guards the monotonic simulated clock.
+	clockMu sync.Mutex
+	now     sim.Time
+
+	// io guards the STL's translation structures: reads and view opens take
+	// the reader side (the STL read path does not mutate translation state),
+	// writes and space management take the writer side.
+	io sync.RWMutex
+
+	// viewMu guards the view registry: every open Space, its wire-protocol
+	// dynamic view ID, and the ID counter. Both the typed API and Exec
+	// register and retire views here, so the two paths see one lifecycle.
+	viewMu   sync.RWMutex
+	open     map[*Space]bool
 	views    map[uint32]*Space
 	nextView uint32
 }
@@ -137,14 +174,34 @@ func Open(opts Options) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{sys: sys, open: make(map[*Space]bool)}, nil
+	return &Device{
+		sys:   sys,
+		open:  make(map[*Space]bool),
+		views: make(map[uint32]*Space),
+	}, nil
+}
+
+// clock reports the current simulated time: the issue time for a command
+// arriving now.
+func (d *Device) clock() sim.Time {
+	d.clockMu.Lock()
+	defer d.clockMu.Unlock()
+	return d.now
+}
+
+// advance moves the simulated clock forward to done; the clock never moves
+// backward, so out-of-order completions keep it monotonic.
+func (d *Device) advance(done sim.Time) {
+	d.clockMu.Lock()
+	if done > d.now {
+		d.now = done
+	}
+	d.clockMu.Unlock()
 }
 
 // Now reports the device's simulated clock.
 func (d *Device) Now() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return time.Duration(d.now)
+	return time.Duration(d.clock())
 }
 
 // Capacity reports the raw capacity of the simulated flash array.
@@ -154,8 +211,8 @@ func (d *Device) Capacity() int64 { return d.sys.Cfg.Geometry.Capacity() }
 // size (bytes) and dimensionality, returning its identifier. The STL sizes
 // building blocks for the device geometry per the paper's Equations 1-4.
 func (d *Device) CreateSpace(elemSize int, dims []int64) (SpaceID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.io.Lock()
+	defer d.io.Unlock()
 
 	sp, err := d.sys.STL.CreateSpace(elemSize, dims)
 	if err != nil {
@@ -167,8 +224,8 @@ func (d *Device) CreateSpace(elemSize int, dims []int64) (SpaceID, error) {
 // DeleteSpace permanently removes a space and invalidates its storage (the
 // delete_space command of §5.3.1).
 func (d *Device) DeleteSpace(id SpaceID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.io.Lock()
+	defer d.io.Unlock()
 
 	return d.sys.STL.DeleteSpace(stl.SpaceID(id))
 }
@@ -178,8 +235,8 @@ func (d *Device) DeleteSpace(id SpaceID) error {
 // restructures the space). Existing data within the new bound is preserved;
 // open views become stale and must be reopened with matching volumes.
 func (d *Device) ResizeSpace(id SpaceID, newDim0 int64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.io.Lock()
+	defer d.io.Unlock()
 
 	return d.sys.STL.ResizeSpace(stl.SpaceID(id), newDim0)
 }
@@ -187,12 +244,10 @@ func (d *Device) ResizeSpace(id SpaceID, newDim0 int64) error {
 // Flush programs every §4.4-staged partial unit (WriteBuffering devices);
 // a no-op otherwise.
 func (d *Device) Flush() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	done, err := d.sys.STL.Flush(d.now)
-	if done > d.now {
-		d.now = done
-	}
+	d.io.Lock()
+	defer d.io.Unlock()
+	done, err := d.sys.STL.Flush(d.clock())
+	d.advance(done)
 	return err
 }
 
@@ -209,12 +264,12 @@ type SpaceInfo struct {
 
 // Inspect reports a space's dimensionality and building-block layout.
 func (d *Device) Inspect(id SpaceID) (SpaceInfo, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.io.RLock()
+	defer d.io.RUnlock()
 
 	sp, ok := d.sys.STL.Space(stl.SpaceID(id))
 	if !ok {
-		return SpaceInfo{}, fmt.Errorf("nds: unknown space %d", id)
+		return SpaceInfo{}, fmt.Errorf("nds: inspect of space %d: %w", id, stl.ErrUnknownSpace)
 	}
 	return SpaceInfo{
 		ID:         id,
@@ -230,106 +285,128 @@ func (d *Device) Inspect(id SpaceID) (SpaceInfo, error) {
 // Space is an opened application view of an address space (the open_space
 // command of §5.3.1 with a dynamic view ID). The view's dimensionality may
 // differ from the producer's as long as the volumes match.
+//
+// A Space is safe for concurrent use, but it is one command stream: its
+// operations serialize against each other, issuing back-to-back in simulated
+// time. Clients that want their requests scheduled concurrently each open
+// their own view (see the package comment's Concurrency section).
 type Space struct {
 	dev  *Device
-	view *stl.View
 	id   SpaceID
+	wire uint32 // dynamic view ID in the device's registry
+
+	mu     sync.Mutex // serializes the stream: guards view and cursor
+	view   *stl.View  // nil after Close
+	cursor sim.Time   // issue time of the stream's next command
 }
 
-// openInternal is OpenSpace without locking (callers hold d.mu).
-func (d *Device) openInternal(id uint32, viewDims []int64) (*Space, error) {
-	sp, ok := d.sys.STL.Space(stl.SpaceID(id))
-	if !ok {
-		return nil, fmt.Errorf("nds: unknown space %d", id)
-	}
-	v, err := stl.NewView(sp, viewDims)
-	if err != nil {
-		return nil, err
-	}
-	s := &Space{dev: d, view: v, id: SpaceID(id)}
-	d.open[s] = true
-	return s, nil
-}
-
-// OpenSpace opens a view of space id with the given dimensionality.
+// OpenSpace opens a view of space id with the given dimensionality. Every
+// view — whether opened here or through the wire protocol — receives a
+// dynamic view ID in the device's registry, so the typed and wire paths share
+// one lifecycle.
 func (d *Device) OpenSpace(id SpaceID, viewDims []int64) (*Space, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
+	d.io.RLock()
 	sp, ok := d.sys.STL.Space(stl.SpaceID(id))
 	if !ok {
-		return nil, fmt.Errorf("nds: unknown space %d", id)
+		d.io.RUnlock()
+		return nil, fmt.Errorf("nds: open of space %d: %w", id, stl.ErrUnknownSpace)
 	}
 	v, err := stl.NewView(sp, viewDims)
+	d.io.RUnlock()
 	if err != nil {
 		return nil, err
 	}
-	s := &Space{dev: d, view: v, id: id}
+	s := &Space{dev: d, id: id, view: v, cursor: d.clock()}
+	d.viewMu.Lock()
+	d.nextView++
+	s.wire = d.nextView
 	d.open[s] = true
+	d.views[s.wire] = s
+	d.viewMu.Unlock()
 	return s, nil
 }
 
-// Close releases the view (the close_space command). Further accesses fail.
+// Close releases the view (the close_space command), retiring its dynamic
+// view ID. Further accesses fail with ErrClosedView.
 func (s *Space) Close() error {
-	s.dev.mu.Lock()
-	defer s.dev.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
 	if s.view == nil {
-		return fmt.Errorf("nds: space view already closed")
+		return fmt.Errorf("nds: close of already %w", ErrClosedView)
 	}
-	delete(s.dev.open, s)
 	s.view = nil
+	d := s.dev
+	d.viewMu.Lock()
+	delete(d.open, s)
+	delete(d.views, s.wire)
+	d.viewMu.Unlock()
 	return nil
 }
 
 // ID returns the underlying space identifier.
 func (s *Space) ID() SpaceID { return s.id }
 
+// WireID returns the view's dynamic identifier in the device's wire-protocol
+// registry (the open_space Result1 value).
+func (s *Space) WireID() uint32 { return s.wire }
+
 // Dims returns the view's dimensionality.
-func (s *Space) Dims() []int64 { return s.view.Dims() }
+func (s *Space) Dims() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view.Dims()
+}
 
 // Read fetches the partition at coord with sub-dimensionality sub, assembled
 // in the partition's own row-major layout. On a phantom device the data is
-// nil but stats are exact.
+// nil but stats are exact. Reads from distinct views run in parallel.
 func (s *Space) Read(coord, sub []int64) ([]byte, Stats, error) {
-	s.dev.mu.Lock()
-	defer s.dev.mu.Unlock()
-
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.view == nil {
-		return nil, Stats{}, fmt.Errorf("nds: read on closed space view")
+		return nil, Stats{}, fmt.Errorf("nds: read on %w", ErrClosedView)
 	}
-	data, st, err := s.dev.sys.NDSRead(s.dev.now, s.view, coord, sub)
+	d := s.dev
+	issue := s.cursor
+	d.io.RLock()
+	data, st, err := d.sys.NDSRead(issue, s.view, coord, sub)
+	d.io.RUnlock()
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	stats := s.dev.account(st)
-	return data, stats, nil
+	return data, s.account(issue, st), nil
 }
 
 // Write stores data (laid out in the partition's row-major shape) at the
-// partition coord/sub. On a phantom device pass nil data.
+// partition coord/sub. On a phantom device pass nil data. Writes update
+// translation state exclusively, but their flash operations still overlap in
+// simulated time with commands issued on other streams.
 func (s *Space) Write(coord, sub []int64, data []byte) (Stats, error) {
-	s.dev.mu.Lock()
-	defer s.dev.mu.Unlock()
-
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.view == nil {
-		return Stats{}, fmt.Errorf("nds: write on closed space view")
+		return Stats{}, fmt.Errorf("nds: write on %w", ErrClosedView)
 	}
-	st, err := s.dev.sys.NDSWrite(s.dev.now, s.view, coord, sub, data)
+	d := s.dev
+	issue := s.cursor
+	d.io.Lock()
+	st, err := d.sys.NDSWrite(issue, s.view, coord, sub, data)
+	d.io.Unlock()
 	if err != nil {
 		return Stats{}, err
 	}
-	return s.dev.account(st), nil
+	return s.account(issue, st), nil
 }
 
-// account advances the device clock and converts stats.
-func (d *Device) account(st system.OpStats) Stats {
-	elapsed := st.Done - d.now
-	if st.Done > d.now {
-		d.now = st.Done
-	}
+// account advances the stream cursor and device clock past this command's
+// completion and converts stats; elapsed is measured from the command's own
+// issue time. Callers hold s.mu.
+func (s *Space) account(issue sim.Time, st system.OpStats) Stats {
+	s.cursor = sim.Max(s.cursor, st.Done)
+	s.dev.advance(st.Done)
 	return Stats{
-		Elapsed:  time.Duration(elapsed),
+		Elapsed:  time.Duration(st.Done - issue),
 		Bytes:    st.Bytes,
 		RawBytes: st.RawBytes,
 		Pages:    st.Pages,

@@ -1,0 +1,142 @@
+package nds
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nds/internal/sim"
+)
+
+// fillSpace builds a device with a written 1024x1024 float32 space (4 MiB)
+// and returns it with the space ID. The writes complete before the caller's
+// measurement starts, so every later read hits programmed flash.
+func fillSpace(tb testing.TB) (*Device, SpaceID) {
+	tb.Helper()
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 16 << 20})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	id, err := d.CreateSpace(4, []int64{1024, 1024})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := d.OpenSpace(id, []int64{1024, 1024})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data := make([]byte, 1024*1024*4)
+	rand.New(rand.NewSource(7)).Read(data)
+	if _, err := w.Write([]int64{0, 0}, []int64{1024, 1024}, data); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return d, id
+}
+
+// runClients opens one view per client and has each read its share of the
+// 256 disjoint 64x64 tiles (16 KiB each) from its own goroutine. It returns
+// the simulated makespan of the whole phase, the payload bytes moved, and
+// the number of dies whose timelines extend past the phase start (work in
+// flight at the instant the streams began issuing).
+func runClients(tb testing.TB, d *Device, id SpaceID, clients int) (time.Duration, int64, int) {
+	tb.Helper()
+	const tiles = 256 // 16x16 grid of 64x64 tiles over the 1024x1024 space
+	views := make([]*Space, clients)
+	for i := range views {
+		v, err := d.OpenSpace(id, []int64{1024, 1024})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		views[i] = v
+	}
+	start := d.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	per := tiles / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				tile := int64(c*per + k)
+				coord := []int64{tile / 16, tile % 16}
+				if _, _, err := views[c].Read(coord, []int64{64, 64}); err != nil {
+					errs <- fmt.Errorf("client %d tile %d: %w", c, tile, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		tb.Fatal(err)
+	}
+	for _, v := range views {
+		if err := v.Close(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	busy := d.sys.Dev.BusyDies(sim.Time(start))
+	return d.Now() - start, tiles * 64 * 64 * 4, busy
+}
+
+// TestConcurrentThroughputScales: the same total work finishes in less
+// simulated time when issued by more clients, because each client is an
+// independent command stream whose flash operations overlap on the array's
+// dies. One client is exactly the old serial-lock behavior (every command
+// issues at the previous one's completion), so the 16-client speedup is a
+// direct comparison against the serial baseline.
+func TestConcurrentThroughputScales(t *testing.T) {
+	throughput := make(map[int]float64)
+	for _, clients := range []int{1, 4, 16} {
+		d, id := fillSpace(t)
+		makespan, bytes, busy := runClients(t, d, id, clients)
+		if makespan <= 0 {
+			t.Fatalf("%d clients: non-positive makespan %v", clients, makespan)
+		}
+		throughput[clients] = float64(bytes) / makespan.Seconds()
+		t.Logf("%2d clients: makespan %v, aggregate %.1f MB/s, %d dies engaged",
+			clients, makespan, throughput[clients]/1e6, busy)
+		if busy < clients {
+			t.Errorf("%d clients engaged only %d dies", clients, busy)
+		}
+	}
+	if throughput[4] <= throughput[1] {
+		t.Errorf("4 clients (%.1f MB/s) not faster than 1 (%.1f MB/s)",
+			throughput[4]/1e6, throughput[1]/1e6)
+	}
+	if throughput[16] <= throughput[4] {
+		t.Errorf("16 clients (%.1f MB/s) not faster than 4 (%.1f MB/s)",
+			throughput[16]/1e6, throughput[4]/1e6)
+	}
+	if throughput[16] < 2*throughput[1] {
+		t.Errorf("16 clients (%.1f MB/s) below 2x the serial baseline (%.1f MB/s)",
+			throughput[16]/1e6, throughput[1]/1e6)
+	}
+}
+
+// BenchmarkConcurrentClients reports aggregate simulated throughput of the
+// tile-read workload as the client count grows. sim-MB/s is the headline
+// metric: payload bytes divided by simulated makespan.
+func BenchmarkConcurrentClients(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			d, id := fillSpace(b)
+			b.ResetTimer()
+			var span time.Duration
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				m, n, _ := runClients(b, d, id, clients)
+				span += m
+				bytes += n
+			}
+			b.ReportMetric(float64(bytes)/span.Seconds()/1e6, "sim-MB/s")
+		})
+	}
+}

@@ -28,8 +28,8 @@ const (
 
 // Export writes every space of the device to w. Data-bearing devices only.
 func (d *Device) Export(w io.Writer) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.io.RLock()
+	defer d.io.RUnlock()
 	if d.sys.Dev.Phantom() {
 		return fmt.Errorf("nds: cannot export a phantom device (no stored bytes)")
 	}
@@ -68,12 +68,12 @@ func (d *Device) exportSpace(w io.Writer, id uint32) error {
 			return err
 		}
 	}
-	view, err := d.openInternal(id, dims)
+	view, err := stl.NewView(sp, dims)
 	if err != nil {
 		return err
 	}
 	coord := make([]int64, len(dims))
-	data, _, _, err := d.sys.STL.ReadPartition(d.now, view.view, coord, dims)
+	data, _, _, err := d.sys.STL.ReadPartition(d.clock(), view, coord, dims)
 	if err != nil {
 		return err
 	}
@@ -89,8 +89,8 @@ func (d *Device) exportSpace(w io.Writer, id uint32) error {
 // IDs assigned here. The device's own geometry decides the building-block
 // layout.
 func (d *Device) Import(r io.Reader) (map[SpaceID]SpaceID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.io.Lock()
+	defer d.io.Unlock()
 	if d.sys.Dev.Phantom() {
 		return nil, fmt.Errorf("nds: cannot import into a phantom device")
 	}
@@ -158,17 +158,15 @@ func (d *Device) importSpace(r io.Reader) (SpaceID, SpaceID, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	view, err := d.openInternal(uint32(sp.ID()), dims)
+	view, err := stl.NewView(sp, dims)
 	if err != nil {
 		return 0, 0, err
 	}
 	coord := make([]int64, rank)
-	done, _, err := d.sys.STL.WritePartition(d.now, view.view, coord, dims, data)
+	done, _, err := d.sys.STL.WritePartition(d.clock(), view, coord, dims, data)
 	if err != nil {
 		return 0, 0, err
 	}
-	if done > d.now {
-		d.now = done
-	}
+	d.advance(done)
 	return SpaceID(oldID), SpaceID(sp.ID()), nil
 }

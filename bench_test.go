@@ -83,6 +83,7 @@ func fig9Platform(b *testing.B) (*experiments.Platform, *experiments.Matrix2D) {
 
 func BenchmarkFigure9Row(b *testing.B) {
 	p, m := fig9Platform(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pts []experiments.Fig9Point
 	for i := 0; i < b.N; i++ {
@@ -100,6 +101,7 @@ func BenchmarkFigure9Row(b *testing.B) {
 
 func BenchmarkFigure9Col(b *testing.B) {
 	p, m := fig9Platform(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pts []experiments.Fig9Point
 	for i := 0; i < b.N; i++ {
@@ -117,6 +119,7 @@ func BenchmarkFigure9Col(b *testing.B) {
 
 func BenchmarkFigure9Sub(b *testing.B) {
 	p, m := fig9Platform(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pts []experiments.Fig9Point
 	for i := 0; i < b.N; i++ {
@@ -132,6 +135,7 @@ func BenchmarkFigure9Sub(b *testing.B) {
 }
 
 func BenchmarkFigure9Write(b *testing.B) {
+	b.ReportAllocs()
 	var w experiments.Fig9Write
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -209,6 +213,97 @@ func BenchmarkOverhead(b *testing.B) {
 	b.ReportMetric(o.SoftwareDelta.Micros(), "sw-delta-us")
 	b.ReportMetric(o.HardwareDelta.Micros(), "hw-delta-us")
 	b.ReportMetric(o.IndexOverhead*100, "index-%")
+}
+
+// --- Allocation benchmarks (the pooled request-scratch win). ---
+
+// allocSTL builds a small data-bearing STL with a fully written 1024x1024
+// float32 space, optionally on the scalar (pre-batching) data path.
+func allocSTL(b *testing.B, scalar bool) (*stl.STL, *stl.View) {
+	b.Helper()
+	cfg := system.PrototypeConfig(16<<20, false)
+	sc := cfg.STL
+	sc.ScalarPath = scalar
+	dev, err := nvm.NewDevice(cfg.Geometry, cfg.Timing, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := stl.New(dev, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1024
+	sp, err := st.CreateSpace(4, []int64{n, n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := stl.NewView(sp, []int64{n, n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	band := sp.BlockDims()[0]
+	data := make([]byte, band*n*4)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for i := int64(0); i*band < n; i++ {
+		if _, _, err := st.WritePartition(0, v, []int64{i, 0}, []int64{band, n}, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st, v
+}
+
+// BenchmarkReadPartitionAllocs measures per-request heap allocations of a
+// 64x64 tile read on both data paths; path=batched should stay near zero
+// (pooled scratch + caller-owned assembly buffer), path=scalar is the
+// pre-vectorization behavior kept for comparison.
+func BenchmarkReadPartitionAllocs(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		scalar bool
+	}{{"path=batched", false}, {"path=scalar", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, v := allocSTL(b, mode.scalar)
+			buf := make([]byte, 64*64*4)
+			coord := []int64{1, 1}
+			sub := []int64{64, 64}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := st.ReadPartitionInto(0, v, coord, sub, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWritePartitionAllocs measures per-request heap allocations of a
+// 64x64 tile overwrite (read-modify-write plus replacement allocation) on
+// both data paths.
+func BenchmarkWritePartitionAllocs(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		scalar bool
+	}{{"path=batched", false}, {"path=scalar", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, v := allocSTL(b, mode.scalar)
+			data := make([]byte, 64*64*4)
+			for i := range data {
+				data[i] = byte(3 * i)
+			}
+			coord := []int64{1, 1}
+			sub := []int64{64, 64}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := st.WritePartition(0, v, coord, sub, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md "Key design decisions"). ---

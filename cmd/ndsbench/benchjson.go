@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"nds"
+)
+
+// benchSnapshot is the schema of BENCH_<rev>.json: one record per measured
+// configuration of the concurrent-client benchmark, so successive revisions
+// can be diffed to track the performance trajectory.
+type benchSnapshot struct {
+	Revision  string       `json:"revision"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Benchmark string       `json:"benchmark"`
+	Results   []benchPoint `json:"results"`
+}
+
+type benchPoint struct {
+	Clients    int     `json:"clients"`
+	Iterations int     `json:"iterations"`
+	WallNsOp   float64 `json:"wall_ns_per_op"`
+	SimMBps    float64 `json:"sim_mb_per_s"`
+}
+
+// revision returns the VCS commit baked into the binary by the Go toolchain,
+// or "dev" for non-VCS builds (go run, test binaries).
+func revision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	return "dev"
+}
+
+// benchJSON measures the concurrent tile-read workload (the same shape as
+// BenchmarkConcurrentClients: 256 disjoint 64x64 tiles of a written
+// 1024x1024 float32 space, split across client streams) and writes
+// BENCH_<rev>.json with both the wall-clock cost per phase and the simulated
+// aggregate bandwidth.
+func benchJSON() {
+	snap := benchSnapshot{
+		Revision:  revision(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchmark: "ConcurrentClients",
+	}
+	for _, clients := range []int{1, 16} {
+		pt, err := measureConcurrent(clients)
+		if err != nil {
+			fatalf("bench json (clients=%d): %v", clients, err)
+		}
+		snap.Results = append(snap.Results, pt)
+	}
+	out := fmt.Sprintf("BENCH_%s.json", snap.Revision)
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatalf("bench json: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fatalf("bench json: %v", err)
+	}
+	header("Benchmark snapshot")
+	fmt.Printf("%-10s %12s %14s\n", "clients", "wall ns/op", "sim-MB/s")
+	for _, p := range snap.Results {
+		fmt.Printf("%-10d %12.0f %14.1f\n", p.Clients, p.WallNsOp, p.SimMBps)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func measureConcurrent(clients int) (benchPoint, error) {
+	const (
+		dim   = 1024
+		tiles = 256 // 16x16 grid of 64x64 tiles
+		tileB = 64 * 64 * 4
+	)
+	d, err := nds.Open(nds.Options{Mode: nds.ModeHardware, CapacityHint: 16 << 20})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	id, err := d.CreateSpace(4, []int64{dim, dim})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	w, err := d.OpenSpace(id, []int64{dim, dim})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	data := make([]byte, dim*dim*4)
+	rand.New(rand.NewSource(7)).Read(data)
+	if _, err := w.Write([]int64{0, 0}, []int64{dim, dim}, data); err != nil {
+		return benchPoint{}, err
+	}
+	if err := w.Close(); err != nil {
+		return benchPoint{}, err
+	}
+
+	views := make([]*nds.Space, clients)
+	for i := range views {
+		if views[i], err = d.OpenSpace(id, []int64{dim, dim}); err != nil {
+			return benchPoint{}, err
+		}
+	}
+	defer func() {
+		for _, v := range views {
+			v.Close()
+		}
+	}()
+
+	phase := func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		per := tiles / clients
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				buf := make([]byte, tileB)
+				coord := make([]int64, 2)
+				sub := []int64{64, 64}
+				for k := 0; k < per; k++ {
+					tile := int64(c*per + k)
+					coord[0], coord[1] = tile/16, tile%16
+					if _, _, err := views[c].ReadInto(coord, sub, buf); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+
+	// Warm up once (page-plan pools, lazily allocated die arenas), then run
+	// phases until enough wall time has accumulated for a stable ns/op.
+	if err := phase(); err != nil {
+		return benchPoint{}, err
+	}
+	var (
+		iters     int
+		wall      time.Duration
+		simSpan   time.Duration
+		simulated = func() time.Duration { return d.Now() }
+	)
+	for wall < 500*time.Millisecond || iters < 3 {
+		s0, w0 := simulated(), time.Now()
+		if err := phase(); err != nil {
+			return benchPoint{}, err
+		}
+		wall += time.Since(w0)
+		simSpan += simulated() - s0
+		iters++
+	}
+	return benchPoint{
+		Clients:    clients,
+		Iterations: iters,
+		WallNsOp:   float64(wall.Nanoseconds()) / float64(iters),
+		SimMBps:    float64(iters) * tiles * tileB / simSpan.Seconds() / 1e6,
+	}, nil
+}

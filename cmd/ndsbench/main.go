@@ -8,6 +8,7 @@
 //	ndsbench -fig 9 -n 32768    # Figure 9 at the paper's matrix size
 //	ndsbench -fig 2 -fig 10
 //	ndsbench -table 1 -table overhead
+//	ndsbench -json              # write BENCH_<rev>.json perf snapshot
 //
 // Larger -n values need more memory and time; -n 32768 (the paper's scale)
 // runs the microbenchmarks on an 8 GiB phantom dataset.
@@ -33,6 +34,7 @@ func main() {
 	var figs, tables, sweeps multiFlag
 	all := flag.Bool("all", false, "run every figure and table")
 	util := flag.Bool("util", false, "print utilization reports after Figure 9 phases")
+	jsonOut := flag.Bool("json", false, "measure the concurrent-client benchmark and write BENCH_<rev>.json")
 	n := flag.Int64("n", 8192, "microbenchmark matrix dimension (paper: 32768)")
 	flag.Var(&figs, "fig", "figure to regenerate (2, 3, 9, 9a, 9b, 9c, 9d, 10); repeatable")
 	flag.Var(&tables, "table", "table to regenerate (1, overhead); repeatable")
@@ -44,9 +46,12 @@ func main() {
 		tables = multiFlag{"1", "overhead"}
 		sweeps = multiFlag{"channels", "bbmult"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 {
+	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonOut {
+		benchJSON()
 	}
 	for _, t := range tables {
 		switch t {

@@ -1,0 +1,121 @@
+package nds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestDifferentialConcurrentStreams runs the same 16-stream mixed read/write
+// workload against a batched-path device and a scalar-path device and
+// requires identical payload bytes and per-command statistics. Completion
+// times are not compared here: with concurrent streams the simulated schedule
+// depends on the wall-clock interleaving of the streams (equally so on both
+// paths), so time equivalence is asserted by the sequential differential
+// tests in internal/stl. Run under -race (CI does) this doubles as the race
+// check for the sharded device state and pooled request scratch.
+func TestDifferentialConcurrentStreams(t *testing.T) {
+	const (
+		clients = 16
+		tiles   = 256 // 16x16 grid of 64x64 tiles
+		tileB   = 64 * 64 * 4
+	)
+	type cmdResult struct {
+		bytes   int64
+		pages   int64
+		extents int
+	}
+	run := func(scalar bool) ([]cmdResult, []byte) {
+		d, err := Open(Options{Mode: ModeHardware, CapacityHint: 16 << 20, ScalarDataPath: scalar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := d.CreateSpace(4, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed, err := d.OpenSpace(id, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := make([]byte, 1024*1024*4)
+		rand.New(rand.NewSource(11)).Read(base)
+		if _, err := seed.Write([]int64{0, 0}, []int64{1024, 1024}, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		results := make([]cmdResult, tiles*2) // per tile: one write, one read
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		per := tiles / clients
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				v, err := d.OpenSpace(id, []int64{1024, 1024})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer v.Close()
+				buf := make([]byte, tileB)
+				payload := make([]byte, tileB)
+				for k := 0; k < per; k++ {
+					tile := int64(c*per + k)
+					coord := []int64{tile / 16, tile % 16}
+					rand.New(rand.NewSource(tile)).Read(payload)
+					st, err := v.Write(coord, []int64{64, 64}, payload)
+					if err != nil {
+						errs <- fmt.Errorf("tile %d write: %w", tile, err)
+						return
+					}
+					results[tile*2] = cmdResult{st.Bytes, st.Pages, st.Extents}
+					data, st, err := v.ReadInto(coord, []int64{64, 64}, buf)
+					if err != nil {
+						errs <- fmt.Errorf("tile %d read: %w", tile, err)
+						return
+					}
+					if !bytes.Equal(data, payload) {
+						errs <- fmt.Errorf("tile %d read back wrong bytes", tile)
+						return
+					}
+					results[tile*2+1] = cmdResult{st.Bytes, st.Pages, st.Extents}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		final, err := d.OpenSpace(id, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _, err := final.Read([]int64{0, 0}, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := final.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return results, full
+	}
+
+	batchedRes, batchedData := run(false)
+	scalarRes, scalarData := run(true)
+	for i := range batchedRes {
+		if batchedRes[i] != scalarRes[i] {
+			t.Errorf("command %d stats diverge: batched=%+v scalar=%+v", i, batchedRes[i], scalarRes[i])
+		}
+	}
+	if !bytes.Equal(batchedData, scalarData) {
+		t.Fatal("final space contents diverge between batched and scalar paths")
+	}
+}

@@ -3,6 +3,7 @@ package nvm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nds/internal/sim"
 )
@@ -16,19 +17,69 @@ type PageCipher interface {
 	Open(p PPA, sealed []byte) []byte
 }
 
+// arenaChunkPages is how many page frames a die shard carves out of each
+// backing slab. Slab allocation amortizes the per-page make() the old map
+// store paid on every program.
+const arenaChunkPages = 64
+
+// dieShard holds the mutable state of one (channel, bank) die: its programmed
+// bitmap, per-block erase counts, stored page frames, and the slab arena the
+// frames come from. Each shard carries its own lock, so concurrent streams
+// touching distinct dies never contend on device state.
+type dieShard struct {
+	mu         sync.Mutex
+	programmed []uint64 // bitmap over die-local page indices
+	eraseCount []int64  // per die-local block
+	data       [][]byte // die-local page index -> stored page; nil entry = no bytes
+	free       [][]byte // recycled page frames from erased blocks
+	slab       []byte   // tail of the current backing chunk
+}
+
+func (s *dieShard) isProgrammed(idx int64) bool {
+	return s.programmed[idx/64]&(1<<(uint(idx)%64)) != 0
+}
+
+func (s *dieShard) setProgrammed(idx int64, v bool) {
+	if v {
+		s.programmed[idx/64] |= 1 << (uint(idx) % 64)
+	} else {
+		s.programmed[idx/64] &^= 1 << (uint(idx) % 64)
+	}
+}
+
+// frame returns a zeroed page frame of pageSize bytes, recycling frames from
+// erased blocks before carving new ones from the slab.
+func (s *dieShard) frame(pageSize int) []byte {
+	if n := len(s.free); n > 0 {
+		pg := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		clear(pg)
+		return pg
+	}
+	if len(s.slab) < pageSize {
+		s.slab = make([]byte, pageSize*arenaChunkPages)
+	}
+	pg := s.slab[:pageSize:pageSize]
+	s.slab = s.slab[pageSize:]
+	return pg
+}
+
 // Device is a simulated flash array. It is safe for concurrent use: each
 // channel and bank timeline carries its own lock (per-die in-flight
 // tracking), so operations from concurrent request streams overlap when they
-// target distinct dies and queue behind each other when they collide; a
-// device-level lock guards the programmed bitmap, stored bytes, and
-// counters. Callers remain responsible for flash-rule discipline (no two
-// concurrent programs of the same page) — in this repository the STL's
-// exclusive write path guarantees it.
+// target distinct dies and queue behind each other when they collide, and the
+// device state itself (programmed bitmap, stored bytes, wear) is sharded
+// per die, so streams touching distinct dies never contend on a lock at all.
+// Callers remain responsible for flash-rule discipline (no two concurrent
+// programs of the same page) — in this repository the STL's exclusive write
+// path guarantees it.
 type Device struct {
 	geo Geometry
 	tim Timing
 
-	cipher PageCipher
+	cipher atomic.Value // PageCipher; nil until SetCipher
+	cfgMu  sync.Mutex   // serializes SetCipher
 
 	// Phantom devices skip byte storage so paper-scale datasets can be
 	// simulated without allocating their contents. State (programmed bits,
@@ -37,14 +88,23 @@ type Device struct {
 
 	channels []*sim.Resource
 	banks    []*sim.Resource // indexed channel*Banks+bank
+	shards   []dieShard      // indexed channel*Banks+bank
 
-	mu         sync.Mutex       // guards all fields below
-	programmed []uint64         // bitmap over linear PPAs
-	data       map[int64][]byte // linear PPA -> page contents (nil in phantom mode)
-	eraseCount []int64          // per linear block index
-	reads      int64
-	programs   int64
-	erases     int64
+	// zero is the canonical erased-page image returned by reads of
+	// never-programmed pages. Callers must not modify returned read slices,
+	// so one shared instance serves every such read.
+	zero []byte
+
+	reads    atomic.Int64
+	programs atomic.Int64
+	erases   atomic.Int64
+}
+
+// ProgramOp is one page program in a batch handed to ProgramPages.
+type ProgramOp struct {
+	At   sim.Time
+	P    PPA
+	Data []byte
 }
 
 // NewDevice builds a device with the given geometry and timing. If phantom is
@@ -53,17 +113,20 @@ func NewDevice(geo Geometry, tim Timing, phantom bool) (*Device, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
+	dies := geo.Channels * geo.Banks
 	d := &Device{
-		geo:        geo,
-		tim:        tim,
-		phantom:    phantom,
-		channels:   make([]*sim.Resource, geo.Channels),
-		banks:      make([]*sim.Resource, geo.Channels*geo.Banks),
-		programmed: make([]uint64, (geo.TotalPages()+63)/64),
-		eraseCount: make([]int64, int64(geo.Channels)*int64(geo.Banks)*int64(geo.BlocksPerBank)),
+		geo:      geo,
+		tim:      tim,
+		phantom:  phantom,
+		channels: make([]*sim.Resource, geo.Channels),
+		banks:    make([]*sim.Resource, dies),
+		shards:   make([]dieShard, dies),
+		zero:     make([]byte, geo.PageSize),
 	}
-	if !phantom {
-		d.data = make(map[int64][]byte)
+	pagesPerDie := int64(geo.BlocksPerBank) * int64(geo.PagesPerBlock)
+	for i := range d.shards {
+		d.shards[i].programmed = make([]uint64, (pagesPerDie+63)/64)
+		d.shards[i].eraseCount = make([]int64, geo.BlocksPerBank)
 	}
 	for c := range d.channels {
 		d.channels[c] = sim.NewResource(fmt.Sprintf("channel%d", c))
@@ -83,18 +146,33 @@ func (d *Device) Timing() Timing { return d.tim }
 // Phantom reports whether the device stores page bytes.
 func (d *Device) Phantom() bool { return d.phantom }
 
+func (d *Device) getCipher() PageCipher {
+	if c, ok := d.cipher.Load().(PageCipher); ok {
+		return c
+	}
+	return nil
+}
+
 // SetCipher installs an inline encryption engine. All subsequent programs
 // store sealed bytes; reads return plaintext. Installing a cipher on a
 // device that already holds data would make that data unreadable, so it is
 // rejected.
 func (d *Device) SetCipher(c PageCipher) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.programs > 0 {
+	d.cfgMu.Lock()
+	defer d.cfgMu.Unlock()
+	if d.programs.Load() > 0 {
 		return fmt.Errorf("nvm: cannot install cipher on a device with programmed data")
 	}
-	d.cipher = c
+	d.cipher.Store(c)
 	return nil
+}
+
+// die returns the shard index for p.
+func (d *Device) die(p PPA) int { return p.Channel*d.geo.Banks + p.Bank }
+
+// dieIndex returns p's page index within its die.
+func (d *Device) dieIndex(p PPA) int64 {
+	return int64(p.Block)*int64(d.geo.PagesPerBlock) + int64(p.Page)
 }
 
 // RawPage exposes the bytes on the medium (post-cipher) for inspection; nil
@@ -103,9 +181,13 @@ func (d *Device) RawPage(p PPA) []byte {
 	if d.phantom || !p.Valid(d.geo) {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.data[p.Linear(d.geo)]
+	s := &d.shards[d.die(p)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		return nil
+	}
+	return s.data[d.dieIndex(p)]
 }
 
 func (d *Device) bank(p PPA) *sim.Resource {
@@ -116,55 +198,107 @@ func (d *Device) blockIndex(p PPA) int64 {
 	return (int64(p.Channel)*int64(d.geo.Banks)+int64(p.Bank))*int64(d.geo.BlocksPerBank) + int64(p.Block)
 }
 
-func (d *Device) isProgrammed(idx int64) bool {
-	return d.programmed[idx/64]&(1<<(uint(idx)%64)) != 0
-}
-
-func (d *Device) setProgrammed(idx int64, v bool) {
-	if v {
-		d.programmed[idx/64] |= 1 << (uint(idx) % 64)
-	} else {
-		d.programmed[idx/64] &^= 1 << (uint(idx) % 64)
-	}
-}
-
 // Programmed reports whether the page at p has been programmed since its
 // block was last erased.
 func (d *Device) Programmed(p PPA) bool {
 	if !p.Valid(d.geo) {
 		return false
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.isProgrammed(p.Linear(d.geo))
+	s := &d.shards[d.die(p)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.isProgrammed(d.dieIndex(p))
+}
+
+// pageBytes returns the stored contents of p (which must be valid), opening
+// the cipher if one is installed. Never-programmed pages read as the shared
+// zero page. The shard lock must be held.
+func (d *Device) pageBytesLocked(s *dieShard, p PPA) []byte {
+	if s.data != nil {
+		if pg := s.data[d.dieIndex(p)]; pg != nil {
+			if c := d.getCipher(); c != nil {
+				return c.Open(p, pg)
+			}
+			return pg
+		}
+	}
+	return d.zero
 }
 
 // ReadPage senses the page at p (arriving at time at) and returns its
 // contents and the completion time. Reading a never-programmed page is legal
 // and yields a zero-filled page (erased state).
 //
-// The returned slice aliases device storage; callers must not modify it.
-// Pages are never mutated in place (overwrites program a fresh unit), so the
-// alias stays valid even when other streams write concurrently.
+// The returned slice aliases device storage; callers must not modify it. A
+// page's bytes are never mutated in place (overwrites program a fresh unit),
+// so the alias stays valid until the page's block is erased and its frame
+// recycled into a later program — callers that need the data past an erase of
+// the block must copy. In this repository erases only run from the STL's
+// exclusive write/GC path, which never overlaps a reader still holding the
+// alias.
 func (d *Device) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	if !p.Valid(d.geo) {
 		return nil, at, fmt.Errorf("nvm: read of invalid address %v", p)
 	}
 	_, senseEnd := d.bank(p).Acquire(at, d.tim.ReadPage)
 	_, done := d.channels[p.Channel].Acquire(senseEnd, d.tim.TransferTime(d.geo.PageSize))
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.reads++
+	d.reads.Add(1)
 	if d.phantom {
 		return nil, done, nil
 	}
-	if pg, ok := d.data[p.Linear(d.geo)]; ok {
-		if d.cipher != nil {
-			return d.cipher.Open(p, pg), done, nil
-		}
-		return pg, done, nil
+	s := &d.shards[d.die(p)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return d.pageBytesLocked(s, p), done, nil
+}
+
+// ReadPages senses every page in ppas (all arriving at time at), storing the
+// contents in out[i] and returning the latest completion time. It is
+// timing-equivalent to calling ReadPage once per address in slice order, but
+// batches the state work: one lock acquisition per run of same-die pages and
+// one counter update for the whole span. out must have len(ppas) entries;
+// the stored slices alias device storage under the same contract as
+// ReadPage. On a phantom device the out entries are set to nil.
+func (d *Device) ReadPages(at sim.Time, ppas []PPA, out [][]byte) (sim.Time, error) {
+	if len(out) < len(ppas) {
+		return at, fmt.Errorf("nvm: ReadPages out has %d entries for %d addresses", len(out), len(ppas))
 	}
-	return make([]byte, d.geo.PageSize), done, nil
+	for i := range ppas {
+		if !ppas[i].Valid(d.geo) {
+			return at, fmt.Errorf("nvm: read of invalid address %v", ppas[i])
+		}
+	}
+	done := at
+	xfer := d.tim.TransferTime(d.geo.PageSize)
+	for i := range ppas {
+		_, senseEnd := d.bank(ppas[i]).Acquire(at, d.tim.ReadPage)
+		_, end := d.channels[ppas[i].Channel].Acquire(senseEnd, xfer)
+		done = sim.Max(done, end)
+	}
+	d.reads.Add(int64(len(ppas)))
+	if d.phantom {
+		for i := range ppas {
+			out[i] = nil
+		}
+		return done, nil
+	}
+	// One lock pass per run of consecutive same-die addresses; page plans
+	// arrive die-grouped, so this is typically one acquisition per die.
+	for i := 0; i < len(ppas); {
+		die := d.die(ppas[i])
+		j := i + 1
+		for j < len(ppas) && d.die(ppas[j]) == die {
+			j++
+		}
+		s := &d.shards[die]
+		s.mu.Lock()
+		for k := i; k < j; k++ {
+			out[k] = d.pageBytesLocked(s, ppas[k])
+		}
+		s.mu.Unlock()
+		i = j
+	}
+	return done, nil
 }
 
 // ProgramPage writes data (at most one page) to p, arriving at time at.
@@ -176,64 +310,174 @@ func (d *Device) ProgramPage(at sim.Time, p PPA, data []byte) (sim.Time, error) 
 	if len(data) > d.geo.PageSize {
 		return at, fmt.Errorf("nvm: program of %d bytes exceeds page size %d", len(data), d.geo.PageSize)
 	}
-	idx := p.Linear(d.geo)
-	d.mu.Lock()
-	if d.isProgrammed(idx) {
-		d.mu.Unlock()
+	idx := d.dieIndex(p)
+	s := &d.shards[d.die(p)]
+	s.mu.Lock()
+	if s.isProgrammed(idx) {
+		s.mu.Unlock()
 		return at, fmt.Errorf("nvm: program to already-programmed page %v (erase first)", p)
 	}
-	d.mu.Unlock()
+	s.mu.Unlock()
 	_, xferEnd := d.channels[p.Channel].Acquire(at, d.tim.TransferTime(d.geo.PageSize))
 	_, done := d.bank(p).Acquire(xferEnd, d.tim.ProgramPage)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.setProgrammed(idx, true)
-	d.programs++
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setProgrammed(idx, true)
+	d.programs.Add(1)
 	if !d.phantom {
-		pg := make([]byte, d.geo.PageSize)
-		copy(pg, data)
-		if d.cipher != nil {
-			pg = d.cipher.Seal(p, pg)
+		d.storeLocked(s, p, idx, data)
+	}
+	return done, nil
+}
+
+// storeLocked copies data into a frame for page idx of shard s. The shard
+// lock must be held.
+func (d *Device) storeLocked(s *dieShard, p PPA, idx int64, data []byte) {
+	if s.data == nil {
+		s.data = make([][]byte, int64(d.geo.BlocksPerBank)*int64(d.geo.PagesPerBlock))
+	}
+	pg := s.frame(d.geo.PageSize)
+	copy(pg, data)
+	if c := d.getCipher(); c != nil {
+		pg = c.Seal(p, pg)
+	}
+	s.data[idx] = pg
+}
+
+// ProgramPages issues a batch of page programs, returning the latest
+// completion time. It is timing-equivalent to calling ProgramPage once per
+// op in slice order, but validates the whole span, reserves all timeline
+// slots, and updates state with one lock pass per run of same-die ops.
+//
+// Unlike a scalar loop, the batch is atomic with respect to errors: every op
+// is validated (address, size, flash rules) before any timeline slot is
+// reserved or any byte stored, and a validation failure leaves the device
+// untouched.
+func (d *Device) ProgramPages(ops []ProgramOp) (sim.Time, error) {
+	// Pass 1: validate everything and claim the programmed bits, unwinding
+	// on failure so an invalid batch leaves no trace.
+	var err error
+	claimed := 0
+	for i := 0; i < len(ops) && err == nil; {
+		p := ops[i].P
+		if !p.Valid(d.geo) {
+			err = fmt.Errorf("nvm: program of invalid address %v", p)
+			break
 		}
-		d.data[idx] = pg
+		if len(ops[i].Data) > d.geo.PageSize {
+			err = fmt.Errorf("nvm: program of %d bytes exceeds page size %d", len(ops[i].Data), d.geo.PageSize)
+			break
+		}
+		die := d.die(p)
+		j := i + 1
+		for j < len(ops) && ops[j].P.Valid(d.geo) && d.die(ops[j].P) == die &&
+			len(ops[j].Data) <= d.geo.PageSize {
+			j++
+		}
+		s := &d.shards[die]
+		s.mu.Lock()
+		for k := i; k < j; k++ {
+			idx := d.dieIndex(ops[k].P)
+			if s.isProgrammed(idx) {
+				err = fmt.Errorf("nvm: program to already-programmed page %v (erase first)", ops[k].P)
+				j = k
+				break
+			}
+			s.setProgrammed(idx, true)
+			claimed++
+		}
+		s.mu.Unlock()
+		i = j
+	}
+	if err != nil {
+		for i := 0; i < claimed; {
+			die := d.die(ops[i].P)
+			j := i + 1
+			for j < claimed && d.die(ops[j].P) == die {
+				j++
+			}
+			s := &d.shards[die]
+			s.mu.Lock()
+			for k := i; k < j; k++ {
+				s.setProgrammed(d.dieIndex(ops[k].P), false)
+			}
+			s.mu.Unlock()
+			i = j
+		}
+		if len(ops) > 0 {
+			return ops[0].At, err
+		}
+		return 0, err
+	}
+	// Pass 2: timeline reservations in op order — identical acquire sequence
+	// to the scalar loop, so completions are bit-identical.
+	var done sim.Time
+	xfer := d.tim.TransferTime(d.geo.PageSize)
+	for i := range ops {
+		_, xferEnd := d.channels[ops[i].P.Channel].Acquire(ops[i].At, xfer)
+		_, end := d.bank(ops[i].P).Acquire(xferEnd, d.tim.ProgramPage)
+		done = sim.Max(done, end)
+	}
+	// Pass 3: store bytes and bump counters, grouped per die.
+	d.programs.Add(int64(len(ops)))
+	if !d.phantom {
+		for i := 0; i < len(ops); {
+			die := d.die(ops[i].P)
+			j := i + 1
+			for j < len(ops) && d.die(ops[j].P) == die {
+				j++
+			}
+			s := &d.shards[die]
+			s.mu.Lock()
+			for k := i; k < j; k++ {
+				d.storeLocked(s, ops[k].P, d.dieIndex(ops[k].P), ops[k].Data)
+			}
+			s.mu.Unlock()
+			i = j
+		}
 	}
 	return done, nil
 }
 
 // EraseBlock erases the block containing p (its Page field is ignored),
-// arriving at time at, returning the completion time.
+// arriving at time at, returning the completion time. The erased pages'
+// frames are recycled: any alias returned by an earlier ReadPage of this
+// block becomes invalid once a later program reuses the frame.
 func (d *Device) EraseBlock(at sim.Time, p PPA) (sim.Time, error) {
 	if !p.Valid(d.geo) && !(PPA{p.Channel, p.Bank, p.Block, 0}).Valid(d.geo) {
 		return at, fmt.Errorf("nvm: erase of invalid address %v", p)
 	}
 	_, done := d.bank(p).Acquire(at, d.tim.EraseBlock)
-	base := PPA{p.Channel, p.Bank, p.Block, 0}.Linear(d.geo)
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	base := int64(p.Block) * int64(d.geo.PagesPerBlock)
+	s := &d.shards[d.die(p)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
 		idx := base + int64(i)
-		d.setProgrammed(idx, false)
-		if !d.phantom {
-			delete(d.data, idx)
+		s.setProgrammed(idx, false)
+		if s.data != nil {
+			if pg := s.data[idx]; pg != nil {
+				s.free = append(s.free, pg)
+				s.data[idx] = nil
+			}
 		}
 	}
-	d.eraseCount[d.blockIndex(p)]++
-	d.erases++
+	s.eraseCount[p.Block]++
+	d.erases.Add(1)
 	return done, nil
 }
 
 // EraseCount reports how many times the block containing p has been erased.
 func (d *Device) EraseCount(p PPA) int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.eraseCount[d.blockIndex(p)]
+	s := &d.shards[d.die(p)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eraseCount[p.Block]
 }
 
 // Counters reports lifetime operation counts (reads, programs, erases).
 func (d *Device) Counters() (reads, programs, erases int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.reads, d.programs, d.erases
+	return d.reads.Load(), d.programs.Load(), d.erases.Load()
 }
 
 // ChannelUtilization reports the busy fraction of each channel over horizon.

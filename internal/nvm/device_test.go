@@ -258,3 +258,128 @@ func TestCountersAndTimeline(t *testing.T) {
 		t.Fatal("ResetTimeline should clear resource timelines")
 	}
 }
+
+// TestBatchMatchesScalar: ReadPages/ProgramPages against one device must be
+// timing- and data-identical to per-page ReadPage/ProgramPage calls in the
+// same order against a twin device.
+func TestBatchMatchesScalar(t *testing.T) {
+	batched := newTestDevice(t, false)
+	scalar := newTestDevice(t, false)
+
+	// Addresses spanning several dies, deliberately not die-sorted.
+	ppas := []PPA{
+		{0, 0, 0, 0}, {1, 1, 2, 3}, {0, 0, 0, 1}, {3, 0, 7, 15},
+		{1, 1, 2, 4}, {2, 1, 4, 0}, {0, 1, 0, 0},
+	}
+	ops := make([]ProgramOp, len(ppas))
+	for i, p := range ppas {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 512)
+		ops[i] = ProgramOp{At: sim.Time(i * 100), P: p, Data: data}
+	}
+
+	doneB, err := batched.ProgramPages(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneS sim.Time
+	for _, op := range ops {
+		end, err := scalar.ProgramPage(op.At, op.P, op.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doneS = sim.Max(doneS, end)
+	}
+	if doneB != doneS {
+		t.Fatalf("program completion: batched %v scalar %v", doneB, doneS)
+	}
+
+	out := make([][]byte, len(ppas))
+	rDoneB, err := batched.ReadPages(doneB, ppas, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rDoneS sim.Time
+	for i, p := range ppas {
+		data, end, err := scalar.ReadPage(doneS, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rDoneS = sim.Max(rDoneS, end)
+		if !bytes.Equal(out[i], data) {
+			t.Fatalf("page %d: batched bytes differ from scalar", i)
+		}
+		if !bytes.Equal(data, ops[i].Data) {
+			t.Fatalf("page %d: read-back differs from programmed data", i)
+		}
+	}
+	if rDoneB != rDoneS {
+		t.Fatalf("read completion: batched %v scalar %v", rDoneB, rDoneS)
+	}
+
+	rb, wb, _ := batched.Counters()
+	rs, ws, _ := scalar.Counters()
+	if rb != rs || wb != ws {
+		t.Fatalf("counters diverge: batched %d/%d scalar %d/%d", rb, wb, rs, ws)
+	}
+}
+
+// TestProgramPagesAtomicOnError: a batch containing an invalid op must leave
+// the device untouched — no programmed bits, no timeline slots, no counters.
+func TestProgramPagesAtomicOnError(t *testing.T) {
+	page := bytes.Repeat([]byte{0xCD}, 512)
+	bad := []struct {
+		name string
+		mk   func(d *Device) []ProgramOp
+	}{
+		{"invalid address", func(d *Device) []ProgramOp {
+			return []ProgramOp{
+				{0, PPA{0, 0, 0, 0}, page},
+				{0, PPA{9, 9, 9, 9}, page},
+			}
+		}},
+		{"oversized data", func(d *Device) []ProgramOp {
+			return []ProgramOp{
+				{0, PPA{0, 0, 0, 0}, page},
+				{0, PPA{1, 0, 0, 0}, make([]byte, 513)},
+			}
+		}},
+		{"already programmed", func(d *Device) []ProgramOp {
+			if _, err := d.ProgramPage(0, PPA{2, 0, 1, 0}, page); err != nil {
+				t.Fatal(err)
+			}
+			d.ResetTimeline()
+			return []ProgramOp{
+				{0, PPA{0, 0, 0, 0}, page},
+				{0, PPA{0, 0, 0, 1}, page},
+				{0, PPA{2, 0, 1, 0}, page},
+			}
+		}},
+		{"duplicate in batch", func(d *Device) []ProgramOp {
+			return []ProgramOp{
+				{0, PPA{0, 0, 0, 0}, page},
+				{0, PPA{0, 0, 0, 0}, page},
+			}
+		}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newTestDevice(t, false)
+			ops := tc.mk(d)
+			_, progsBefore, _ := d.Counters()
+			if _, err := d.ProgramPages(ops); err == nil {
+				t.Fatal("invalid batch accepted")
+			}
+			for _, op := range ops {
+				if op.P.Valid(d.geo) && op.P != (PPA{2, 0, 1, 0}) && d.Programmed(op.P) {
+					t.Fatalf("failed batch left %v programmed", op.P)
+				}
+			}
+			if _, progs, _ := d.Counters(); progs != progsBefore {
+				t.Fatalf("failed batch bumped program counter %d -> %d", progsBefore, progs)
+			}
+			if d.NextIdle() != 0 {
+				t.Fatal("failed batch reserved timeline slots")
+			}
+		})
+	}
+}

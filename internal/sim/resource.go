@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Resource models a unit that can serve one operation at a time: a flash
 // channel, a bank, a DMA engine, a controller core, an interconnect link.
@@ -51,9 +54,34 @@ func (r *Resource) Acquire(at, d Time) (start, end Time) {
 		start = Max(at, r.horizonLocked())
 		return start, start
 	}
+	// Append fast path: an operation arriving at or after the horizon can
+	// only extend the timeline, so skip the gap search and the insertion
+	// shuffle entirely. This is the common case for streaming workloads and
+	// keeps Acquire O(1) off the backfill path.
+	if n := len(r.ivals); n == 0 || at >= r.ivals[n-1].end {
+		start = Max(at, r.horizonLocked())
+		end = start + d
+		if n > 0 && r.ivals[n-1].end == start {
+			r.ivals[n-1].end = end
+		} else {
+			r.ivals = append(r.ivals, interval{start, end})
+		}
+		r.busy += d
+		r.ops++
+		return start, end
+	}
+	// A gap before interval i can host the operation only if
+	// ivals[i].start >= at+d (the candidate start is always >= at), so all
+	// earlier intervals are irrelevant except for the predecessor's end.
+	// Binary search to the first viable gap instead of scanning from zero.
+	lo := sort.Search(len(r.ivals), func(i int) bool { return r.ivals[i].start >= at+d })
 	prevEnd := r.floor
+	if lo > 0 {
+		prevEnd = r.ivals[lo-1].end
+	}
 	pos := len(r.ivals)
-	for i, iv := range r.ivals {
+	for i := lo; i < len(r.ivals); i++ {
+		iv := r.ivals[i]
 		s := Max(at, prevEnd)
 		if s+d <= iv.start {
 			start, pos = s, i

@@ -27,6 +27,11 @@ func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error
 	d := t.die(channel, bank)
 	lowWater := int64(t.cfg.GCLowWater * float64(t.geo.PagesPerBank()))
 	if d.freePages <= lowWater {
+		if t.gcFlush != nil {
+			if err := t.gcFlush(); err != nil {
+				return nvm.PPA{}, at, err
+			}
+		}
 		var err error
 		at, err = t.collectDie(at, channel, bank)
 		if err != nil {
@@ -35,6 +40,11 @@ func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error
 	}
 	if d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock {
 		if len(d.freeBlocks) <= 1 {
+			if t.gcFlush != nil {
+				if err := t.gcFlush(); err != nil {
+					return nvm.PPA{}, at, err
+				}
+			}
 			var err error
 			at, err = t.collectDie(at, channel, bank)
 			if err != nil {

@@ -1,0 +1,313 @@
+package stl
+
+import (
+	"fmt"
+
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+// The batched data path. Requests are compiled into a page plan — the set of
+// distinct device pages the extent list touches, in first-touch order — and
+// issued through the device's batch APIs (ReadPages/ProgramPages) with a
+// pooled requestScratch instead of per-request maps and buffers.
+//
+// The path is timing-transparent: batching only ever *delays* device
+// operations relative to the scalar loop, never reorders them. A deferred
+// program batch is flushed at exactly the points where the scalar path would
+// have issued those programs before the next device operation — before any
+// read-modify-write page read, before garbage collection runs (via the STL's
+// gcFlush hook), before a compressed block is materialized, and at request
+// end. Because sim.Resource reservations depend only on the order and
+// arguments of Acquire calls, identical issue order means bit-identical
+// completion times; the differential tests in stl hold the two paths to that.
+
+// ReadPartition reads the partition at coord/sub of view v, assembling the
+// result in the partition's own row-major layout (§4.4). All page reads are
+// issued at time at; the returned completion time is the last page arrival.
+// On a phantom device the returned buffer is nil but timing and statistics
+// are exact. Unwritten regions read as zeros.
+//
+// The returned buffer is freshly allocated and owned by the caller.
+func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, sim.Time, RequestStats, error) {
+	if t.cfg.ScalarPath {
+		return t.readPartitionScalar(at, v, coord, sub)
+	}
+	return t.readPartitionBatched(at, v, coord, sub, nil)
+}
+
+// ReadPartitionInto is ReadPartition assembling into dst when dst has enough
+// capacity (allocating a fresh buffer otherwise). The returned slice aliases
+// dst in that case: the caller owns it and may reuse it across requests, but
+// must not hand it to another request while still reading this one's result.
+func (t *STL) ReadPartitionInto(at sim.Time, v *View, coord, sub []int64, dst []byte) ([]byte, sim.Time, RequestStats, error) {
+	if t.cfg.ScalarPath {
+		buf, done, stats, err := t.readPartitionScalar(at, v, coord, sub)
+		if err != nil || buf == nil || int64(cap(dst)) < int64(len(buf)) {
+			return buf, done, stats, err
+		}
+		out := dst[:len(buf)]
+		copy(out, buf)
+		return out, done, stats, nil
+	}
+	return t.readPartitionBatched(at, v, coord, sub, dst)
+}
+
+// WritePartition writes data (laid out in the partition's row-major shape)
+// to the partition at coord/sub of view v. data may be nil on a phantom
+// device. The STL decomposes the partition into building blocks, allocates
+// units per the §4.2 policy, read-modify-writes partially covered pages, and
+// replaces overwritten units within their channel/bank (§4.2, §4.4).
+func (t *STL) WritePartition(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
+	if t.cfg.Compress {
+		if data == nil {
+			return at, RequestStats{}, fmt.Errorf("stl: compressed writes need payload data: %w", ErrInvalid)
+		}
+		return t.writeCompressed(at, v, coord, sub, data)
+	}
+	if t.cfg.ScalarPath {
+		return t.writePartitionScalar(at, v, coord, sub, data)
+	}
+	return t.writePartitionBatched(at, v, coord, sub, data)
+}
+
+func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst []byte) ([]byte, sim.Time, RequestStats, error) {
+	var stats RequestStats
+	s := v.space
+	rs := t.getScratch(s)
+	defer t.putScratch(rs)
+	exts, want, err := rs.translate(v, coord, sub)
+	if err != nil {
+		return nil, at, stats, err
+	}
+	stats.Extents = len(exts)
+	stats.Bytes = want
+
+	var buf []byte
+	if !t.dev.Phantom() {
+		if int64(cap(dst)) >= want {
+			buf = dst[:want]
+			clear(buf) // unwritten regions must read as zeros
+		} else {
+			buf = make([]byte, want)
+		}
+	}
+	ps := int64(t.geo.PageSize)
+	done := at
+
+	// Plan: record every distinct page the extents touch, queueing device
+	// reads in first-touch order. Compressed blocks are device operations of
+	// their own (the block is the decompression unit), so the queued batch
+	// drains before each materialization to keep scalar issue order.
+	for i := range exts {
+		e := &exts[i]
+		blk := t.resolveBlock(rs, s, e.Block, false, &stats)
+		if blk == nil {
+			continue // untouched block: zeros
+		}
+		if blk.compressed {
+			if _, ok := rs.images[e.Block]; !ok {
+				if err := t.flushReads(rs, at, &done); err != nil {
+					return nil, at, stats, err
+				}
+				img, d, err := t.blockImage(at, s, blk, &stats)
+				if err != nil {
+					return nil, at, stats, err
+				}
+				done = sim.Max(done, d)
+				rs.images[e.Block] = img
+			}
+			continue
+		}
+		for p := e.Off / ps; p <= (e.Off+e.Len-1)/ps; p++ {
+			key := pageKey{e.Block, int(p)}
+			if _, ok := rs.pageIdx[key]; ok {
+				continue
+			}
+			idx := int32(len(rs.pageData))
+			rs.pageIdx[key] = idx
+			rs.pageData = append(rs.pageData, nil)
+			if slot := blk.pages[p]; slot.allocated {
+				rs.ppas = append(rs.ppas, slot.ppa)
+				rs.planOf = append(rs.planOf, idx)
+				stats.PagesRead++
+			} else if pp := t.pendingFor(s, e.Block, int(p)); pp != nil && pp.buf != nil {
+				// §4.4 write staging: partially collected pages serve reads
+				// straight from STL memory.
+				rs.pageData[idx] = pp.buf
+			}
+		}
+	}
+	if err := t.flushReads(rs, at, &done); err != nil {
+		return nil, at, stats, err
+	}
+
+	// Assemble: second extent walk, copying from the plan's page data.
+	if buf != nil {
+		for i := range exts {
+			e := &exts[i]
+			blk := rs.blocks[e.Block]
+			if blk == nil {
+				continue
+			}
+			if blk.compressed {
+				copy(buf[e.Dst:e.Dst+e.Len], rs.images[e.Block][e.Off:e.Off+e.Len])
+				continue
+			}
+			for p := e.Off / ps; p <= (e.Off+e.Len-1)/ps; p++ {
+				data := rs.pageData[rs.pageIdx[pageKey{e.Block, int(p)}]]
+				if data == nil {
+					continue // unwritten page: zeros
+				}
+				lo := max64(e.Off, p*ps)
+				hi := min64(e.Off+e.Len, (p+1)*ps)
+				dstLo := e.Dst + (lo - e.Off)
+				copy(buf[dstLo:dstLo+(hi-lo)], data[lo-p*ps:])
+			}
+		}
+	}
+	return buf, done, stats, nil
+}
+
+func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
+	var stats RequestStats
+	s := v.space
+	rs := t.getScratch(s)
+	defer t.putScratch(rs)
+	exts, want, err := rs.translate(v, coord, sub)
+	if err != nil {
+		return at, stats, err
+	}
+	if data != nil && int64(len(data)) != want {
+		return at, stats, fmt.Errorf("stl: write payload is %d bytes, partition needs %d: %w", len(data), want, ErrInvalid)
+	}
+	if data == nil && !t.dev.Phantom() {
+		return at, stats, fmt.Errorf("stl: nil payload on a data-bearing device: %w", ErrInvalid)
+	}
+	stats.Extents = len(exts)
+	stats.Bytes = want
+
+	ps := int64(t.geo.PageSize)
+
+	// Pass 1: group extents by destination page, accumulating coverage.
+	// Extents of one partition never overlap, so summing lengths is exact.
+	for i := range exts {
+		e := &exts[i]
+		blk := t.resolveBlock(rs, s, e.Block, true, &stats)
+		for p := e.Off / ps; p <= (e.Off+e.Len-1)/ps; p++ {
+			key := pageKey{e.Block, int(p)}
+			si, ok := rs.stageIdx[key]
+			if !ok {
+				si = rs.nextStage()
+				st := &rs.stages[si]
+				st.blk, st.blockIdx, st.page = blk, e.Block, int(p)
+				rs.stageIdx[key] = si
+			}
+			st := &rs.stages[si]
+			lo := max64(e.Off, p*ps)
+			hi := min64(e.Off+e.Len, (p+1)*ps)
+			st.covered += hi - lo
+			st.extents = append(st.extents, int32(i))
+		}
+	}
+
+	// Pass 2: read-modify-write partially covered pages, allocate units, and
+	// accumulate programs into a batch that drains at the flush points (RMW
+	// reads, GC via the gcFlush hook, staged programs, request end).
+	done := at
+	t.gcFlush = func() error { return t.flushPrograms(rs, &done) }
+	defer func() { t.gcFlush = nil }()
+	for si := range rs.stages {
+		st := &rs.stages[si]
+		slot := &st.blk.pages[st.page]
+		pb := s.pageBytes(t.geo, st.page)
+		if t.cfg.WriteBuffering && !slot.allocated {
+			for _, ei := range st.extents {
+				e := exts[ei]
+				lo := max64(e.Off, int64(st.page)*ps)
+				hi := min64(e.Off+e.Len, int64(st.page+1)*ps)
+				var chunk []byte
+				if data != nil {
+					chunk = data[e.Dst+(lo-e.Off):]
+				}
+				t.stageWrite(s, st.blockIdx, st.page, lo-int64(st.page)*ps, chunk, hi-lo)
+			}
+			if pp := t.takeIfFull(s, st.blockIdx, st.page, pb); pp != nil {
+				if err := t.flushPrograms(rs, &done); err != nil {
+					return at, stats, err
+				}
+				d, err := t.programStaged(at, s, st.blockIdx, st.blk, st.page, pp)
+				if err != nil {
+					return at, stats, err
+				}
+				stats.PagesProgrammed++
+				done = sim.Max(done, d)
+			}
+			continue
+		}
+		ready := at
+		var pageBuf []byte
+		if !t.dev.Phantom() {
+			pageBuf = rs.pageBuf(int(ps))
+		}
+		if slot.allocated && st.covered < pb {
+			if err := t.flushPrograms(rs, &done); err != nil {
+				return at, stats, err
+			}
+			old, d, err := t.dev.ReadPage(at, slot.ppa)
+			if err != nil {
+				return at, stats, err
+			}
+			stats.PagesRead++
+			ready = d
+			if pageBuf != nil {
+				copy(pageBuf, old)
+			}
+		}
+		if pageBuf != nil {
+			for _, ei := range st.extents {
+				e := exts[ei]
+				lo := max64(e.Off, int64(st.page)*ps)
+				hi := min64(e.Off+e.Len, int64(st.page+1)*ps)
+				src := e.Dst + (lo - e.Off)
+				copy(pageBuf[lo-int64(st.page)*ps:], data[src:src+(hi-lo)])
+			}
+		}
+		// §8 page-zero optimization: an all-zero page needs no unit — an
+		// unallocated slot already reads as zeros, and an allocated one is
+		// simply released.
+		if t.cfg.ZeroPageElision && pageBuf != nil && allZero(pageBuf[:pb]) {
+			if slot.allocated {
+				t.invalidateUnit(slot.ppa)
+				slot.allocated = false
+			}
+			t.zeroSkipped++
+			rs.releaseBuf(pageBuf)
+			continue
+		}
+		var unit nvm.PPA
+		if slot.allocated {
+			t.invalidateUnit(slot.ppa)
+			unit, ready, err = t.allocateReplacement(ready, slot.ppa)
+		} else {
+			unit, ready, err = t.allocateUnit(ready, s, st.blk)
+		}
+		if err != nil {
+			// Land anything already queued so STL and device state agree.
+			if ferr := t.flushPrograms(rs, &done); ferr != nil {
+				return at, stats, ferr
+			}
+			return at, stats, err
+		}
+		rs.ops = append(rs.ops, nvm.ProgramOp{At: ready, P: unit, Data: pageBuf})
+		slot.ppa = unit
+		slot.allocated = true
+		t.bindUnit(s, st.blockIdx, st.page, unit)
+		t.progs++
+		stats.PagesProgrammed++
+	}
+	if err := t.flushPrograms(rs, &done); err != nil {
+		return at, stats, err
+	}
+	return done, stats, nil
+}

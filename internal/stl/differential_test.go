@@ -1,0 +1,203 @@
+package stl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+// Differential tests: the batched page-plan data path must be
+// indistinguishable from the scalar one-page-at-a-time path — byte-identical
+// buffers, identical RequestStats, and identical sim.Time completions — for
+// mixed row/column/tile read-write workloads, including configurations that
+// hit every flush point (read-modify-write, GC, write buffering, compression,
+// zero-page elision).
+
+type diffPair struct {
+	scalar  *STL
+	batched *STL
+	vs, vb  *View
+	dst     []byte // reused ReadPartitionInto buffer for the batched side
+}
+
+func newDiffPair(t *testing.T, elem int, dims, view []int64, mutate func(*Config)) *diffPair {
+	t.Helper()
+	mk := func(scalarPath bool) (*STL, *View) {
+		dev, err := nvm.NewDevice(smallGeo(), nvm.TLCTiming(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		cfg.ScalarPath = scalarPath
+		st, err := New(dev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := st.CreateSpace(elem, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := NewView(sp, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, v
+	}
+	p := &diffPair{}
+	p.scalar, p.vs = mk(true)
+	p.batched, p.vb = mk(false)
+	return p
+}
+
+func (p *diffPair) write(t *testing.T, at sim.Time, coord, sub []int64, data []byte) sim.Time {
+	t.Helper()
+	dS, sS, errS := p.scalar.WritePartition(at, p.vs, coord, sub, data)
+	dB, sB, errB := p.batched.WritePartition(at, p.vb, coord, sub, data)
+	if (errS == nil) != (errB == nil) {
+		t.Fatalf("write %v/%v: scalar err=%v batched err=%v", coord, sub, errS, errB)
+	}
+	if errS != nil {
+		return at
+	}
+	if dS != dB {
+		t.Fatalf("write %v/%v at %d: completion scalar=%d batched=%d", coord, sub, at, dS, dB)
+	}
+	if sS != sB {
+		t.Fatalf("write %v/%v: stats scalar=%+v batched=%+v", coord, sub, sS, sB)
+	}
+	return dS
+}
+
+// read compares scalar ReadPartition against batched ReadPartitionInto with
+// a reused buffer — the worst case for the batched path, which must clear
+// and refill the caller's buffer exactly as a fresh allocation would.
+func (p *diffPair) read(t *testing.T, at sim.Time, coord, sub []int64) sim.Time {
+	t.Helper()
+	bufS, dS, sS, errS := p.scalar.ReadPartition(at, p.vs, coord, sub)
+	if cap(p.dst) < len(bufS) {
+		p.dst = make([]byte, len(bufS))
+	}
+	bufB, dB, sB, errB := p.batched.ReadPartitionInto(at, p.vb, coord, sub, p.dst)
+	if (errS == nil) != (errB == nil) {
+		t.Fatalf("read %v/%v: scalar err=%v batched err=%v", coord, sub, errS, errB)
+	}
+	if errS != nil {
+		return at
+	}
+	if dS != dB {
+		t.Fatalf("read %v/%v at %d: completion scalar=%d batched=%d", coord, sub, at, dS, dB)
+	}
+	if sS != sB {
+		t.Fatalf("read %v/%v: stats scalar=%+v batched=%+v", coord, sub, sS, sB)
+	}
+	if !bytes.Equal(bufS, bufB) {
+		t.Fatalf("read %v/%v: data differs (%d vs %d bytes)", coord, sub, len(bufS), len(bufB))
+	}
+	return dS
+}
+
+// mixedWorkload drives the pair through row, column, and tile writes, reads,
+// and overwrites (read-modify-write) at advancing issue times.
+func mixedWorkload(t *testing.T, p *diffPair, rounds int) {
+	rng := rand.New(rand.NewSource(99))
+	payload := func(n int64, tag byte) []byte {
+		b := make([]byte, n*4)
+		rng.Read(b)
+		for i := int64(0); i < n; i += 7 {
+			b[i*4] = tag
+		}
+		return b
+	}
+	at := sim.Time(0)
+	for r := 0; r < rounds; r++ {
+		// Row bands, column bands, and tiles of a 128x128 space.
+		at = p.write(t, at, []int64{int64(r % 4), 0}, []int64{32, 128}, payload(32*128, byte(r)))
+		at = p.read(t, at, []int64{0, int64(r % 4)}, []int64{128, 32})
+		at = p.write(t, at, []int64{int64(r % 2), int64(r % 2)}, []int64{64, 64}, payload(64*64, byte(r+1)))
+		at = p.read(t, at, []int64{int64(r % 4), int64(r % 4)}, []int64{32, 32})
+		// Sub-page partitions: exercise partial coverage and RMW.
+		at = p.write(t, at, []int64{int64(8 + r%8), int64(r % 16)}, []int64{8, 8}, payload(8*8, byte(r+2)))
+		at = p.read(t, at, []int64{int64(r % 16), int64(8 + r%8)}, []int64{8, 8})
+	}
+	// Whole-space read as the final byte-identity check.
+	p.read(t, at, []int64{0, 0}, []int64{128, 128})
+}
+
+func TestDifferentialMixedWorkload(t *testing.T) {
+	p := newDiffPair(t, 4, []int64{128, 128}, []int64{128, 128}, nil)
+	mixedWorkload(t, p, 6)
+}
+
+func TestDifferentialWriteBuffering(t *testing.T) {
+	p := newDiffPair(t, 4, []int64{128, 128}, []int64{128, 128},
+		func(c *Config) { c.WriteBuffering = true })
+	mixedWorkload(t, p, 6)
+	// Flush staged pages on both and compare completions.
+	dS, errS := p.scalar.Flush(0)
+	dB, errB := p.batched.Flush(0)
+	if errS != nil || errB != nil || dS != dB {
+		t.Fatalf("flush diverges: scalar (%d, %v) batched (%d, %v)", dS, errS, dB, errB)
+	}
+	p.read(t, dS, []int64{0, 0}, []int64{128, 128})
+}
+
+func TestDifferentialZeroPageElision(t *testing.T) {
+	p := newDiffPair(t, 4, []int64{128, 128}, []int64{128, 128},
+		func(c *Config) { c.ZeroPageElision = true })
+	at := p.write(t, 0, []int64{0, 0}, []int64{128, 128}, make([]byte, 128*128*4))
+	mixedWorkload(t, p, 4)
+	// Overwrite a written region with zeros: units must be released on both.
+	at = p.write(t, at, []int64{0, 0}, []int64{64, 64}, make([]byte, 64*64*4))
+	p.read(t, at, []int64{0, 0}, []int64{128, 128})
+	if us, ub := p.scalar.UsedPages(), p.batched.UsedPages(); us != ub {
+		t.Fatalf("used pages diverge: scalar=%d batched=%d", us, ub)
+	}
+}
+
+func TestDifferentialCompression(t *testing.T) {
+	p := newDiffPair(t, 4, []int64{128, 128}, []int64{128, 128},
+		func(c *Config) { c.Compress = true })
+	// Compressible payloads (the rng-free variant deflates well).
+	data := make([]byte, 64*64*4)
+	for i := range data {
+		data[i] = byte(i % 7)
+	}
+	at := p.write(t, 0, []int64{0, 0}, []int64{64, 64}, data)
+	at = p.write(t, at, []int64{1, 1}, []int64{64, 64}, data)
+	at = p.read(t, at, []int64{0, 0}, []int64{128, 32})
+	at = p.read(t, at, []int64{0, 1}, []int64{32, 128})
+	p.read(t, at, []int64{0, 0}, []int64{128, 128})
+}
+
+// TestDifferentialGCPressure overwrites until garbage collection runs on
+// both paths; the gcFlush hook must keep the batched path's device-operation
+// order (and therefore timing and placement) exactly scalar.
+func TestDifferentialGCPressure(t *testing.T) {
+	p := newDiffPair(t, 4, []int64{128, 128}, []int64{128, 128},
+		func(c *Config) { c.OverProvision = 0.5; c.GCLowWater = 0.3 })
+	rng := rand.New(rand.NewSource(7))
+	at := sim.Time(0)
+	for r := 0; r < 60; r++ {
+		data := make([]byte, 64*128*4)
+		rng.Read(data)
+		at = p.write(t, at, []int64{int64(r % 2), 0}, []int64{64, 128}, data)
+		if r%5 == 4 {
+			at = p.read(t, at, []int64{0, 0}, []int64{128, 128})
+		}
+	}
+	eS, mS := p.scalar.GCStats()
+	eB, mB := p.batched.GCStats()
+	if eS == 0 {
+		t.Fatal("workload never triggered GC; raise the pressure")
+	}
+	if eS != eB || mS != mB {
+		t.Fatalf("GC work diverges: scalar (erases=%d moves=%d) batched (erases=%d moves=%d)", eS, mS, eB, mB)
+	}
+	p.read(t, at, []int64{0, 0}, []int64{128, 128})
+}

@@ -24,12 +24,10 @@ type pageKey struct {
 	page  int
 }
 
-// ReadPartition reads the partition at coord/sub of view v, assembling the
-// result in the partition's own row-major layout (§4.4). All page reads are
-// issued at time at; the returned completion time is the last page arrival.
-// On a phantom device the returned buffer is nil but timing and statistics
-// are exact. Unwritten regions read as zeros.
-func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, sim.Time, RequestStats, error) {
+// readPartitionScalar is the original one-page-at-a-time read path, kept
+// behind Config.ScalarPath as the timing reference the batched path is
+// differentially tested against.
+func (t *STL) readPartitionScalar(at sim.Time, v *View, coord, sub []int64) ([]byte, sim.Time, RequestStats, error) {
 	var stats RequestStats
 	exts, err := v.Extents(coord, sub)
 	if err != nil {
@@ -67,7 +65,9 @@ func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, s
 			blk, steps = t.block(s, gcoord, false)
 			blocks[e.Block] = blk
 			stats.Traversals += steps
-			stats.Blocks++
+			if blk != nil {
+				stats.Blocks++ // only blocks that exist count as touched
+			}
 		}
 		if blk == nil {
 			continue // untouched block: zeros
@@ -128,18 +128,11 @@ func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, s
 	return buf, done, stats, nil
 }
 
-// WritePartition writes data (laid out in the partition's row-major shape)
-// to the partition at coord/sub of view v. data may be nil on a phantom
-// device. The STL decomposes the partition into building blocks, allocates
-// units per the §4.2 policy, read-modify-writes partially covered pages, and
-// replaces overwritten units within their channel/bank (§4.2, §4.4).
-func (t *STL) WritePartition(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
-	if t.cfg.Compress {
-		if data == nil {
-			return at, RequestStats{}, fmt.Errorf("stl: compressed writes need payload data: %w", ErrInvalid)
-		}
-		return t.writeCompressed(at, v, coord, sub, data)
-	}
+// writePartitionScalar is the original one-page-at-a-time write path, kept
+// behind Config.ScalarPath as the timing reference for the batched path.
+// The router (WritePartition) handles the compression configuration before
+// either implementation runs.
+func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
 	var stats RequestStats
 	exts, err := v.Extents(coord, sub)
 	if err != nil {

@@ -1,0 +1,223 @@
+package stl
+
+import (
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+// requestScratch is the reusable working state of one partition request: the
+// extent list, translation counters, block/page lookup tables, the device
+// batch buffers, and a freelist of page-sized staging buffers. Instances
+// live in the STL's sync.Pool; a request takes one, uses it exclusively, and
+// returns it, so the steady-state data path allocates nothing per request.
+//
+// Ownership rule: nothing in a scratch may outlive the request. Data handed
+// back to callers (partition buffers) is either freshly allocated or the
+// caller's own; page buffers return to the freelist only once the device has
+// copied them (ProgramPages copies before returning).
+type requestScratch struct {
+	exts  []Extent
+	shape []int64
+	outer []int64
+	cur   []int64
+	sc    []int64 // storage-coordinate scratch
+	gcrd  []int64 // grid-coordinate scratch
+
+	blocks map[int64]*BuildingBlock
+
+	// Read plan: pageIdx maps a touched page to its slot in pageData; device
+	// reads batch into ppas/planOf until a flush fills the corresponding
+	// pageData entries via nvm.ReadPages.
+	pageIdx  map[pageKey]int32
+	pageData [][]byte
+	ppas     []nvm.PPA
+	planOf   []int32
+	datas    [][]byte
+	images   blockImageCache
+
+	// Write plan: stages in first-touch order, located via stageIdx; deferred
+	// programs accumulate in ops until a flush point.
+	stages   []writeStage
+	stageIdx map[pageKey]int32
+	ops      []nvm.ProgramOp
+
+	bufs [][]byte // page-buffer freelist
+}
+
+// writeStage is one destination page of a write request and the extents that
+// land on it (indexes into the request's extent list).
+type writeStage struct {
+	blk      *BuildingBlock
+	blockIdx int64
+	page     int
+	covered  int64
+	extents  []int32
+}
+
+// maxPooledBufs bounds how many page buffers a pooled scratch retains.
+const maxPooledBufs = 64
+
+// getScratch takes a scratch from the pool, sized for space s.
+func (t *STL) getScratch(s *Space) *requestScratch {
+	rs, _ := t.scratch.Get().(*requestScratch)
+	if rs == nil {
+		rs = &requestScratch{
+			blocks:   make(map[int64]*BuildingBlock),
+			pageIdx:  make(map[pageKey]int32),
+			stageIdx: make(map[pageKey]int32),
+			images:   make(blockImageCache),
+		}
+	}
+	rs.gcrd = growInt64(rs.gcrd, len(s.grid))
+	return rs
+}
+
+// putScratch resets rs and returns it to the pool. Data-bearing pointers are
+// cleared so a pooled scratch never pins device arenas or caller buffers.
+func (t *STL) putScratch(rs *requestScratch) {
+	rs.exts = rs.exts[:0]
+	clear(rs.blocks)
+	clear(rs.pageIdx)
+	clear(rs.stageIdx)
+	clear(rs.images)
+	for i := range rs.pageData {
+		rs.pageData[i] = nil
+	}
+	rs.pageData = rs.pageData[:0]
+	rs.ppas = rs.ppas[:0]
+	rs.planOf = rs.planOf[:0]
+	for i := range rs.datas {
+		rs.datas[i] = nil
+	}
+	rs.datas = rs.datas[:0]
+	for i := range rs.stages {
+		rs.stages[i].blk = nil
+	}
+	rs.stages = rs.stages[:0]
+	for i := range rs.ops {
+		rs.ops[i].Data = nil
+	}
+	rs.ops = rs.ops[:0]
+	if len(rs.bufs) > maxPooledBufs {
+		rs.bufs = rs.bufs[:maxPooledBufs]
+	}
+	t.scratch.Put(rs)
+}
+
+// sized returns s with at least n elements (contents unspecified).
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// pageBuf returns a zeroed page-sized buffer, reusing the freelist.
+func (rs *requestScratch) pageBuf(ps int) []byte {
+	if n := len(rs.bufs); n > 0 {
+		b := rs.bufs[n-1]
+		rs.bufs[n-1] = nil
+		rs.bufs = rs.bufs[:n-1]
+		clear(b)
+		return b
+	}
+	return make([]byte, ps)
+}
+
+// releaseBuf returns a page buffer to the freelist.
+func (rs *requestScratch) releaseBuf(b []byte) {
+	if b != nil {
+		rs.bufs = append(rs.bufs, b)
+	}
+}
+
+// nextStage appends a stage slot, reusing retained extent-index capacity.
+func (rs *requestScratch) nextStage() int32 {
+	if len(rs.stages) < cap(rs.stages) {
+		rs.stages = rs.stages[:len(rs.stages)+1]
+		st := &rs.stages[len(rs.stages)-1]
+		st.blk, st.blockIdx, st.page, st.covered = nil, 0, 0, 0
+		st.extents = st.extents[:0]
+	} else {
+		rs.stages = append(rs.stages, writeStage{})
+	}
+	return int32(len(rs.stages) - 1)
+}
+
+// translate fills rs.exts and rs.shape with the partition's extent
+// decomposition, returning the extent list and payload byte count.
+func (rs *requestScratch) translate(v *View, coord, sub []int64) ([]Extent, int64, error) {
+	m, n := len(v.dims), len(v.space.dims)
+	rs.shape = growInt64(rs.shape, m)
+	rs.outer = growInt64(rs.outer, m)
+	rs.cur = growInt64(rs.cur, m)
+	rs.sc = growInt64(rs.sc, n)
+	elems, err := v.partitionShapeInto(coord, sub, rs.shape)
+	if err != nil {
+		return nil, 0, err
+	}
+	rs.exts, _ = v.extentsInto(coord, sub, rs.shape, elems, rs.outer, rs.cur, rs.sc, rs.exts[:0])
+	return rs.exts, elems * int64(v.space.elemSize), nil
+}
+
+// resolveBlock looks up (and caches) the building block for grid index g,
+// charging traversal and distinct-block statistics exactly as the scalar
+// path does.
+func (t *STL) resolveBlock(rs *requestScratch, s *Space, g int64, alloc bool, stats *RequestStats) *BuildingBlock {
+	blk, ok := rs.blocks[g]
+	if !ok {
+		s.GridCoord(g, rs.gcrd)
+		var steps int
+		blk, steps = t.block(s, rs.gcrd, alloc)
+		rs.blocks[g] = blk
+		stats.Traversals += steps
+		if blk != nil {
+			stats.Blocks++
+		}
+	}
+	return blk
+}
+
+// flushReads issues the batched page reads collected so far, storing each
+// result in its plan slot, and folds the batch completion into done.
+func (t *STL) flushReads(rs *requestScratch, at sim.Time, done *sim.Time) error {
+	if len(rs.ppas) == 0 {
+		return nil
+	}
+	for len(rs.datas) < len(rs.ppas) {
+		rs.datas = append(rs.datas, nil)
+	}
+	d, err := t.dev.ReadPages(at, rs.ppas, rs.datas)
+	if err != nil {
+		return err
+	}
+	*done = sim.Max(*done, d)
+	for i := range rs.ppas {
+		rs.pageData[rs.planOf[i]] = rs.datas[i]
+		rs.datas[i] = nil
+	}
+	rs.ppas = rs.ppas[:0]
+	rs.planOf = rs.planOf[:0]
+	return nil
+}
+
+// flushPrograms issues the deferred program batch and recycles its page
+// buffers. Called at every point where the scalar path would already have
+// issued these programs before the next device operation (RMW reads, GC,
+// request end), which is what keeps batched timing identical to scalar.
+func (t *STL) flushPrograms(rs *requestScratch, done *sim.Time) error {
+	if len(rs.ops) == 0 {
+		return nil
+	}
+	d, err := t.dev.ProgramPages(rs.ops)
+	if err != nil {
+		return err
+	}
+	*done = sim.Max(*done, d)
+	for i := range rs.ops {
+		rs.releaseBuf(rs.ops[i].Data)
+		rs.ops[i].Data = nil
+	}
+	rs.ops = rs.ops[:0]
+	return nil
+}

@@ -3,6 +3,7 @@ package stl
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"nds/internal/nvm"
 )
@@ -41,6 +42,12 @@ type Config struct {
 	// programmed once a unit fills (or on Flush). Ignored when Compress is
 	// set (the compression path has its own block-granular staging).
 	WriteBuffering bool
+	// ScalarPath routes partition reads/writes through the original
+	// one-page-at-a-time device path instead of the batched page-plan path.
+	// The two are differentially tested to produce bit-identical data,
+	// statistics, and completion times; the knob exists for that comparison
+	// and as an escape hatch, not as a tuning choice.
+	ScalarPath bool
 }
 
 // DefaultConfig mirrors the paper's prototype settings.
@@ -84,6 +91,15 @@ type STL struct {
 	zeroSkipped      int64
 
 	pending map[pendingKey]*pendingPage // §4.4 write staging
+
+	// gcFlush, when set, is invoked before garbage collection issues any
+	// device operation. The batched write path installs it so that its
+	// deferred programs land on the device in scalar issue order (programs
+	// first, then GC's reads/programs/erases) — the invariant that keeps
+	// batching timing-transparent. Only the exclusive write path sets it.
+	gcFlush func() error
+
+	scratch sync.Pool // *requestScratch, reused across partition requests
 }
 
 // New builds an STL over dev.

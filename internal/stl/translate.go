@@ -56,27 +56,37 @@ func (v *View) Space() *Space { return v.space }
 // PartitionShape returns the clamped extent of the partition at coord with
 // sub-dimensionality sub, along with the element count.
 func (v *View) PartitionShape(coord, sub []int64) ([]int64, int64, error) {
+	shape := make([]int64, len(v.dims))
+	elems, err := v.partitionShapeInto(coord, sub, shape)
+	if err != nil {
+		return nil, 0, err
+	}
+	return shape, elems, nil
+}
+
+// partitionShapeInto is PartitionShape writing into a caller-supplied shape
+// slice (len(v.dims) entries) so the pooled request path allocates nothing.
+func (v *View) partitionShapeInto(coord, sub []int64, shape []int64) (int64, error) {
 	m := len(v.dims)
 	if len(coord) != m || len(sub) != m {
-		return nil, 0, fmt.Errorf("stl: coordinate/sub-dimensionality rank %d/%d does not match view rank %d: %w",
+		return 0, fmt.Errorf("stl: coordinate/sub-dimensionality rank %d/%d does not match view rank %d: %w",
 			len(coord), len(sub), m, ErrInvalid)
 	}
-	shape := make([]int64, m)
 	for i := 0; i < m; i++ {
 		if sub[i] <= 0 {
-			return nil, 0, fmt.Errorf("stl: sub-dimension %d is %d, must be positive: %w", i, sub[i], ErrInvalid)
+			return 0, fmt.Errorf("stl: sub-dimension %d is %d, must be positive: %w", i, sub[i], ErrInvalid)
 		}
 		lo := coord[i] * sub[i]
 		hi := lo + sub[i]
 		if coord[i] < 0 || lo >= v.dims[i] {
-			return nil, 0, fmt.Errorf("stl: coordinate %d=%d out of view dimension %d: %w", i, coord[i], v.dims[i], ErrBounds)
+			return 0, fmt.Errorf("stl: coordinate %d=%d out of view dimension %d: %w", i, coord[i], v.dims[i], ErrBounds)
 		}
 		if hi > v.dims[i] {
 			hi = v.dims[i]
 		}
 		shape[i] = hi - lo
 	}
-	return shape, prod(shape), nil
+	return prod(shape), nil
 }
 
 // Extents decomposes the partition at coord/sub into building-block byte
@@ -87,6 +97,17 @@ func (v *View) Extents(coord, sub []int64) ([]Extent, error) {
 	if err != nil {
 		return nil, err
 	}
+	m, n := len(v.dims), len(v.space.dims)
+	exts, _ := v.extentsInto(coord, sub, shape, elems,
+		make([]int64, m), make([]int64, m), make([]int64, n), nil)
+	return exts, nil
+}
+
+// extentsInto is the allocation-free core of Extents: shape holds the
+// already-computed partition shape, outer/cur/sc are caller-supplied counter
+// slices (len m, m, n), and extents are appended to exts (which may carry
+// reusable capacity). It returns the extent list and the run count.
+func (v *View) extentsInto(coord, sub, shape []int64, elems int64, outer, cur, sc []int64, exts []Extent) ([]Extent, int64) {
 	s := v.space
 	es := int64(s.elemSize)
 	m := len(v.dims)
@@ -94,14 +115,11 @@ func (v *View) Extents(coord, sub []int64) ([]Extent, error) {
 
 	// Iterate over the partition's outer coordinates; each step yields a run
 	// of shape[m-1] consecutive view-linear (== storage-linear) elements.
-	outer := make([]int64, m) // counters over shape[0..m-2]
-	cur := make([]int64, m)   // absolute view coordinate of the run start
-	sc := make([]int64, n)    // scratch storage coordinate
+	for i := range outer {
+		outer[i] = 0
+	}
 	runLen := shape[m-1]
 	runs := elems / runLen
-
-	// Rough pre-sizing: each run splits across at least one block.
-	exts := make([]Extent, 0, runs)
 	var dst int64
 	for r := int64(0); r < runs; r++ {
 		for i := 0; i < m; i++ {
@@ -157,7 +175,7 @@ func (v *View) Extents(coord, sub []int64) ([]Extent, error) {
 			outer[i] = 0
 		}
 	}
-	return exts, nil
+	return exts, runs
 }
 
 // BlockGridIndex returns the row-major grid index of grid coordinate g.

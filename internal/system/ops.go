@@ -130,12 +130,21 @@ func (s *System) BaselineWrite(at sim.Time, runs []Run, data []byte) (OpStats, e
 // gathers extents in device DRAM, and only the assembled object crosses the
 // link. Device reads, assembly, and the link stream concurrently.
 func (s *System) NDSRead(at sim.Time, v *stl.View, coord, sub []int64) ([]byte, OpStats, error) {
+	return s.NDSReadInto(at, v, coord, sub, nil)
+}
+
+// NDSReadInto is NDSRead assembling the partition into dst when dst has
+// enough capacity (a fresh buffer is allocated otherwise). Streams reuse
+// their assembly buffer across commands this way; the returned slice aliases
+// dst, so the caller must consume it before issuing the next read with the
+// same buffer.
+func (s *System) NDSReadInto(at sim.Time, v *stl.View, coord, sub []int64, dst []byte) ([]byte, OpStats, error) {
 	var stats OpStats
 	switch s.Kind {
 	case SoftwareNDS:
 		_, subEnd := s.Host.SubmitIO(at)
 		_, trEnd := s.Host.Translate(subEnd)
-		data, devDone, st, err := s.STL.ReadPartition(trEnd, v, coord, sub)
+		data, devDone, st, err := s.STL.ReadPartitionInto(trEnd, v, coord, sub, dst)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -157,7 +166,7 @@ func (s *System) NDSRead(at sim.Time, v *stl.View, coord, sub []int64) ([]byte, 
 		_, cmdXfer := s.Link.Transfer(subEnd, int64(s.Cfg.Geometry.PageSize)) // command + coordinate page
 		_, cmdEnd := s.Ctrl.HandleCommand(cmdXfer)
 		_, trEnd := s.Ctrl.Translate(cmdEnd)
-		data, devDone, st, err := s.STL.ReadPartition(trEnd, v, coord, sub)
+		data, devDone, st, err := s.STL.ReadPartitionInto(trEnd, v, coord, sub, dst)
 		if err != nil {
 			return nil, stats, err
 		}

@@ -108,6 +108,12 @@ type Options struct {
 	// smaller than a basic access unit collect in STL memory and program
 	// once a unit fills or Flush is called.
 	WriteBuffering bool
+	// ScalarDataPath routes partition I/O through the original
+	// one-page-at-a-time device path instead of the batched page-plan path.
+	// Both produce bit-identical data, statistics, and simulated timing (the
+	// differential tests hold them to it); the knob exists for that
+	// comparison, not as a tuning choice.
+	ScalarDataPath bool
 }
 
 // SpaceID names a created address space.
@@ -166,6 +172,7 @@ func Open(opts Options) (*Device, error) {
 	cfg.STL.Compress = opts.Compress
 	cfg.STL.ZeroPageElision = opts.ZeroPageElision
 	cfg.STL.WriteBuffering = opts.WriteBuffering
+	cfg.STL.ScalarPath = opts.ScalarDataPath
 	kind := system.SoftwareNDS
 	if opts.Mode == ModeHardware {
 		kind = system.HardwareNDS
@@ -371,6 +378,30 @@ func (s *Space) Read(coord, sub []int64) ([]byte, Stats, error) {
 	issue := s.cursor
 	d.io.RLock()
 	data, st, err := d.sys.NDSRead(issue, s.view, coord, sub)
+	d.io.RUnlock()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return data, s.account(issue, st), nil
+}
+
+// ReadInto is Read assembling the partition into dst when dst has enough
+// capacity (allocating a fresh buffer otherwise, exactly like Read). The
+// returned slice aliases dst in that case. Ownership rule: the buffer belongs
+// to the caller's stream — reuse it across this view's reads to make the
+// steady-state read path allocation-free, but consume or copy the result
+// before issuing the next read with the same buffer, and never share one
+// buffer across views reading concurrently.
+func (s *Space) ReadInto(coord, sub []int64, dst []byte) ([]byte, Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view == nil {
+		return nil, Stats{}, fmt.Errorf("nds: read on %w", ErrClosedView)
+	}
+	d := s.dev
+	issue := s.cursor
+	d.io.RLock()
+	data, st, err := d.sys.NDSReadInto(issue, s.view, coord, sub, dst)
 	d.io.RUnlock()
 	if err != nil {
 		return nil, Stats{}, err

@@ -62,10 +62,15 @@ func runClients(tb testing.TB, d *Device, id SpaceID, clients int) (time.Duratio
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			// Each stream owns one assembly buffer, reused across its reads
+			// (the ReadInto ownership contract).
+			buf := make([]byte, 64*64*4)
+			coord := make([]int64, 2)
+			sub := []int64{64, 64}
 			for k := 0; k < per; k++ {
 				tile := int64(c*per + k)
-				coord := []int64{tile / 16, tile % 16}
-				if _, _, err := views[c].Read(coord, []int64{64, 64}); err != nil {
+				coord[0], coord[1] = tile/16, tile%16
+				if _, _, err := views[c].ReadInto(coord, sub, buf); err != nil {
 					errs <- fmt.Errorf("client %d tile %d: %w", c, tile, err)
 					return
 				}
@@ -128,6 +133,7 @@ func BenchmarkConcurrentClients(b *testing.B) {
 	for _, clients := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
 			d, id := fillSpace(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			var span time.Duration
 			var bytes int64

@@ -35,6 +35,7 @@ func main() {
 	all := flag.Bool("all", false, "run every figure and table")
 	util := flag.Bool("util", false, "print utilization reports after Figure 9 phases")
 	jsonOut := flag.Bool("json", false, "measure the concurrent-client benchmark and write BENCH_<rev>.json")
+	faultcheck := flag.Bool("faultcheck", false, "run a mixed workload under a seeded fault plan and verify recovery")
 	n := flag.Int64("n", 8192, "microbenchmark matrix dimension (paper: 32768)")
 	flag.Var(&figs, "fig", "figure to regenerate (2, 3, 9, 9a, 9b, 9c, 9d, 10); repeatable")
 	flag.Var(&tables, "table", "table to regenerate (1, overhead); repeatable")
@@ -46,9 +47,12 @@ func main() {
 		tables = multiFlag{"1", "overhead"}
 		sweeps = multiFlag{"channels", "bbmult"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut {
+	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *faultcheck {
+		faultCheck()
 	}
 	if *jsonOut {
 		benchJSON()

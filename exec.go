@@ -81,6 +81,25 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 			return nil, completionFor(err), Stats{}, nil
 		}
 		return nil, proto.Completion{Status: proto.StatusOK, Result0: uint64(st.Bytes)}, st, nil
+
+	case proto.OpReliability:
+		r := d.Reliability()
+		page, err := proto.ReliabilityPayload{
+			ProgramFaults:  r.ProgramFaults,
+			EraseFaults:    r.EraseFaults,
+			WearoutFaults:  r.WearoutFaults,
+			ReadRetries:    r.ReadRetries,
+			ProgramRetries: r.ProgramRetries,
+			RetiredBlocks:  r.RetiredBlocks,
+			RetiredPages:   r.RetiredPages,
+			MaxPages:       r.MaxPages,
+			EffectivePages: r.EffectivePages,
+			UsedPages:      r.UsedPages,
+		}.Marshal()
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
+		}
+		return page, proto.Completion{Status: proto.StatusOK, Result0: uint64(r.RetiredBlocks)}, Stats{}, nil
 	}
 	return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
 }
@@ -120,6 +139,8 @@ func completionFor(err error) proto.Completion {
 		return proto.Completion{Status: proto.StatusUnknownView}
 	case errors.Is(err, stl.ErrCapacity):
 		return proto.Completion{Status: proto.StatusCapacity}
+	case errors.Is(err, stl.ErrMedia):
+		return proto.Completion{Status: proto.StatusMediaError}
 	case errors.Is(err, stl.ErrBounds), errors.Is(err, stl.ErrInvalid):
 		return proto.Completion{Status: proto.StatusInvalidField}
 	default:

@@ -33,6 +33,13 @@ type dieShard struct {
 	data       [][]byte // die-local page index -> stored page; nil entry = no bytes
 	free       [][]byte // recycled page frames from erased blocks
 	slab       []byte   // tail of the current backing chunk
+
+	// Fault-injection attempt counters (only touched when a FaultPlan is
+	// installed): lifetime program/erase/read attempts on this die, the
+	// deterministic clock the plan's per-die fault points tick against.
+	progOps  int64
+	eraseOps int64
+	readOps  int64
 }
 
 func (s *dieShard) isProgrammed(idx int64) bool {
@@ -79,7 +86,8 @@ type Device struct {
 	tim Timing
 
 	cipher atomic.Value // PageCipher; nil until SetCipher
-	cfgMu  sync.Mutex   // serializes SetCipher
+	faults atomic.Value // *faultState; nil until SetFaultPlan
+	cfgMu  sync.Mutex   // serializes SetCipher/SetFaultPlan
 
 	// Phantom devices skip byte storage so paper-scale datasets can be
 	// simulated without allocating their contents. State (programmed bits,
@@ -240,7 +248,11 @@ func (d *Device) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	if !p.Valid(d.geo) {
 		return nil, at, fmt.Errorf("nvm: read of invalid address %v", p)
 	}
-	_, senseEnd := d.bank(p).Acquire(at, d.tim.ReadPage)
+	sense := d.tim.ReadPage
+	if f := d.faultPlan(); f != nil {
+		sense = d.senseTime(f, d.die(p))
+	}
+	_, senseEnd := d.bank(p).Acquire(at, sense)
 	_, done := d.channels[p.Channel].Acquire(senseEnd, d.tim.TransferTime(d.geo.PageSize))
 	d.reads.Add(1)
 	if d.phantom {
@@ -250,6 +262,22 @@ func (d *Device) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return d.pageBytesLocked(s, p), done, nil
+}
+
+// senseTime returns the bank occupancy of one page sense under fault plan f:
+// the plain sense time, or (1+ReadRetrySenses)× when this read hits an ECC
+// retry point. Consumes one read-attempt tick on the die.
+func (d *Device) senseTime(f *faultState, die int) sim.Time {
+	s := &d.shards[die]
+	s.mu.Lock()
+	n := s.readOps
+	s.readOps++
+	s.mu.Unlock()
+	if f.readNeedsRetry(die, n) {
+		f.readRetries.Add(1)
+		return d.tim.ReadPage * sim.Time(1+f.plan.ReadRetrySenses)
+	}
+	return d.tim.ReadPage
 }
 
 // ReadPages senses every page in ppas (all arriving at time at), storing the
@@ -270,8 +298,13 @@ func (d *Device) ReadPages(at sim.Time, ppas []PPA, out [][]byte) (sim.Time, err
 	}
 	done := at
 	xfer := d.tim.TransferTime(d.geo.PageSize)
+	faults := d.faultPlan()
 	for i := range ppas {
-		_, senseEnd := d.bank(ppas[i]).Acquire(at, d.tim.ReadPage)
+		sense := d.tim.ReadPage
+		if faults != nil {
+			sense = d.senseTime(faults, d.die(ppas[i]))
+		}
+		_, senseEnd := d.bank(ppas[i]).Acquire(at, sense)
 		_, end := d.channels[ppas[i].Channel].Acquire(senseEnd, xfer)
 		done = sim.Max(done, end)
 	}
@@ -303,6 +336,13 @@ func (d *Device) ReadPages(at sim.Time, ppas []PPA, out [][]byte) (sim.Time, err
 
 // ProgramPage writes data (at most one page) to p, arriving at time at.
 // Programming an already-programmed page is a flash-rule violation and fails.
+//
+// Under an installed FaultPlan a program attempt may fail with a
+// *ProgramError (unwrapping to ErrProgramFault): the attempt still occupies
+// the channel and bank (the returned time is the failed attempt's
+// completion), the page is consumed — its content is indeterminate and it
+// cannot be programmed again before an erase — and the caller is expected to
+// retire the block and relocate the data.
 func (d *Device) ProgramPage(at sim.Time, p PPA, data []byte) (sim.Time, error) {
 	if !p.Valid(d.geo) {
 		return at, fmt.Errorf("nvm: program of invalid address %v", p)
@@ -311,7 +351,8 @@ func (d *Device) ProgramPage(at sim.Time, p PPA, data []byte) (sim.Time, error) 
 		return at, fmt.Errorf("nvm: program of %d bytes exceeds page size %d", len(data), d.geo.PageSize)
 	}
 	idx := d.dieIndex(p)
-	s := &d.shards[d.die(p)]
+	die := d.die(p)
+	s := &d.shards[die]
 	s.mu.Lock()
 	if s.isProgrammed(idx) {
 		s.mu.Unlock()
@@ -322,6 +363,15 @@ func (d *Device) ProgramPage(at sim.Time, p PPA, data []byte) (sim.Time, error) 
 	_, done := d.bank(p).Acquire(xferEnd, d.tim.ProgramPage)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if f := d.faultPlan(); f != nil {
+		n := s.progOps
+		s.progOps++
+		if f.programFails(die, n) {
+			s.setProgrammed(idx, true) // consumed: unusable until erase
+			f.programFaults.Add(1)
+			return done, &ProgramError{Index: 0, P: p, Done: done}
+		}
+	}
 	s.setProgrammed(idx, true)
 	d.programs.Add(1)
 	if !d.phantom {
@@ -349,10 +399,15 @@ func (d *Device) storeLocked(s *dieShard, p PPA, idx int64, data []byte) {
 // op in slice order, but validates the whole span, reserves all timeline
 // slots, and updates state with one lock pass per run of same-die ops.
 //
-// Unlike a scalar loop, the batch is atomic with respect to errors: every op
-// is validated (address, size, flash rules) before any timeline slot is
-// reserved or any byte stored, and a validation failure leaves the device
-// untouched.
+// Unlike a scalar loop, the batch is atomic with respect to validation
+// errors: every op is checked (address, size, flash rules) before any
+// timeline slot is reserved or any byte stored, and a validation failure
+// leaves the device untouched.
+//
+// Injected program faults are not atomic — they mirror a scalar loop that
+// aborts at the failure: a *ProgramError with Index=k means ops[:k] stored
+// normally, op k's page was consumed by the failed attempt, and ops[k+1:]
+// were not attempted (their pages remain unprogrammed).
 func (d *Device) ProgramPages(ops []ProgramOp) (sim.Time, error) {
 	// Pass 1: validate everything and claim the programmed bits, unwinding
 	// on failure so an invalid batch leaves no trace.
@@ -390,38 +445,21 @@ func (d *Device) ProgramPages(ops []ProgramOp) (sim.Time, error) {
 		i = j
 	}
 	if err != nil {
-		for i := 0; i < claimed; {
-			die := d.die(ops[i].P)
-			j := i + 1
-			for j < claimed && d.die(ops[j].P) == die {
-				j++
-			}
-			s := &d.shards[die]
-			s.mu.Lock()
-			for k := i; k < j; k++ {
-				s.setProgrammed(d.dieIndex(ops[k].P), false)
-			}
-			s.mu.Unlock()
-			i = j
-		}
+		d.unclaim(ops[:claimed])
 		if len(ops) > 0 {
 			return ops[0].At, err
 		}
 		return 0, err
 	}
-	// Pass 2: timeline reservations in op order — identical acquire sequence
-	// to the scalar loop, so completions are bit-identical.
-	var done sim.Time
-	xfer := d.tim.TransferTime(d.geo.PageSize)
-	for i := range ops {
-		_, xferEnd := d.channels[ops[i].P.Channel].Acquire(ops[i].At, xfer)
-		_, end := d.bank(ops[i].P).Acquire(xferEnd, d.tim.ProgramPage)
-		done = sim.Max(done, end)
-	}
-	// Pass 3: store bytes and bump counters, grouped per die.
-	d.programs.Add(int64(len(ops)))
-	if !d.phantom {
-		for i := 0; i < len(ops); {
+	// Pass 1.5: with a fault plan installed, walk the batch in slice order
+	// consuming per-die attempt ticks until the first fault point. Ops after a
+	// faulted op are not attempted (a scalar loop would abort there): their
+	// claims are released and their attempt ticks are not consumed. The faulted
+	// op's page stays claimed — the failed attempt consumed it.
+	stored := ops
+	var faultIdx = -1
+	if f := d.faultPlan(); f != nil {
+		for i := 0; i < len(ops) && faultIdx < 0; {
 			die := d.die(ops[i].P)
 			j := i + 1
 			for j < len(ops) && d.die(ops[j].P) == die {
@@ -430,28 +468,115 @@ func (d *Device) ProgramPages(ops []ProgramOp) (sim.Time, error) {
 			s := &d.shards[die]
 			s.mu.Lock()
 			for k := i; k < j; k++ {
-				d.storeLocked(s, ops[k].P, d.dieIndex(ops[k].P), ops[k].Data)
+				n := s.progOps
+				s.progOps++
+				if f.programFails(die, n) {
+					faultIdx = k
+					break
+				}
+			}
+			s.mu.Unlock()
+			i = j
+		}
+		if faultIdx >= 0 {
+			f.programFaults.Add(1)
+			d.unclaim(ops[faultIdx+1:])
+			stored = ops[:faultIdx]
+		}
+	}
+	// Pass 2: timeline reservations in op order — identical acquire sequence
+	// to the scalar loop, so completions are bit-identical. On a fault the
+	// failed attempt still occupies the timelines; unattempted ops do not.
+	var done, faultDone sim.Time
+	xfer := d.tim.TransferTime(d.geo.PageSize)
+	attempted := ops
+	if faultIdx >= 0 {
+		attempted = ops[:faultIdx+1]
+	}
+	for i := range attempted {
+		_, xferEnd := d.channels[attempted[i].P.Channel].Acquire(attempted[i].At, xfer)
+		_, end := d.bank(attempted[i].P).Acquire(xferEnd, d.tim.ProgramPage)
+		done = sim.Max(done, end)
+		if i == faultIdx {
+			faultDone = end
+		}
+	}
+	// Pass 3: store bytes and bump counters, grouped per die.
+	d.programs.Add(int64(len(stored)))
+	if !d.phantom {
+		for i := 0; i < len(stored); {
+			die := d.die(stored[i].P)
+			j := i + 1
+			for j < len(stored) && d.die(stored[j].P) == die {
+				j++
+			}
+			s := &d.shards[die]
+			s.mu.Lock()
+			for k := i; k < j; k++ {
+				d.storeLocked(s, stored[k].P, d.dieIndex(stored[k].P), stored[k].Data)
 			}
 			s.mu.Unlock()
 			i = j
 		}
 	}
+	if faultIdx >= 0 {
+		return done, &ProgramError{Index: faultIdx, P: ops[faultIdx].P, Done: faultDone}
+	}
 	return done, nil
+}
+
+// unclaim releases the programmed bits claimed for ops (grouped per die run).
+func (d *Device) unclaim(ops []ProgramOp) {
+	for i := 0; i < len(ops); {
+		die := d.die(ops[i].P)
+		j := i + 1
+		for j < len(ops) && d.die(ops[j].P) == die {
+			j++
+		}
+		s := &d.shards[die]
+		s.mu.Lock()
+		for k := i; k < j; k++ {
+			s.setProgrammed(d.dieIndex(ops[k].P), false)
+		}
+		s.mu.Unlock()
+		i = j
+	}
 }
 
 // EraseBlock erases the block containing p (its Page field is ignored),
 // arriving at time at, returning the completion time. The erased pages'
 // frames are recycled: any alias returned by an earlier ReadPage of this
 // block becomes invalid once a later program reuses the frame.
+//
+// Under an installed FaultPlan an erase may fail with ErrEraseFault (a
+// transient fault: block contents unchanged, block should be retired) or
+// ErrWornOut (the block's erase count reached the endurance limit; every
+// further erase fails the same way). Either way the failed attempt still
+// occupies the bank timeline.
 func (d *Device) EraseBlock(at sim.Time, p PPA) (sim.Time, error) {
 	if !p.Valid(d.geo) && !(PPA{p.Channel, p.Bank, p.Block, 0}).Valid(d.geo) {
 		return at, fmt.Errorf("nvm: erase of invalid address %v", p)
 	}
+	die := d.die(p)
 	_, done := d.bank(p).Acquire(at, d.tim.EraseBlock)
 	base := int64(p.Block) * int64(d.geo.PagesPerBlock)
-	s := &d.shards[d.die(p)]
+	s := &d.shards[die]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if f := d.faultPlan(); f != nil {
+		// Wear-out is a permanent property of the block, checked before the
+		// transient-fault counter so it never consumes an attempt tick.
+		if f.wornOut(s.eraseCount[p.Block]) {
+			f.wearoutFaults.Add(1)
+			return done, fmt.Errorf("nvm: erase of %v: %w", p, ErrWornOut)
+		}
+		n := s.eraseOps
+		s.eraseOps++
+		if f.eraseFails(die, n) {
+			f.eraseFaults.Add(1)
+			return done, fmt.Errorf("nvm: erase of %v: %w", p, ErrEraseFault)
+		}
+	}
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
 		idx := base + int64(i)
 		s.setProgrammed(idx, false)

@@ -30,6 +30,7 @@ const (
 	OpOpenSpace   Opcode = 0xC8
 	OpCloseSpace  Opcode = 0xC9
 	OpDeleteSpace Opcode = 0xCA
+	OpReliability Opcode = 0xCB
 )
 
 func (o Opcode) String() string {
@@ -44,6 +45,8 @@ func (o Opcode) String() string {
 		return "close_space"
 	case OpDeleteSpace:
 		return "delete_space"
+	case OpReliability:
+		return "get_reliability"
 	default:
 		return fmt.Sprintf("opcode(%#x)", uint8(o))
 	}
@@ -114,7 +117,7 @@ func Unmarshal(raw [CommandSize]byte) (Command, error) {
 		return Command{}, fmt.Errorf("proto: not an extended command (reserved bit clear)")
 	}
 	switch c.Opcode() {
-	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace:
+	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability:
 	default:
 		return Command{}, fmt.Errorf("proto: unknown opcode %#x", uint8(c.Opcode()))
 	}
@@ -156,6 +159,12 @@ func NewCloseSpace(viewID uint32) Command {
 // NewDeleteSpace builds a delete_space command.
 func NewDeleteSpace(spaceID uint32) Command {
 	return newCommand(OpDeleteSpace, spaceID, 0, false)
+}
+
+// NewReliability builds a get_reliability command. The device answers with a
+// ReliabilityPayload page describing fault, recovery, and capacity state.
+func NewReliability(payloadAddr uint64) Command {
+	return newCommand(OpReliability, 0, payloadAddr, false)
 }
 
 // CoordPayload is the 4 KB page named by a read/write command: the
@@ -268,6 +277,68 @@ func UnmarshalSpacePayload(page []byte) (SpacePayload, error) {
 	return p, nil
 }
 
+// ReliabilityPayload is the page a get_reliability command returns: the
+// device's injected-fault counters, the STL's recovery work, and the current
+// capacity state after bad-block retirement.
+type ReliabilityPayload struct {
+	ProgramFaults  int64
+	EraseFaults    int64
+	WearoutFaults  int64
+	ReadRetries    int64
+	ProgramRetries int64
+	RetiredBlocks  int64
+	RetiredPages   int64
+	MaxPages       int64
+	EffectivePages int64
+	UsedPages      int64
+}
+
+// reliabilityWords is the number of 64-bit counters in the payload.
+const reliabilityWords = 10
+
+// Marshal encodes the payload into a 4 KB page: reliabilityWords little-
+// endian uint64 counters in struct order.
+func (p ReliabilityPayload) Marshal() ([]byte, error) {
+	for i, v := range p.words() {
+		if v < 0 {
+			return nil, fmt.Errorf("proto: reliability counter %d is negative (%d)", i, v)
+		}
+	}
+	out := make([]byte, PageSize)
+	for i, v := range p.words() {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out, nil
+}
+
+func (p *ReliabilityPayload) words() []int64 {
+	return []int64{
+		p.ProgramFaults, p.EraseFaults, p.WearoutFaults, p.ReadRetries,
+		p.ProgramRetries, p.RetiredBlocks, p.RetiredPages,
+		p.MaxPages, p.EffectivePages, p.UsedPages,
+	}
+}
+
+// UnmarshalReliabilityPayload decodes a reliability page.
+func UnmarshalReliabilityPayload(page []byte) (ReliabilityPayload, error) {
+	if len(page) < 8*reliabilityWords {
+		return ReliabilityPayload{}, fmt.Errorf("proto: reliability page too short")
+	}
+	var w [reliabilityWords]int64
+	for i := range w {
+		v := binary.LittleEndian.Uint64(page[8*i:])
+		if v > 1<<62 {
+			return ReliabilityPayload{}, fmt.Errorf("proto: reliability counter %d overflows (%d)", i, v)
+		}
+		w[i] = int64(v)
+	}
+	return ReliabilityPayload{
+		ProgramFaults: w[0], EraseFaults: w[1], WearoutFaults: w[2], ReadRetries: w[3],
+		ProgramRetries: w[4], RetiredBlocks: w[5], RetiredPages: w[6],
+		MaxPages: w[7], EffectivePages: w[8], UsedPages: w[9],
+	}, nil
+}
+
 // Completion is a device response: a status code plus two result words
 // (open_space returns the 64-bit space identifier and the dynamic view ID).
 type Completion struct {
@@ -286,6 +357,10 @@ const (
 	StatusUnknownView
 	StatusCapacity
 	StatusInternal
+	// StatusMediaError: the flash medium failed beyond the STL's recovery
+	// (program retries exhausted or no relocation target); appended after
+	// StatusInternal so existing status values stay stable on the wire.
+	StatusMediaError
 )
 
 func (s Status) String() string {
@@ -300,6 +375,8 @@ func (s Status) String() string {
 		return "unknown view"
 	case StatusCapacity:
 		return "capacity exceeded"
+	case StatusMediaError:
+		return "unrecoverable media error"
 	default:
 		return "internal error"
 	}

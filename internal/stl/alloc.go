@@ -16,6 +16,7 @@ type die struct {
 	nextPage    int
 	freePages   int64
 	validInBlk  []int32
+	retired     []bool // per-block: removed from service (nil until first retirement)
 }
 
 func (t *STL) die(channel, bank int) *die { return t.dies[channel*t.geo.Banks+bank] }
@@ -78,8 +79,8 @@ func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error
 // The chosen die may be full; the policy then falls over to the next
 // candidate in least-used order.
 func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, sim.Time, error) {
-	if t.usedPages >= t.maxPages {
-		return nvm.PPA{}, at, fmt.Errorf("stl: logical capacity exhausted (%d pages): %w", t.maxPages, ErrCapacity)
+	if limit := t.effectiveMaxPages(); t.usedPages >= limit {
+		return nvm.PPA{}, at, fmt.Errorf("stl: logical capacity exhausted (%d pages): %w", limit, ErrCapacity)
 	}
 	if t.cfg.NaiveAllocation {
 		return t.allocateNaive(at, s, blk)

@@ -215,7 +215,7 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 	// accumulate programs into a batch that drains at the flush points (RMW
 	// reads, GC via the gcFlush hook, staged programs, request end).
 	done := at
-	t.gcFlush = func() error { return t.flushPrograms(rs, &done) }
+	t.gcFlush = func() error { return t.flushPrograms(rs, &done, &stats) }
 	defer func() { t.gcFlush = nil }()
 	for si := range rs.stages {
 		st := &rs.stages[si]
@@ -233,7 +233,7 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 				t.stageWrite(s, st.blockIdx, st.page, lo-int64(st.page)*ps, chunk, hi-lo)
 			}
 			if pp := t.takeIfFull(s, st.blockIdx, st.page, pb); pp != nil {
-				if err := t.flushPrograms(rs, &done); err != nil {
+				if err := t.flushPrograms(rs, &done, &stats); err != nil {
 					return at, stats, err
 				}
 				d, err := t.programStaged(at, s, st.blockIdx, st.blk, st.page, pp)
@@ -251,7 +251,7 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 			pageBuf = rs.pageBuf(int(ps))
 		}
 		if slot.allocated && st.covered < pb {
-			if err := t.flushPrograms(rs, &done); err != nil {
+			if err := t.flushPrograms(rs, &done, &stats); err != nil {
 				return at, stats, err
 			}
 			old, d, err := t.dev.ReadPage(at, slot.ppa)
@@ -294,7 +294,7 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 		}
 		if err != nil {
 			// Land anything already queued so STL and device state agree.
-			if ferr := t.flushPrograms(rs, &done); ferr != nil {
+			if ferr := t.flushPrograms(rs, &done, &stats); ferr != nil {
 				return at, stats, ferr
 			}
 			return at, stats, err
@@ -306,7 +306,7 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 		t.progs++
 		stats.PagesProgrammed++
 	}
-	if err := t.flushPrograms(rs, &done); err != nil {
+	if err := t.flushPrograms(rs, &done, &stats); err != nil {
 		return at, stats, err
 	}
 	return done, stats, nil

@@ -95,6 +95,12 @@ func (t *STL) PendingPages() int { return len(t.pending) }
 
 // Flush programs every staged page, allocating units under the §4.2 policy.
 // The returned time covers the slowest program.
+//
+// A page that fails to program stays in the pending map, and the flush keeps
+// draining the remaining pages before reporting the first error — so one bad
+// page (or a transient capacity squeeze) doesn't strand every later staged
+// page, and a retry after the condition clears programs exactly the pages
+// that are still pending.
 func (t *STL) Flush(at sim.Time) (sim.Time, error) {
 	done := at
 	// Deterministic order: collect and sort keys.
@@ -107,6 +113,7 @@ func (t *STL) Flush(at sim.Time) (sim.Time, error) {
 			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
 	}
+	var firstErr error
 	for _, k := range keys {
 		pp := t.pending[k]
 		s, ok := t.spaces[k.space]
@@ -119,12 +126,15 @@ func (t *STL) Flush(at sim.Time) (sim.Time, error) {
 		blk, _ := t.block(s, gcoord, true)
 		d, err := t.programStaged(at, s, k.block, blk, k.page, pp)
 		if err != nil {
-			return done, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue // page stays pending; keep draining the rest
 		}
 		delete(t.pending, k)
 		done = sim.Max(done, d)
 	}
-	return done, nil
+	return done, firstErr
 }
 
 func lessKey(a, b pendingKey) bool {
@@ -149,7 +159,7 @@ func (t *STL) programStaged(at sim.Time, s *Space, blockIdx int64, blk *Building
 	if err != nil {
 		return at, err
 	}
-	d, err := t.dev.ProgramPage(ready, dst, pp.buf)
+	dst, d, err := t.programWithRecovery(ready, dst, pp.buf, nil)
 	if err != nil {
 		return at, err
 	}

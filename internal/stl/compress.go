@@ -136,7 +136,7 @@ func (t *STL) storeBlockImage(at sim.Time, s *Space, blockIdx int64, blk *Buildi
 		}
 		lo := int64(i) * ps
 		hi := min64(lo+ps, int64(len(payload)))
-		d, err := t.dev.ProgramPage(ready, dst, payload[lo:hi])
+		dst, d, err := t.programWithRecovery(ready, dst, payload[lo:hi], stats)
 		if err != nil {
 			return done, err
 		}

@@ -19,4 +19,9 @@ var (
 	// rank or volume, unsupported block order, or a payload whose size does
 	// not match the partition.
 	ErrInvalid = errors.New("invalid argument")
+	// ErrMedia: the flash medium failed beyond what the STL's recovery
+	// machinery could absorb — program retries exhausted, or no unit could be
+	// found to relocate data away from a failing block. The affected write did
+	// not land; previously written data is unaffected.
+	ErrMedia = errors.New("unrecoverable media error")
 )

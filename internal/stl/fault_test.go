@@ -1,0 +1,491 @@
+package stl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+func newFaultSTL(t *testing.T, geo nvm.Geometry, cfg Config, plan nvm.FaultPlan) *STL {
+	t.Helper()
+	dev, err := nvm.NewDevice(geo, nvm.TLCTiming(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPlan(plan)
+	st, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFaultProgramRetryPreservesData: injected program faults are absorbed by
+// relocation on both the scalar and batched write paths — the data reads back
+// intact and the recovery counters record the work.
+func TestFaultProgramRetryPreservesData(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scalar bool
+	}{{"batched", false}, {"scalar", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			geo := nvm.Geometry{Channels: 4, Banks: 2, BlocksPerBank: 16, PagesPerBlock: 8, PageSize: 512}
+			cfg := DefaultConfig()
+			cfg.OverProvision = 0.2
+			cfg.ScalarPath = tc.scalar
+			st := newFaultSTL(t, geo, cfg, nvm.FaultPlan{Seed: 9, ProgramFailEvery: 12})
+
+			s, err := st.CreateSpace(4, []int64{160, 160})
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := NewView(s, []int64{160, 160})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(8))
+			data := fillRandom(rng, s.Bytes())
+			_, stats, err := st.WritePartition(0, v, []int64{0, 0}, []int64{160, 160}, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.ProgramRetries == 0 {
+				t.Fatal("no program retries recorded in RequestStats despite fault plan")
+			}
+
+			got, _, _, err := st.ReadPartition(0, v, []int64{0, 0}, []int64{160, 160})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != data[i] {
+					t.Fatalf("byte %d corrupted across program-fault recovery", i)
+				}
+			}
+			r := st.Reliability()
+			if r.ProgramFaults == 0 || r.ProgramRetries == 0 || r.RetiredBlocks == 0 {
+				t.Fatalf("recovery counters empty: %+v", r)
+			}
+			if r.ProgramRetries != r.ProgramFaults {
+				t.Fatalf("%d faults but %d successful relocations", r.ProgramFaults, r.ProgramRetries)
+			}
+			if r.RetiredPages != r.RetiredBlocks*int64(geo.PagesPerBlock) {
+				t.Fatalf("retired %d blocks but %d pages", r.RetiredBlocks, r.RetiredPages)
+			}
+			if r.EffectivePages > r.MaxPages {
+				t.Fatalf("effective capacity %d above budget %d", r.EffectivePages, r.MaxPages)
+			}
+		})
+	}
+}
+
+// TestProgramRetryExhaustionFault: when every program attempt fails, recovery
+// gives up with ErrMedia instead of looping forever, on both write paths.
+func TestProgramRetryExhaustionFault(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scalar bool
+	}{{"batched", false}, {"scalar", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			geo := nvm.Geometry{Channels: 2, Banks: 1, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 512}
+			cfg := DefaultConfig()
+			cfg.ScalarPath = tc.scalar
+			st := newFaultSTL(t, geo, cfg, nvm.FaultPlan{Seed: 3, ProgramFailEvery: 1})
+
+			s, err := st.CreateSpace(4, []int64{32, 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := NewView(s, []int64{32, 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]byte, s.Bytes())
+			_, _, err = st.WritePartition(0, v, []int64{0, 0}, []int64{32, 32}, data)
+			if !errors.Is(err, ErrMedia) {
+				t.Fatalf("want ErrMedia after retry exhaustion, got %v", err)
+			}
+		})
+	}
+}
+
+// TestFaultEraseRetiresVictimDuringGC: a GC erase that faults retires the
+// victim block in place — no error surfaces, the data survives, and the
+// retired block never rejoins the free pool.
+func TestFaultEraseRetiresVictimDuringGC(t *testing.T) {
+	geo := nvm.Geometry{Channels: 4, Banks: 2, BlocksPerBank: 8, PagesPerBlock: 8, PageSize: 512}
+	st := newFaultSTL(t, geo, DefaultConfig(), nvm.FaultPlan{Seed: 17, EraseFailEvery: 8})
+
+	s, err := st.CreateSpace(4, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefModel(s)
+	rng := rand.New(rand.NewSource(31))
+	whole := fillRandom(rng, s.Bytes())
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{160, 160}, whole); err != nil {
+		t.Fatal(err)
+	}
+	ref.scatter(v.Dims(), []int64{0, 0}, []int64{160, 160}, whole)
+
+	for i := 0; i < 40; i++ {
+		sub := []int64{1 + rng.Int63n(64), 1 + rng.Int63n(64)}
+		coord := []int64{rng.Int63n(160 / sub[0]), rng.Int63n(160 / sub[1])}
+		_, n, err := v.PartitionShape(coord, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := fillRandom(rng, n*4)
+		if _, _, err := st.WritePartition(0, v, coord, sub, data); err != nil {
+			t.Fatalf("churn write %d: %v", i, err)
+		}
+		ref.scatter(v.Dims(), coord, sub, data)
+	}
+
+	r := st.Reliability()
+	if r.EraseFaults == 0 {
+		t.Fatal("no erase faults injected despite plan and GC churn")
+	}
+	if r.RetiredBlocks == 0 {
+		t.Fatal("erase faults retired no blocks")
+	}
+	got, _, _, err := st.ReadPartition(0, v, []int64{0, 0}, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.gather(v.Dims(), []int64{0, 0}, []int64{160, 160})
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d corrupted by erase-fault retirement", i)
+		}
+	}
+}
+
+// TestFaultWearOutGracefulDegradation: worn-out blocks are retired and
+// capacity degrades gracefully — data written before the wear-out stays
+// intact and the report stays self-consistent.
+func TestFaultWearOutGracefulDegradation(t *testing.T) {
+	geo := nvm.Geometry{Channels: 4, Banks: 2, BlocksPerBank: 8, PagesPerBlock: 8, PageSize: 512}
+	st := newFaultSTL(t, geo, DefaultConfig(), nvm.FaultPlan{Seed: 23, EnduranceLimit: 3})
+
+	s, err := st.CreateSpace(4, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefModel(s)
+	rng := rand.New(rand.NewSource(41))
+	whole := fillRandom(rng, s.Bytes())
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{160, 160}, whole); err != nil {
+		t.Fatal(err)
+	}
+	ref.scatter(v.Dims(), []int64{0, 0}, []int64{160, 160}, whole)
+
+	// Churn until the first block wears out; every write in the loop must
+	// still succeed (the over-provision reserve absorbs early retirements).
+	for i := 0; i < 400 && st.Reliability().WearoutFaults == 0; i++ {
+		sub := []int64{1 + rng.Int63n(64), 1 + rng.Int63n(64)}
+		coord := []int64{rng.Int63n(160 / sub[0]), rng.Int63n(160 / sub[1])}
+		_, n, err := v.PartitionShape(coord, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := fillRandom(rng, n*4)
+		if _, _, err := st.WritePartition(0, v, coord, sub, data); err != nil {
+			t.Fatalf("churn write %d: %v", i, err)
+		}
+		ref.scatter(v.Dims(), coord, sub, data)
+	}
+
+	r := st.Reliability()
+	if r.WearoutFaults == 0 {
+		t.Fatal("no block reached the endurance limit in 400 churn writes")
+	}
+	if r.RetiredBlocks == 0 || r.RetiredPages == 0 {
+		t.Fatalf("wear-out retired nothing: %+v", r)
+	}
+	reserve := st.Geometry().TotalPages() - r.MaxPages
+	wantEff := r.MaxPages
+	if excess := r.RetiredPages - reserve; excess > 0 {
+		wantEff -= excess
+	}
+	if r.EffectivePages != wantEff {
+		t.Fatalf("EffectivePages = %d, want %d (retired %d, reserve %d)",
+			r.EffectivePages, wantEff, r.RetiredPages, reserve)
+	}
+	got, _, _, err := st.ReadPartition(0, v, []int64{0, 0}, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.gather(v.Dims(), []int64{0, 0}, []int64{160, 160})
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d corrupted across wear-out retirement", i)
+		}
+	}
+}
+
+// TestGCRelocationOutOfSpaceRecovery: evacuateBlock with no room for the
+// survivors fails atomically — ErrCapacity, no mappings touched, every byte
+// still readable from the source units.
+func TestGCRelocationOutOfSpaceRecovery(t *testing.T) {
+	geo := nvm.Geometry{Channels: 2, Banks: 1, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 512}
+	dev, err := nvm.NewDevice(geo, nvm.TLCTiming(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.CreateSpace(4, []int64{32, 32}) // 8 pages, 4 per die
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, []int64{32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := fillRandom(rng, s.Bytes())
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{32, 32}, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a block holding valid units on die (0,0) and strand it: no free
+	// blocks, no open block — zero room for relocation.
+	d := st.die(0, 0)
+	victim := -1
+	for b := 0; b < geo.BlocksPerBank; b++ {
+		if d.validInBlk[b] > 0 {
+			victim = b
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no block with valid units on die 0/0")
+	}
+	d.freeBlocks = nil
+	d.activeBlock = -1
+
+	if _, err := st.evacuateBlock(0, 0, 0, victim); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("want ErrCapacity from stranded evacuation, got %v", err)
+	}
+
+	// Source mappings must still be authoritative.
+	for pg := 0; pg < geo.PagesPerBlock; pg++ {
+		src := nvm.PPA{Channel: 0, Bank: 0, Block: victim, Page: pg}
+		if e := st.rev[src.Linear(geo)]; e.valid {
+			gcoord := make([]int64, len(s.grid))
+			s.GridCoord(e.block, gcoord)
+			blk, _ := st.block(s, gcoord, false)
+			if blk == nil || blk.pages[e.page].ppa != src {
+				t.Fatalf("page %d: mapping rebound despite failed evacuation", pg)
+			}
+		}
+	}
+	got, _, _, err := st.ReadPartition(0, v, []int64{0, 0}, []int64{32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d corrupted by failed evacuation", i)
+		}
+	}
+}
+
+// TestFlushRecoveryDrainsPending: a Flush that hits an error on one staged
+// page keeps draining the rest, leaves exactly the failed page pending, and
+// a retry after the condition clears programs it.
+func TestFlushRecoveryDrainsPending(t *testing.T) {
+	geo := nvm.Geometry{Channels: 2, Banks: 1, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 512}
+	dev, err := nvm.NewDevice(geo, nvm.TLCTiming(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WriteBuffering = true
+	cfg.ZeroPageElision = true
+	st, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the logical budget completely so any later allocation fails.
+	filler, err := st.CreateSpace(4, []int64{56, 64}) // 14336 B = 28 pages = maxPages
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, err := NewView(filler, []int64{56, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	if _, _, err := st.WritePartition(0, fv, []int64{0, 0}, []int64{56, 64}, fillRandom(rng, filler.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage two sub-unit writes: a nonzero page (will need a unit) and an
+	// all-zero page (elided at flush, needs none).
+	hot, err := st.CreateSpace(4, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := NewView(hot, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotData := fillRandom(rng, 8*8*4)
+	if _, _, err := st.WritePartition(0, hv, []int64{0, 0}, []int64{8, 8}, hotData); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := st.CreateSpace(4, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := NewView(cold, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.WritePartition(0, cv, []int64{0, 0}, []int64{8, 8}, make([]byte, 8*8*4)); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingPages() != 2 {
+		t.Fatalf("staged %d pages, want 2", st.PendingPages())
+	}
+
+	// First flush: the nonzero page fails on capacity, but the flush drains
+	// on — the zero page is elided and leaves the pending map.
+	if _, err := st.Flush(0); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("want ErrCapacity from squeezed flush, got %v", err)
+	}
+	if st.PendingPages() != 1 {
+		t.Fatalf("%d pages pending after failed flush, want 1 (the failed page only)", st.PendingPages())
+	}
+
+	// Clear the squeeze and retry: exactly the still-pending page programs.
+	if err := st.DeleteSpace(filler.id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Flush(0); err != nil {
+		t.Fatalf("retry flush after freeing capacity: %v", err)
+	}
+	if st.PendingPages() != 0 {
+		t.Fatalf("%d pages pending after retry flush, want 0", st.PendingPages())
+	}
+	got, _, _, err := st.ReadPartition(0, hv, []int64{0, 0}, []int64{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != hotData[i] {
+			t.Fatalf("byte %d of the retried page corrupted", i)
+		}
+	}
+}
+
+// faultMatrixRun drives one STL instance through a fixed mixed workload under
+// a full fault plan and returns the final image, every completion time, and
+// the reliability report.
+func faultMatrixRun(t *testing.T, scalar bool) ([]byte, []sim.Time, ReliabilityReport) {
+	t.Helper()
+	geo := nvm.Geometry{Channels: 4, Banks: 2, BlocksPerBank: 8, PagesPerBlock: 8, PageSize: 512}
+	cfg := DefaultConfig()
+	cfg.ScalarPath = scalar
+	plan := nvm.FaultPlan{
+		Seed:             101,
+		ProgramFailEvery: 250,
+		EraseFailEvery:   8,
+		ReadRetryEvery:   7,
+		EnduranceLimit:   200,
+	}
+	st := newFaultSTL(t, geo, cfg, plan)
+
+	s, err := st.CreateSpace(4, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	var times []sim.Time
+
+	whole := fillRandom(rng, s.Bytes())
+	done, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{160, 160}, whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times = append(times, done)
+
+	for i := 0; i < 25; i++ {
+		sub := []int64{1 + rng.Int63n(64), 1 + rng.Int63n(64)}
+		coord := []int64{rng.Int63n(160 / sub[0]), rng.Int63n(160 / sub[1])}
+		_, n, err := v.PartitionShape(coord, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, _, err := st.WritePartition(0, v, coord, sub, fillRandom(rng, n*4))
+		if err != nil {
+			t.Fatalf("matrix write %d: %v", i, err)
+		}
+		times = append(times, done)
+		_, rdone, _, err := st.ReadPartition(0, v, coord, sub)
+		if err != nil {
+			t.Fatalf("matrix read %d: %v", i, err)
+		}
+		times = append(times, rdone)
+	}
+
+	img, _, _, err := st.ReadPartition(0, v, []int64{0, 0}, []int64{160, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, times, st.Reliability()
+}
+
+// TestFaultMatrixDeterministic: the same seeded fault plan over the same
+// mixed workload replays identically — bytes, completion times, and the full
+// reliability report — and actually exercises every fault class it enables.
+func TestFaultMatrixDeterministic(t *testing.T) {
+	img1, times1, r1 := faultMatrixRun(t, false)
+	img2, times2, r2 := faultMatrixRun(t, false)
+
+	if r1 != r2 {
+		t.Fatalf("reliability reports diverged:\n%+v\n%+v", r1, r2)
+	}
+	if len(times1) != len(times2) {
+		t.Fatalf("op counts diverged: %d vs %d", len(times1), len(times2))
+	}
+	for i := range times1 {
+		if times1[i] != times2[i] {
+			t.Fatalf("op %d completed at %v vs %v", i, times1[i], times2[i])
+		}
+	}
+	if len(img1) != len(img2) {
+		t.Fatal("image sizes diverged")
+	}
+	for i := range img1 {
+		if img1[i] != img2[i] {
+			t.Fatalf("byte %d diverged between identical runs", i)
+		}
+	}
+	if r1.ProgramFaults == 0 || r1.EraseFaults == 0 || r1.ReadRetries == 0 {
+		t.Fatalf("fault matrix left a class unexercised: %+v", r1)
+	}
+	if r1.ProgramRetries == 0 || r1.RetiredBlocks == 0 {
+		t.Fatalf("recovery never ran: %+v", r1)
+	}
+}

@@ -1,6 +1,7 @@
 package stl
 
 import (
+	"errors"
 	"fmt"
 
 	"nds/internal/nvm"
@@ -60,6 +61,11 @@ func (t *STL) pickVictim(channel, bank int) int {
 		if b == d.activeBlock || free[b] {
 			continue
 		}
+		if d.retired != nil && d.retired[b] {
+			// Retired blocks are never erased; evacuating one nets nothing,
+			// and its valid pages stay readable in place.
+			continue
+		}
 		v := d.validInBlk[b]
 		if v >= int32(t.geo.PagesPerBlock) {
 			continue
@@ -71,11 +77,33 @@ func (t *STL) pickVictim(channel, bank int) int {
 	return best
 }
 
+// gcMove is one planned relocation: a valid source unit and the translation
+// state that must be rebound once its data lands on the destination.
+type gcMove struct {
+	src      nvm.PPA
+	space    *Space
+	blk      *BuildingBlock
+	blockIdx int64
+	page     int32
+}
+
 // evacuateBlock relocates the victim's valid units within the die (so each
 // building block keeps its channel/bank spread), updates their building
 // blocks through the reverse-lookup table, and erases the victim.
+//
+// The move is effectively atomic on error: every rebind target is resolved
+// and every destination unit carved before any byte is programmed, so a
+// translation inconsistency or out-of-space condition surfaces with the
+// source mappings still live and nothing leaked. Data moves through the
+// batched device path (one ReadPages and one ProgramPages per victim);
+// injected program faults relocate to fresh units, and an erase fault or
+// worn-out victim is retired in place rather than reported as an error.
 func (t *STL) evacuateBlock(at sim.Time, channel, bank, block int) (sim.Time, error) {
 	d := t.die(channel, bank)
+
+	// Plan: collect the victim's valid units and validate their rebind
+	// targets before touching the device.
+	var moves []gcMove
 	for pg := 0; pg < t.geo.PagesPerBlock; pg++ {
 		src := nvm.PPA{Channel: channel, Bank: bank, Block: block, Page: pg}
 		entry := t.rev[src.Linear(t.geo)]
@@ -86,45 +114,105 @@ func (t *STL) evacuateBlock(at sim.Time, channel, bank, block int) (sim.Time, er
 		if !ok {
 			return at, fmt.Errorf("stl: GC found unit of unknown space %d", entry.space)
 		}
-		data, done, err := t.dev.ReadPage(at, src)
-		if err != nil {
-			return at, err
-		}
-		if d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock {
-			if len(d.freeBlocks) == 0 {
-				return at, fmt.Errorf("stl: GC relocation out of space on ch%d/bk%d", channel, bank)
-			}
-			d.activeBlock = d.freeBlocks[0]
-			d.freeBlocks = d.freeBlocks[1:]
-			d.nextPage = 0
-		}
-		dst := nvm.PPA{Channel: channel, Bank: bank, Block: d.activeBlock, Page: d.nextPage}
-		d.nextPage++
-		d.freePages--
-		done, err = t.dev.ProgramPage(done, dst, data)
-		if err != nil {
-			return at, err
-		}
-		// Rebind: locate the building block via the reverse entry and point
-		// its page slot at the new unit.
 		gcoord := make([]int64, len(s.grid))
 		s.GridCoord(entry.block, gcoord)
 		blk, _ := t.block(s, gcoord, false)
 		if blk == nil {
 			return at, fmt.Errorf("stl: GC reverse entry names missing block %d of space %d", entry.block, s.id)
 		}
-		blk.pages[entry.page].ppa = dst
-		t.invalidateUnit(src)
-		t.bindUnit(s, entry.block, int(entry.page), dst)
-		t.gcMoves++
-		at = sim.Max(at, done)
+		moves = append(moves, gcMove{src: src, space: s, blk: blk, blockIdx: entry.block, page: entry.page})
 	}
-	done, err := t.dev.EraseBlock(at, nvm.PPA{Channel: channel, Bank: bank, Block: block})
+
+	done := at
+	if len(moves) > 0 {
+		room := int64(len(d.freeBlocks)) * int64(t.geo.PagesPerBlock)
+		if d.activeBlock >= 0 {
+			room += int64(t.geo.PagesPerBlock - d.nextPage)
+		}
+		if room < int64(len(moves)) {
+			return at, fmt.Errorf("stl: GC relocation out of space on ch%d/bk%d: %w", channel, bank, ErrCapacity)
+		}
+		srcs := make([]nvm.PPA, len(moves))
+		datas := make([][]byte, len(moves))
+		for i := range moves {
+			srcs[i] = moves[i].src
+		}
+		readDone, err := t.dev.ReadPages(at, srcs, datas)
+		if err != nil {
+			return at, err
+		}
+		// Carve every destination up front (the room check above guarantees
+		// the die can supply them), then land the whole block in one batch.
+		ops := make([]nvm.ProgramOp, len(moves))
+		for i := range moves {
+			dst, ok := t.takeUnitRaw(channel, bank)
+			if !ok {
+				return at, fmt.Errorf("stl: GC relocation out of space on ch%d/bk%d: %w", channel, bank, ErrCapacity)
+			}
+			ops[i] = nvm.ProgramOp{At: readDone, P: dst, Data: datas[i]}
+		}
+		done, err = t.gcProgramBatch(ops)
+		if err != nil {
+			// Nothing was rebound: the source mappings are still authoritative
+			// and any orphan destination copies sit unbound in blocks GC will
+			// reclaim normally.
+			return at, err
+		}
+		for i := range moves {
+			m := &moves[i]
+			m.blk.pages[m.page].ppa = ops[i].P
+			t.invalidateUnit(m.src)
+			t.bindUnit(m.space, m.blockIdx, int(m.page), ops[i].P)
+			t.gcMoves++
+		}
+	}
+
+	eraseDone, err := t.dev.EraseBlock(done, nvm.PPA{Channel: channel, Bank: bank, Block: block})
 	if err != nil {
-		return at, err
+		if errors.Is(err, nvm.ErrEraseFault) || errors.Is(err, nvm.ErrWornOut) {
+			// The victim's data is already out; the block just can't rejoin
+			// the free pool. Retire it and carry on.
+			t.retireBlock(channel, bank, block)
+			return eraseDone, nil
+		}
+		return done, err
 	}
 	d.freeBlocks = append(d.freeBlocks, block)
 	d.freePages += int64(t.geo.PagesPerBlock)
 	t.gcErases++
+	return eraseDone, nil
+}
+
+// gcProgramBatch lands a GC relocation batch, recovering from injected
+// program faults: the faulted op's block is retired, the op is redirected to
+// a fresh unit, and the remainder of the batch retries from the failed
+// attempt's completion. Ops are not yet bound, so recovery only rewrites the
+// batch itself.
+func (t *STL) gcProgramBatch(ops []nvm.ProgramOp) (sim.Time, error) {
+	var done sim.Time
+	retries := 0
+	for len(ops) > 0 {
+		d, err := t.dev.ProgramPages(ops)
+		var pe *nvm.ProgramError
+		if err == nil || !errors.As(err, &pe) {
+			return sim.Max(done, d), err
+		}
+		done = sim.Max(done, d)
+		if pe.Index > 0 {
+			retries = 0 // progress since the last fault
+		}
+		ops = ops[pe.Index:]
+		t.retireBlock(pe.P.Channel, pe.P.Bank, pe.P.Block)
+		if retries++; retries > maxProgramRetries {
+			return done, fmt.Errorf("stl: GC relocation of %v: %d relocation attempts failed: %w", pe.P, retries, ErrMedia)
+		}
+		np, ok := t.allocateRecoveryUnit(pe.P)
+		if !ok {
+			return done, fmt.Errorf("stl: no unit available to relocate faulted GC program at %v: %w", pe.P, ErrMedia)
+		}
+		t.programRetries++
+		ops[0].P = np
+		ops[0].At = pe.Done
+	}
 	return done, nil
 }

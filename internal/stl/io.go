@@ -16,6 +16,7 @@ type RequestStats struct {
 	Traversals      int   // B-tree lookups performed
 	PagesRead       int64 // device page reads (including read-modify-write)
 	PagesProgrammed int64 // device page programs
+	ProgramRetries  int64 // faulted programs relocated and retried (recover.go)
 	Bytes           int64 // payload bytes moved for the application
 }
 
@@ -280,7 +281,7 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 		if err != nil {
 			return at, stats, err
 		}
-		d, err := t.dev.ProgramPage(ready, dst, pageBuf)
+		dst, d, err := t.programWithRecovery(ready, dst, pageBuf, &stats)
 		if err != nil {
 			return at, stats, err
 		}

@@ -1,0 +1,225 @@
+package stl
+
+import (
+	"errors"
+	"fmt"
+
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+// Media-fault recovery. The device layer (internal/nvm) injects deterministic
+// program, erase, and wear-out faults under a FaultPlan; this file is the STL
+// side of the contract:
+//
+//   - A program fault consumes the target page. The STL retires the page's
+//     block, relocates the write to a freshly allocated unit, and retries,
+//     up to maxProgramRetries times per logical page before giving up with
+//     ErrMedia. Data already on the medium is never at risk — only the
+//     in-flight write is being placed.
+//   - An erase fault (transient or wear-out) retires the block: it leaves
+//     freeBlocks, is never picked as a GC victim again, and any valid pages
+//     still in it remain readable in place for the rest of their lives.
+//   - Retired capacity degrades the device gracefully: retirement first
+//     consumes the over-provision reserve, and only once that is exhausted
+//     does the logical allocation budget shrink (effectiveMaxPages).
+//
+// With no fault plan installed none of these paths run, and the only cost on
+// the data path is the retired-block bookkeeping checks, which see zero
+// retired blocks.
+
+// maxProgramRetries bounds how many fresh units the STL will burn trying to
+// land one logical page before declaring the write unrecoverable.
+const maxProgramRetries = 8
+
+// ReliabilityReport aggregates the device's injected-fault counters with the
+// STL's recovery and retirement state: what failed, what was recovered, and
+// what capacity the array has permanently lost.
+type ReliabilityReport struct {
+	// Device-side fault events (zero when no fault plan is installed).
+	ProgramFaults int64 // program attempts that failed
+	EraseFaults   int64 // transient erase failures
+	WearoutFaults int64 // erases refused because the block is worn out
+	ReadRetries   int64 // reads that needed extra ECC sensing passes
+
+	// STL-side recovery work.
+	ProgramRetries int64 // successful relocations of faulted programs
+	RetiredBlocks  int64 // blocks removed from service
+	RetiredPages   int64 // raw pages those blocks represent
+
+	// Capacity state after degradation.
+	MaxPages       int64 // original logical allocation budget
+	EffectivePages int64 // current budget (MaxPages minus unreserved losses)
+	UsedPages      int64 // live units
+}
+
+// Reliability reports the device fault counters and STL recovery state.
+func (t *STL) Reliability() ReliabilityReport {
+	fs := t.dev.FaultStats()
+	return ReliabilityReport{
+		ProgramFaults:  fs.ProgramFaults,
+		EraseFaults:    fs.EraseFaults,
+		WearoutFaults:  fs.WearoutFaults,
+		ReadRetries:    fs.ReadRetries,
+		ProgramRetries: t.programRetries,
+		RetiredBlocks:  t.retiredBlocks,
+		RetiredPages:   t.retiredPages,
+		MaxPages:       t.maxPages,
+		EffectivePages: t.effectiveMaxPages(),
+		UsedPages:      t.usedPages,
+	}
+}
+
+// effectiveMaxPages is the logical allocation budget after retirement:
+// retired pages consume the over-provision reserve first, and only the excess
+// shrinks the logical budget.
+func (t *STL) effectiveMaxPages() int64 {
+	reserve := t.geo.TotalPages() - t.maxPages
+	if excess := t.retiredPages - reserve; excess > 0 {
+		return t.maxPages - excess
+	}
+	return t.maxPages
+}
+
+// retireBlock permanently removes a block from service: it leaves the die's
+// free list, will never be the active block or a GC victim again, and is
+// never erased. Valid pages still in it stay readable in place. Idempotent.
+func (t *STL) retireBlock(channel, bank, block int) {
+	d := t.die(channel, bank)
+	if d.retired == nil {
+		d.retired = make([]bool, t.geo.BlocksPerBank)
+	}
+	if d.retired[block] {
+		return
+	}
+	d.retired[block] = true
+	t.retiredBlocks++
+	t.retiredPages += int64(t.geo.PagesPerBlock)
+	for i, b := range d.freeBlocks {
+		if b == block {
+			d.freeBlocks = append(d.freeBlocks[:i], d.freeBlocks[i+1:]...)
+			d.freePages -= int64(t.geo.PagesPerBlock)
+			return
+		}
+	}
+	if block == d.activeBlock {
+		// The open block's unprogrammed tail is no longer free space.
+		d.freePages -= int64(t.geo.PagesPerBlock - d.nextPage)
+		d.activeBlock = -1
+	}
+}
+
+// takeUnitRaw carves the next programmable page out of a die without running
+// garbage collection or the gcFlush hook — safe to call from recovery code
+// that is itself inside a flush or GC. Returns false when the die has no
+// programmable unit.
+func (t *STL) takeUnitRaw(channel, bank int) (nvm.PPA, bool) {
+	d := t.die(channel, bank)
+	if d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock {
+		if len(d.freeBlocks) == 0 {
+			return nvm.PPA{}, false
+		}
+		d.activeBlock = d.freeBlocks[0]
+		d.freeBlocks = d.freeBlocks[1:]
+		d.nextPage = 0
+	}
+	p := nvm.PPA{Channel: channel, Bank: bank, Block: d.activeBlock, Page: d.nextPage}
+	d.nextPage++
+	d.freePages--
+	return p, true
+}
+
+// allocateRecoveryUnit finds a destination for data whose program to old
+// faulted: the same die first (preserving the building block's channel/bank
+// spread), then any die with room (data preservation beats placement policy).
+func (t *STL) allocateRecoveryUnit(old nvm.PPA) (nvm.PPA, bool) {
+	if p, ok := t.takeUnitRaw(old.Channel, old.Bank); ok {
+		return p, true
+	}
+	for ch := 0; ch < t.geo.Channels; ch++ {
+		for bk := 0; bk < t.geo.Banks; bk++ {
+			if ch == old.Channel && bk == old.Bank {
+				continue
+			}
+			if p, ok := t.takeUnitRaw(ch, bk); ok {
+				return p, true
+			}
+		}
+	}
+	return nvm.PPA{}, false
+}
+
+// programWithRecovery programs data to p, and on an injected program fault
+// retires the failing block, relocates to a fresh unit, and retries from the
+// failed attempt's completion time. Returns the unit that finally holds the
+// data (callers bind that unit, not the one they allocated). Non-fault errors
+// pass through; exhausting maxProgramRetries or running out of units reports
+// ErrMedia.
+func (t *STL) programWithRecovery(at sim.Time, p nvm.PPA, data []byte, stats *RequestStats) (nvm.PPA, sim.Time, error) {
+	for tries := 0; ; tries++ {
+		done, err := t.dev.ProgramPage(at, p, data)
+		var pe *nvm.ProgramError
+		if err == nil || !errors.As(err, &pe) {
+			return p, done, err
+		}
+		t.retireBlock(p.Channel, p.Bank, p.Block)
+		if tries >= maxProgramRetries {
+			return p, done, fmt.Errorf("stl: program of %v: %d relocation attempts failed: %w", p, tries+1, ErrMedia)
+		}
+		np, ok := t.allocateRecoveryUnit(p)
+		if !ok {
+			return p, done, fmt.Errorf("stl: no unit available to relocate faulted program at %v: %w", p, ErrMedia)
+		}
+		t.programRetries++
+		if stats != nil {
+			stats.ProgramRetries++
+		}
+		p, at = np, pe.Done
+	}
+}
+
+// rebindFaulted points the building-block slot that owns old (located through
+// the reverse-lookup table) at np instead, keeping usedPages and valid counts
+// balanced. Used by the batch recovery path, where the unit was bound when
+// its program was queued. Returns false if old is not bound (translation
+// state is inconsistent — callers surface an error).
+func (t *STL) rebindFaulted(old, np nvm.PPA) bool {
+	e := t.rev[old.Linear(t.geo)]
+	if !e.valid {
+		return false
+	}
+	s, ok := t.spaces[e.space]
+	if !ok {
+		return false
+	}
+	gcoord := make([]int64, len(s.grid))
+	s.GridCoord(e.block, gcoord)
+	blk, _ := t.block(s, gcoord, false)
+	if blk == nil {
+		return false
+	}
+	blk.pages[e.page].ppa = np
+	t.invalidateUnit(old)
+	t.bindUnit(s, e.block, int(e.page), np)
+	return true
+}
+
+// unbindOps drops the translation state of queued program ops that will never
+// land (an unrecoverable batch failure), restoring the invariant that bound
+// units are programmed units.
+func (t *STL) unbindOps(ops []nvm.ProgramOp) {
+	for i := range ops {
+		e := t.rev[ops[i].P.Linear(t.geo)]
+		if !e.valid {
+			continue
+		}
+		if s, ok := t.spaces[e.space]; ok {
+			gcoord := make([]int64, len(s.grid))
+			s.GridCoord(e.block, gcoord)
+			if blk, _ := t.block(s, gcoord, false); blk != nil {
+				blk.pages[e.page].allocated = false
+			}
+		}
+		t.invalidateUnit(ops[i].P)
+	}
+}

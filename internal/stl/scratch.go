@@ -1,6 +1,9 @@
 package stl
 
 import (
+	"errors"
+	"fmt"
+
 	"nds/internal/nvm"
 	"nds/internal/sim"
 )
@@ -205,19 +208,65 @@ func (t *STL) flushReads(rs *requestScratch, at sim.Time, done *sim.Time) error 
 // buffers. Called at every point where the scalar path would already have
 // issued these programs before the next device operation (RMW reads, GC,
 // request end), which is what keeps batched timing identical to scalar.
-func (t *STL) flushPrograms(rs *requestScratch, done *sim.Time) error {
+//
+// Queued ops were bound when appended, so recovery from an injected program
+// fault rebinds through the reverse-lookup table: the faulted op's block is
+// retired, its data redirected to a fresh unit, and the rest of the batch
+// retried from the failed attempt's completion. An unrecoverable failure
+// unbinds every op that did not land, so bound units are always programmed
+// units. Recovery allocates with takeUnitRaw (no GC), so it cannot re-enter
+// this flush through the gcFlush hook.
+func (t *STL) flushPrograms(rs *requestScratch, done *sim.Time, stats *RequestStats) error {
 	if len(rs.ops) == 0 {
 		return nil
 	}
-	d, err := t.dev.ProgramPages(rs.ops)
-	if err != nil {
-		return err
+	ops := rs.ops
+	defer func() {
+		for i := range rs.ops {
+			rs.releaseBuf(rs.ops[i].Data)
+			rs.ops[i].Data = nil
+		}
+		rs.ops = rs.ops[:0]
+	}()
+	retries := 0
+	for len(ops) > 0 {
+		d, err := t.dev.ProgramPages(ops)
+		if err == nil {
+			*done = sim.Max(*done, d)
+			return nil
+		}
+		var pe *nvm.ProgramError
+		if !errors.As(err, &pe) {
+			// Validation failure: no op landed; drop the whole batch's
+			// translation state.
+			t.unbindOps(ops)
+			return err
+		}
+		*done = sim.Max(*done, d)
+		if pe.Index > 0 {
+			retries = 0 // progress since the last fault
+		}
+		ops = ops[pe.Index:] // the stored prefix stays bound
+		t.retireBlock(pe.P.Channel, pe.P.Bank, pe.P.Block)
+		if retries++; retries > maxProgramRetries {
+			t.unbindOps(ops)
+			return fmt.Errorf("stl: program of %v: %d relocation attempts failed: %w", pe.P, retries, ErrMedia)
+		}
+		np, ok := t.allocateRecoveryUnit(pe.P)
+		if !ok {
+			t.unbindOps(ops)
+			return fmt.Errorf("stl: no unit available to relocate faulted program at %v: %w", pe.P, ErrMedia)
+		}
+		if !t.rebindFaulted(pe.P, np) {
+			t.unbindOps(ops)
+			return fmt.Errorf("stl: faulted program at %v is not bound to any building block: %w", pe.P, ErrMedia)
+		}
+		t.programRetries++
+		if stats != nil {
+			stats.ProgramRetries++
+		}
+		ops[0].P = np
+		ops[0].At = pe.Done
 	}
-	*done = sim.Max(*done, d)
-	for i := range rs.ops {
-		rs.releaseBuf(rs.ops[i].Data)
-		rs.ops[i].Data = nil
-	}
-	rs.ops = rs.ops[:0]
 	return nil
 }

@@ -87,6 +87,11 @@ type STL struct {
 	gcMoves  int64
 	progs    int64 // host-initiated programs
 
+	// Media-fault recovery state (see recover.go).
+	retiredBlocks  int64 // blocks permanently removed from service
+	retiredPages   int64 // raw pages those blocks represent
+	programRetries int64 // faulted programs successfully relocated
+
 	compressedBlocks int64
 	zeroSkipped      int64
 

@@ -158,6 +158,8 @@ func (s *System) NDSReadInto(at sim.Time, v *stl.View, coord, sub []int64, dst [
 			Extents:  st.Extents,
 			Pages:    st.PagesRead,
 			Commands: 1,
+
+			ProgramRetries: st.ProgramRetries,
 		}
 		return data, stats, nil
 
@@ -181,6 +183,8 @@ func (s *System) NDSReadInto(at sim.Time, v *stl.View, coord, sub []int64, dst [
 			Extents:  st.Extents,
 			Pages:    st.PagesRead,
 			Commands: 1,
+
+			ProgramRetries: st.ProgramRetries,
 		}
 		return data, stats, nil
 	}
@@ -221,6 +225,8 @@ func (s *System) NDSWrite(at sim.Time, v *stl.View, coord, sub []int64, data []b
 			Extents:  st.Extents,
 			Pages:    st.PagesProgrammed + st.PagesRead,
 			Commands: 1,
+
+			ProgramRetries: st.ProgramRetries,
 		}
 		return stats, nil
 
@@ -245,6 +251,8 @@ func (s *System) NDSWrite(at sim.Time, v *stl.View, coord, sub []int64, data []b
 			Extents:  st.Extents,
 			Pages:    st.PagesProgrammed + st.PagesRead,
 			Commands: 1,
+
+			ProgramRetries: st.ProgramRetries,
 		}
 		return stats, nil
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nds/internal/sim"
+	"nds/internal/stl"
 )
 
 // Report is a utilization/telemetry snapshot of one system over a measured
@@ -36,6 +37,10 @@ type Report struct {
 	GCMoves   int64
 	WriteAmp  float64
 	UsedPages int64
+
+	// Reliability is the STL's fault/recovery snapshot (zero-valued on
+	// Baseline systems and when no fault plan is installed).
+	Reliability stl.ReliabilityReport
 }
 
 // Report snapshots the system's resource accounting over the horizon
@@ -67,6 +72,7 @@ func (s *System) Report(horizon sim.Time) Report {
 		r.GCErases, r.GCMoves = s.STL.GCStats()
 		r.WriteAmp = s.STL.WriteAmplification()
 		r.UsedPages = s.STL.UsedPages()
+		r.Reliability = s.STL.Reliability()
 	}
 	return r
 }
@@ -98,6 +104,11 @@ func (r Report) String() string {
 		r.DeviceReads, r.DevicePrograms, r.DeviceErases)
 	if r.GCErases > 0 {
 		fmt.Fprintf(&b, " (GC: %d erases, %d moves, WA %.2f)", r.GCErases, r.GCMoves, r.WriteAmp)
+	}
+	if rel := r.Reliability; rel.ProgramFaults+rel.EraseFaults+rel.WearoutFaults+rel.ReadRetries > 0 {
+		fmt.Fprintf(&b, "\n  reliability: %d program / %d erase / %d wear-out faults, %d read retries; %d retries OK, %d blocks retired, capacity %d/%d pages",
+			rel.ProgramFaults, rel.EraseFaults, rel.WearoutFaults, rel.ReadRetries,
+			rel.ProgramRetries, rel.RetiredBlocks, rel.EffectivePages, rel.MaxPages)
 	}
 	return b.String()
 }

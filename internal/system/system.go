@@ -65,6 +65,11 @@ type Config struct {
 	// CipherKey, when non-empty, installs the §5.3.3 inline encryption
 	// engine on the flash array (data-bearing devices only).
 	CipherKey []byte
+	// Faults, when enabled, installs deterministic flash fault injection
+	// (program/erase failures, read retry, wear-out) on the device; the STL's
+	// recovery machinery absorbs the faults and reports them through
+	// Reliability().
+	Faults nvm.FaultPlan
 }
 
 // EvalTiming is the evaluation platform's flash timing, calibrated so the
@@ -151,6 +156,9 @@ func New(kind Kind, cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	if cfg.Faults.Enabled() {
+		dev.SetFaultPlan(cfg.Faults)
+	}
 	s := &System{
 		Kind: kind,
 		Cfg:  cfg,
@@ -197,6 +205,10 @@ type OpStats struct {
 	Extents  int      // marshalling/assembly chunks
 	Pages    int64    // device page operations
 	Commands int      // I/O commands issued by the host
+
+	// ProgramRetries counts faulted programs relocated while serving this
+	// request (nonzero only under an installed fault plan).
+	ProgramRetries int64
 }
 
 // pageSize is a small convenience.

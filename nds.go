@@ -50,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"nds/internal/nvm"
 	"nds/internal/sim"
 	"nds/internal/stl"
 	"nds/internal/system"
@@ -114,6 +115,49 @@ type Options struct {
 	// differential tests hold them to it); the knob exists for that
 	// comparison, not as a tuning choice.
 	ScalarDataPath bool
+	// Faults, when non-nil and enabled, installs deterministic flash fault
+	// injection: the simulated medium fails programs and erases, needs ECC
+	// read retries, and wears blocks out at seed-derived points, and the
+	// STL's recovery machinery absorbs it (retiring bad blocks, relocating
+	// failed programs). Observe the outcome through Reliability(). With no
+	// plan the device behaves bit-identically to one without the feature.
+	Faults *FaultPlan
+}
+
+// FaultPlan configures deterministic flash fault injection (Options.Faults).
+// Zero values disable each mechanism. Two devices with the same geometry and
+// plan, driven by identical operation sequences, fail at identical points.
+type FaultPlan struct {
+	// Seed phases each die's fault points so faults spread across the array.
+	Seed int64
+	// ProgramFailEvery N > 0 fails one in every N program attempts per die.
+	ProgramFailEvery int64
+	// EraseFailEvery N > 0 fails one in every N erase attempts per die.
+	EraseFailEvery int64
+	// ReadRetryEvery N > 0 makes one in every N page reads per die need ECC
+	// retry: correct data, extra sensing latency.
+	ReadRetryEvery int64
+	// ReadRetrySenses is the number of extra sensing passes a retried read
+	// performs (default 2 when ReadRetryEvery is set).
+	ReadRetrySenses int
+	// EnduranceLimit E > 0 wears a block out after E successful erases.
+	EnduranceLimit int64
+}
+
+// ReliabilityReport describes the device's fault history and the STL's
+// recovery work: what the medium did, what was absorbed, and how much
+// capacity retirement has cost. All zero on a device without a fault plan.
+type ReliabilityReport struct {
+	ProgramFaults  int64 // program attempts that failed
+	EraseFaults    int64 // transient erase failures
+	WearoutFaults  int64 // erases refused on worn-out blocks
+	ReadRetries    int64 // reads needing extra ECC sensing
+	ProgramRetries int64 // faulted programs successfully relocated
+	RetiredBlocks  int64 // blocks permanently removed from service
+	RetiredPages   int64 // raw pages those blocks represent
+	MaxPages       int64 // original logical allocation budget
+	EffectivePages int64 // budget after graceful degradation
+	UsedPages      int64 // live units
 }
 
 // SpaceID names a created address space.
@@ -127,6 +171,10 @@ type Stats struct {
 	Pages    int64         // flash page operations
 	Commands int           // I/O commands issued
 	Extents  int           // building-block fragments translated
+
+	// ProgramRetries counts faulted programs relocated while serving this
+	// operation (nonzero only under Options.Faults; see Reliability).
+	ProgramRetries int64
 }
 
 // Device is a simulated NDS-compliant storage device. It is safe for
@@ -173,6 +221,16 @@ func Open(opts Options) (*Device, error) {
 	cfg.STL.ZeroPageElision = opts.ZeroPageElision
 	cfg.STL.WriteBuffering = opts.WriteBuffering
 	cfg.STL.ScalarPath = opts.ScalarDataPath
+	if opts.Faults != nil {
+		cfg.Faults = nvm.FaultPlan{
+			Seed:             opts.Faults.Seed,
+			ProgramFailEvery: opts.Faults.ProgramFailEvery,
+			EraseFailEvery:   opts.Faults.EraseFailEvery,
+			ReadRetryEvery:   opts.Faults.ReadRetryEvery,
+			ReadRetrySenses:  opts.Faults.ReadRetrySenses,
+			EnduranceLimit:   opts.Faults.EnduranceLimit,
+		}
+	}
 	kind := system.SoftwareNDS
 	if opts.Mode == ModeHardware {
 		kind = system.HardwareNDS
@@ -213,6 +271,27 @@ func (d *Device) Now() time.Duration {
 
 // Capacity reports the raw capacity of the simulated flash array.
 func (d *Device) Capacity() int64 { return d.sys.Cfg.Geometry.Capacity() }
+
+// Reliability snapshots the device's fault and recovery state: injected
+// fault counts, successful relocations, retired blocks, and the logical
+// capacity remaining after graceful degradation.
+func (d *Device) Reliability() ReliabilityReport {
+	d.io.RLock()
+	defer d.io.RUnlock()
+	r := d.sys.STL.Reliability()
+	return ReliabilityReport{
+		ProgramFaults:  r.ProgramFaults,
+		EraseFaults:    r.EraseFaults,
+		WearoutFaults:  r.WearoutFaults,
+		ReadRetries:    r.ReadRetries,
+		ProgramRetries: r.ProgramRetries,
+		RetiredBlocks:  r.RetiredBlocks,
+		RetiredPages:   r.RetiredPages,
+		MaxPages:       r.MaxPages,
+		EffectivePages: r.EffectivePages,
+		UsedPages:      r.UsedPages,
+	}
+}
 
 // CreateSpace creates a multi-dimensional address space of the given element
 // size (bytes) and dimensionality, returning its identifier. The STL sizes
@@ -443,5 +522,7 @@ func (s *Space) account(issue sim.Time, st system.OpStats) Stats {
 		Pages:    st.Pages,
 		Commands: st.Commands,
 		Extents:  st.Extents,
+
+		ProgramRetries: st.ProgramRetries,
 	}
 }

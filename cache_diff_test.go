@@ -1,0 +1,220 @@
+package nds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nds/internal/proto"
+)
+
+// TestCacheConcurrentStreamsDifferential runs the same 16-stream mixed
+// read/write workload (each tile written, read back, and re-read warm) on a
+// cached device and an uncached one and requires byte-identical payloads
+// throughout. Timing and flash-op counts legitimately differ — the cache is a
+// performance feature — but data must not. Run under -race (CI does) this
+// doubles as the race check for the sharded cache and the prefetcher.
+func TestCacheConcurrentStreamsDifferential(t *testing.T) {
+	const (
+		clients = 16
+		tiles   = 256 // 16x16 grid of 64x64 tiles
+		tileB   = 64 * 64 * 4
+	)
+	run := func(cacheBytes int64, depth int) []byte {
+		d, err := Open(Options{
+			Mode:          ModeHardware,
+			CapacityHint:  16 << 20,
+			CacheBytes:    cacheBytes,
+			PrefetchDepth: depth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := d.CreateSpace(4, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed, err := d.OpenSpace(id, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := make([]byte, 1024*1024*4)
+		rand.New(rand.NewSource(17)).Read(base)
+		if _, err := seed.Write([]int64{0, 0}, []int64{1024, 1024}, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		per := tiles / clients
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				v, err := d.OpenSpace(id, []int64{1024, 1024})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer v.Close()
+				payload := make([]byte, tileB)
+				for k := 0; k < per; k++ {
+					tile := int64(c*per + k)
+					coord := []int64{tile / 16, tile % 16}
+					rand.New(rand.NewSource(1000 + tile)).Read(payload)
+					if _, err := v.Write(coord, []int64{64, 64}, payload); err != nil {
+						errs <- fmt.Errorf("tile %d write: %w", tile, err)
+						return
+					}
+					// Cold read fills the cache, warm read hits it; both must
+					// return the just-written bytes.
+					for pass := 0; pass < 2; pass++ {
+						data, _, err := v.Read(coord, []int64{64, 64})
+						if err != nil {
+							errs <- fmt.Errorf("tile %d read %d: %w", tile, pass, err)
+							return
+						}
+						if !bytes.Equal(data, payload) {
+							errs <- fmt.Errorf("tile %d read %d: wrong bytes", tile, pass)
+							return
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		final, err := d.OpenSpace(id, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _, err := final.Read([]int64{0, 0}, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := final.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if cacheBytes > 0 {
+			cs := d.CacheStats()
+			if cs.Hits == 0 {
+				t.Fatalf("cached run recorded no hits: %+v", cs)
+			}
+			if cs.ResidentBytes > cs.CapacityBytes {
+				t.Fatalf("resident %d exceeds capacity %d", cs.ResidentBytes, cs.CapacityBytes)
+			}
+		} else if cs := d.CacheStats(); cs != (CacheStats{}) {
+			t.Fatalf("uncached device reported cache activity: %+v", cs)
+		}
+		return full
+	}
+
+	cached := run(8<<20, 2)
+	uncached := run(0, 0)
+	if !bytes.Equal(cached, uncached) {
+		t.Fatal("final space contents diverge between cached and uncached devices")
+	}
+}
+
+// TestCacheFaultInteraction: fault injection and the cache compose — program
+// faults retire blocks and relocate data mid-workload, and the cached device
+// must never serve a stale copy of a relocated or retired page. faultWorkload
+// asserts the read-back against a host-side image after every overwrite.
+func TestCacheFaultInteraction(t *testing.T) {
+	opts := faultOpts()
+	opts.CacheBytes = 8 << 20
+	opts.PrefetchDepth = 2
+	d, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, r := faultWorkload(t, d)
+	if r.ProgramFaults == 0 || r.RetiredBlocks == 0 {
+		t.Fatalf("fault plan never fired under the cache: %+v", r)
+	}
+	cs := d.CacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("workload never hit the cache: %+v", cs)
+	}
+	if cs.Invalidations == 0 {
+		t.Fatalf("overwrites and retirement invalidated nothing: %+v", cs)
+	}
+
+	// The cached faulty device must produce the same bytes as an uncached one
+	// with the identical fault plan.
+	d2, err := Open(faultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, _ := faultWorkload(t, d2)
+	if !bytes.Equal(img, img2) {
+		t.Fatal("cached and uncached faulty devices diverged")
+	}
+}
+
+// TestExecCacheStats: the get_cache_stats wire command returns a page whose
+// decoded counters match the typed CacheStats API.
+func TestExecCacheStats(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 1 << 20, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.CreateSpace(4, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := d.OpenSpace(id, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256*256*4)
+	rand.New(rand.NewSource(5)).Read(data)
+	if _, err := sp.Write([]int64{0, 0}, []int64{256, 256}, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := sp.Read([]int64{0, 0}, []int64{256, 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := d.CacheStats()
+	if want.Hits == 0 {
+		t.Fatalf("warm read recorded no hits: %+v", want)
+	}
+
+	page, cpl, _, err := d.Exec(proto.NewCacheStats(0x4000).Marshal(), nil, nil)
+	if err != nil || cpl.Status != proto.StatusOK {
+		t.Fatalf("get_cache_stats: %v / %v", cpl.Status, err)
+	}
+	pl, err := proto.UnmarshalCacheStatsPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CacheStats{
+		Hits:           pl.Hits,
+		Misses:         pl.Misses,
+		HitBytes:       pl.HitBytes,
+		PrefetchIssued: pl.PrefetchIssued,
+		PrefetchUsed:   pl.PrefetchUsed,
+		PrefetchWasted: pl.PrefetchWasted,
+		Evictions:      pl.Evictions,
+		Invalidations:  pl.Invalidations,
+		ResidentBytes:  pl.ResidentBytes,
+		CapacityBytes:  pl.CapacityBytes,
+	}
+	if got != want {
+		t.Fatalf("wire stats diverged from typed stats:\n%+v\n%+v", got, want)
+	}
+	if cpl.Result0 != uint64(want.Hits) {
+		t.Fatalf("completion Result0 = %d, want hit count %d", cpl.Result0, want.Hits)
+	}
+}

@@ -17,12 +17,16 @@ import (
 // configuration of the concurrent-client benchmark, so successive revisions
 // can be diffed to track the performance trajectory.
 type benchSnapshot struct {
-	Revision  string       `json:"revision"`
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	Benchmark string       `json:"benchmark"`
-	Results   []benchPoint `json:"results"`
+	Revision  string `json:"revision"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Benchmark string `json:"benchmark"`
+	// CacheBytes/PrefetchDepth record the device configuration the snapshot
+	// was taken with, so -benchcompare reruns the same configuration.
+	CacheBytes    int64        `json:"cache_bytes,omitempty"`
+	PrefetchDepth int          `json:"prefetch_depth,omitempty"`
+	Results       []benchPoint `json:"results"`
 }
 
 type benchPoint struct {
@@ -30,6 +34,9 @@ type benchPoint struct {
 	Iterations int     `json:"iterations"`
 	WallNsOp   float64 `json:"wall_ns_per_op"`
 	SimMBps    float64 `json:"sim_mb_per_s"`
+	// Cache carries the device's cache counters after the measured phases
+	// (omitted when the cache is disabled).
+	Cache *nds.CacheStats `json:"cache,omitempty"`
 }
 
 // revision returns the VCS commit baked into the binary by the Go toolchain,
@@ -63,21 +70,8 @@ func revision() string {
 // 1024x1024 float32 space, split across client streams) and writes
 // BENCH_<rev>.json with both the wall-clock cost per phase and the simulated
 // aggregate bandwidth.
-func benchJSON() {
-	snap := benchSnapshot{
-		Revision:  revision(),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Benchmark: "ConcurrentClients",
-	}
-	for _, clients := range []int{1, 16} {
-		pt, err := measureConcurrent(clients)
-		if err != nil {
-			fatalf("bench json (clients=%d): %v", clients, err)
-		}
-		snap.Results = append(snap.Results, pt)
-	}
+func benchJSON(cacheBytes int64, prefetch int) {
+	snap := measureSnapshot(cacheBytes, prefetch)
 	out := fmt.Sprintf("BENCH_%s.json", snap.Revision)
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -88,20 +82,102 @@ func benchJSON() {
 		fatalf("bench json: %v", err)
 	}
 	header("Benchmark snapshot")
-	fmt.Printf("%-10s %12s %14s\n", "clients", "wall ns/op", "sim-MB/s")
-	for _, p := range snap.Results {
-		fmt.Printf("%-10d %12.0f %14.1f\n", p.Clients, p.WallNsOp, p.SimMBps)
-	}
+	printSnapshot(snap)
 	fmt.Printf("wrote %s\n", out)
 }
 
-func measureConcurrent(clients int) (benchPoint, error) {
+func measureSnapshot(cacheBytes int64, prefetch int) benchSnapshot {
+	snap := benchSnapshot{
+		Revision:      revision(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Benchmark:     "ConcurrentClients",
+		CacheBytes:    cacheBytes,
+		PrefetchDepth: prefetch,
+	}
+	for _, clients := range []int{1, 16} {
+		pt, err := measureConcurrent(clients, cacheBytes, prefetch)
+		if err != nil {
+			fatalf("bench json (clients=%d): %v", clients, err)
+		}
+		snap.Results = append(snap.Results, pt)
+	}
+	return snap
+}
+
+func printSnapshot(snap benchSnapshot) {
+	fmt.Printf("%-10s %12s %14s %14s\n", "clients", "wall ns/op", "sim-MB/s", "cache hit%")
+	for _, p := range snap.Results {
+		hitPct := "-"
+		if p.Cache != nil && p.Cache.Hits+p.Cache.Misses > 0 {
+			hitPct = fmt.Sprintf("%.1f", 100*float64(p.Cache.Hits)/float64(p.Cache.Hits+p.Cache.Misses))
+		}
+		fmt.Printf("%-10d %12.0f %14.1f %14s\n", p.Clients, p.WallNsOp, p.SimMBps, hitPct)
+	}
+}
+
+// benchCompare reruns the benchmark with a committed snapshot's configuration
+// and fails (exit 1) when simulated throughput regresses beyond simTol or
+// wall-clock cost regresses beyond wallTol. wallTol defaults loose (3x):
+// wall-clock numbers from another machine are only a smoke bound, while
+// simulated throughput is deterministic and held tight.
+func benchCompare(path string, simTol, wallTol float64) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("bench compare: %v", err)
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatalf("bench compare: %s: %v", path, err)
+	}
+	cur := measureSnapshot(base.CacheBytes, base.PrefetchDepth)
+	header(fmt.Sprintf("Benchmark comparison vs %s (rev %s)", path, base.Revision))
+	printSnapshot(cur)
+	failed := false
+	for _, bp := range base.Results {
+		var cp *benchPoint
+		for i := range cur.Results {
+			if cur.Results[i].Clients == bp.Clients {
+				cp = &cur.Results[i]
+			}
+		}
+		if cp == nil {
+			fmt.Printf("clients=%d: missing from current run\n", bp.Clients)
+			failed = true
+			continue
+		}
+		simRatio := cp.SimMBps / bp.SimMBps
+		wallRatio := cp.WallNsOp / bp.WallNsOp
+		fmt.Printf("clients=%d: sim %0.1f -> %0.1f MB/s (%.2fx), wall %0.0f -> %0.0f ns/op (%.2fx)\n",
+			bp.Clients, bp.SimMBps, cp.SimMBps, simRatio, bp.WallNsOp, cp.WallNsOp, wallRatio)
+		if simRatio < 1-simTol {
+			fmt.Printf("clients=%d: FAIL simulated throughput regressed beyond %.0f%%\n", bp.Clients, simTol*100)
+			failed = true
+		}
+		if wallRatio > wallTol {
+			fmt.Printf("clients=%d: FAIL wall-clock cost regressed beyond %.1fx\n", bp.Clients, wallTol)
+			failed = true
+		}
+	}
+	if failed {
+		fatalf("bench compare: regression against %s", path)
+	}
+	fmt.Println("within tolerance")
+}
+
+func measureConcurrent(clients int, cacheBytes int64, prefetch int) (benchPoint, error) {
 	const (
 		dim   = 1024
 		tiles = 256 // 16x16 grid of 64x64 tiles
 		tileB = 64 * 64 * 4
 	)
-	d, err := nds.Open(nds.Options{Mode: nds.ModeHardware, CapacityHint: 16 << 20})
+	d, err := nds.Open(nds.Options{
+		Mode:          nds.ModeHardware,
+		CapacityHint:  16 << 20,
+		CacheBytes:    cacheBytes,
+		PrefetchDepth: prefetch,
+	})
 	if err != nil {
 		return benchPoint{}, err
 	}
@@ -180,10 +256,15 @@ func measureConcurrent(clients int) (benchPoint, error) {
 		simSpan += simulated() - s0
 		iters++
 	}
-	return benchPoint{
+	pt := benchPoint{
 		Clients:    clients,
 		Iterations: iters,
 		WallNsOp:   float64(wall.Nanoseconds()) / float64(iters),
 		SimMBps:    float64(iters) * tiles * tileB / simSpan.Seconds() / 1e6,
-	}, nil
+	}
+	if cacheBytes > 0 {
+		cs := d.CacheStats()
+		pt.Cache = &cs
+	}
+	return pt, nil
 }

@@ -9,6 +9,8 @@
 //	ndsbench -fig 2 -fig 10
 //	ndsbench -table 1 -table overhead
 //	ndsbench -json              # write BENCH_<rev>.json perf snapshot
+//	ndsbench -json -cache 8388608        # same, with an 8 MiB block cache
+//	ndsbench -benchcompare BENCH_x.json  # rerun baseline config, fail on regression
 //
 // Larger -n values need more memory and time; -n 32768 (the paper's scale)
 // runs the microbenchmarks on an 8 GiB phantom dataset.
@@ -37,6 +39,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "measure the concurrent-client benchmark and write BENCH_<rev>.json")
 	faultcheck := flag.Bool("faultcheck", false, "run a mixed workload under a seeded fault plan and verify recovery")
 	n := flag.Int64("n", 8192, "microbenchmark matrix dimension (paper: 32768)")
+	cache := flag.Int64("cache", 0, "building-block DRAM cache size in bytes for -json (0 = off)")
+	prefetch := flag.Int("prefetch", 2, "dimensional prefetch depth in blocks when -cache is set")
+	benchcompare := flag.String("benchcompare", "", "rerun the benchmark with a BENCH_<rev>.json baseline's config and fail on regression")
+	simtol := flag.Float64("simtol", 0.15, "allowed fractional drop in simulated MB/s for -benchcompare")
+	walltol := flag.Float64("walltol", 3.0, "allowed wall ns/op growth factor for -benchcompare (loose: cross-machine noise)")
 	flag.Var(&figs, "fig", "figure to regenerate (2, 3, 9, 9a, 9b, 9c, 9d, 10); repeatable")
 	flag.Var(&tables, "table", "table to regenerate (1, overhead); repeatable")
 	flag.Var(&sweeps, "sweep", "sensitivity sweep to run (channels, bbmult); repeatable")
@@ -47,15 +54,18 @@ func main() {
 		tables = multiFlag{"1", "overhead"}
 		sweeps = multiFlag{"channels", "bbmult"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck {
+	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *faultcheck {
 		faultCheck()
 	}
+	if *benchcompare != "" {
+		benchCompare(*benchcompare, *simtol, *walltol)
+	}
 	if *jsonOut {
-		benchJSON()
+		benchJSON(*cache, *prefetch)
 	}
 	for _, t := range tables {
 		switch t {

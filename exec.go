@@ -100,6 +100,25 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
 		}
 		return page, proto.Completion{Status: proto.StatusOK, Result0: uint64(r.RetiredBlocks)}, Stats{}, nil
+
+	case proto.OpCacheStats:
+		c := d.CacheStats()
+		page, err := proto.CacheStatsPayload{
+			Hits:           c.Hits,
+			Misses:         c.Misses,
+			HitBytes:       c.HitBytes,
+			PrefetchIssued: c.PrefetchIssued,
+			PrefetchUsed:   c.PrefetchUsed,
+			PrefetchWasted: c.PrefetchWasted,
+			Evictions:      c.Evictions,
+			Invalidations:  c.Invalidations,
+			ResidentBytes:  c.ResidentBytes,
+			CapacityBytes:  c.CapacityBytes,
+		}.Marshal()
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
+		}
+		return page, proto.Completion{Status: proto.StatusOK, Result0: uint64(c.Hits)}, Stats{}, nil
 	}
 	return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
 }

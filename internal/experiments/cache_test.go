@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// The cache acceptance bar: with the cache sized at 4x the working set, the
+// second row-then-column scan pair of a matrix runs at least 2x faster than
+// the first, and the uncached device shows no pass-to-pass difference at all.
+func TestCacheRescanSpeedup(t *testing.T) {
+	const n = 1024
+	working := int64(n * n * 8)
+
+	r, err := CacheRescan(n, 4*working, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cached: cold=%v warm=%v speedup=%.2f", r.ColdPass, r.WarmPass, r.Speedup)
+	t.Logf("stats: %+v", r.Stats)
+	if r.WarmPass*2 > r.ColdPass {
+		t.Errorf("warm pass %v not 2x faster than cold pass %v (speedup %.2f)",
+			r.WarmPass, r.ColdPass, r.Speedup)
+	}
+	if r.Stats.Hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if r.Stats.PrefetchIssued == 0 || r.Stats.PrefetchUsed == 0 {
+		t.Errorf("dimensional prefetch inactive: issued=%d used=%d",
+			r.Stats.PrefetchIssued, r.Stats.PrefetchUsed)
+	}
+	if r.Stats.ResidentBytes > r.Stats.CapacityBytes {
+		t.Errorf("resident %d exceeds capacity %d", r.Stats.ResidentBytes, r.Stats.CapacityBytes)
+	}
+
+	r0, err := CacheRescan(n, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.ColdPass != r0.WarmPass {
+		t.Errorf("uncached passes differ: cold=%v warm=%v", r0.ColdPass, r0.WarmPass)
+	}
+	if r0.Stats != (CacheRescanResult{}).Stats {
+		t.Errorf("uncached device reported cache stats: %+v", r0.Stats)
+	}
+	if r.WarmPass >= r0.WarmPass {
+		t.Errorf("cached warm pass %v not faster than uncached pass %v", r.WarmPass, r0.WarmPass)
+	}
+}

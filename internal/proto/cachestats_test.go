@@ -1,0 +1,61 @@
+package proto
+
+import "testing"
+
+func TestCacheStatsCommandRoundTrip(t *testing.T) {
+	c := NewCacheStats(0x5000)
+	got, err := Unmarshal(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("get_cache_stats round-trip mismatch")
+	}
+	if got.Opcode() != OpCacheStats {
+		t.Fatalf("opcode = %v", got.Opcode())
+	}
+	if got.Opcode().String() != "get_cache_stats" {
+		t.Fatalf("opcode string = %q", got.Opcode().String())
+	}
+	if got.PayloadAddr() != 0x5000 {
+		t.Fatalf("payload addr = %#x", got.PayloadAddr())
+	}
+}
+
+func TestCacheStatsPayloadRoundTrip(t *testing.T) {
+	p := CacheStatsPayload{
+		Hits: 1, Misses: 2, HitBytes: 3,
+		PrefetchIssued: 4, PrefetchUsed: 5, PrefetchWasted: 6,
+		Evictions: 7, Invalidations: 8, ResidentBytes: 9, CapacityBytes: 10,
+	}
+	page, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != PageSize {
+		t.Fatalf("page is %d bytes", len(page))
+	}
+	got, err := UnmarshalCacheStatsPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+}
+
+func TestCacheStatsPayloadValidation(t *testing.T) {
+	if _, err := (CacheStatsPayload{Hits: -1}).Marshal(); err == nil {
+		t.Fatal("negative counter marshalled")
+	}
+	if _, err := UnmarshalCacheStatsPayload(make([]byte, 8)); err == nil {
+		t.Fatal("short page unmarshalled")
+	}
+	page := make([]byte, PageSize)
+	for i := range page[:8] {
+		page[i] = 0xFF
+	}
+	if _, err := UnmarshalCacheStatsPayload(page); err == nil {
+		t.Fatal("overflowing counter unmarshalled")
+	}
+}

@@ -31,6 +31,7 @@ const (
 	OpCloseSpace  Opcode = 0xC9
 	OpDeleteSpace Opcode = 0xCA
 	OpReliability Opcode = 0xCB
+	OpCacheStats  Opcode = 0xCC
 )
 
 func (o Opcode) String() string {
@@ -47,6 +48,8 @@ func (o Opcode) String() string {
 		return "delete_space"
 	case OpReliability:
 		return "get_reliability"
+	case OpCacheStats:
+		return "get_cache_stats"
 	default:
 		return fmt.Sprintf("opcode(%#x)", uint8(o))
 	}
@@ -117,7 +120,7 @@ func Unmarshal(raw [CommandSize]byte) (Command, error) {
 		return Command{}, fmt.Errorf("proto: not an extended command (reserved bit clear)")
 	}
 	switch c.Opcode() {
-	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability:
+	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability, OpCacheStats:
 	default:
 		return Command{}, fmt.Errorf("proto: unknown opcode %#x", uint8(c.Opcode()))
 	}
@@ -165,6 +168,13 @@ func NewDeleteSpace(spaceID uint32) Command {
 // ReliabilityPayload page describing fault, recovery, and capacity state.
 func NewReliability(payloadAddr uint64) Command {
 	return newCommand(OpReliability, 0, payloadAddr, false)
+}
+
+// NewCacheStats builds a get_cache_stats command. The device answers with a
+// CacheStatsPayload page describing the building-block cache's hit, prefetch,
+// and occupancy counters.
+func NewCacheStats(payloadAddr uint64) Command {
+	return newCommand(OpCacheStats, 0, payloadAddr, false)
 }
 
 // CoordPayload is the 4 KB page named by a read/write command: the
@@ -336,6 +346,68 @@ func UnmarshalReliabilityPayload(page []byte) (ReliabilityPayload, error) {
 		ProgramFaults: w[0], EraseFaults: w[1], WearoutFaults: w[2], ReadRetries: w[3],
 		ProgramRetries: w[4], RetiredBlocks: w[5], RetiredPages: w[6],
 		MaxPages: w[7], EffectivePages: w[8], UsedPages: w[9],
+	}, nil
+}
+
+// CacheStatsPayload is the page a get_cache_stats command returns: the
+// building-block cache's demand hit/miss counters, prefetcher effectiveness,
+// and current occupancy. All zero when the cache is disabled.
+type CacheStatsPayload struct {
+	Hits           int64
+	Misses         int64
+	HitBytes       int64
+	PrefetchIssued int64
+	PrefetchUsed   int64
+	PrefetchWasted int64
+	Evictions      int64
+	Invalidations  int64
+	ResidentBytes  int64
+	CapacityBytes  int64
+}
+
+// cacheStatsWords is the number of 64-bit counters in the payload.
+const cacheStatsWords = 10
+
+// Marshal encodes the payload into a 4 KB page: cacheStatsWords little-
+// endian uint64 counters in struct order.
+func (p CacheStatsPayload) Marshal() ([]byte, error) {
+	for i, v := range p.words() {
+		if v < 0 {
+			return nil, fmt.Errorf("proto: cache counter %d is negative (%d)", i, v)
+		}
+	}
+	out := make([]byte, PageSize)
+	for i, v := range p.words() {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out, nil
+}
+
+func (p *CacheStatsPayload) words() []int64 {
+	return []int64{
+		p.Hits, p.Misses, p.HitBytes,
+		p.PrefetchIssued, p.PrefetchUsed, p.PrefetchWasted,
+		p.Evictions, p.Invalidations, p.ResidentBytes, p.CapacityBytes,
+	}
+}
+
+// UnmarshalCacheStatsPayload decodes a cache-statistics page.
+func UnmarshalCacheStatsPayload(page []byte) (CacheStatsPayload, error) {
+	if len(page) < 8*cacheStatsWords {
+		return CacheStatsPayload{}, fmt.Errorf("proto: cache-stats page too short")
+	}
+	var w [cacheStatsWords]int64
+	for i := range w {
+		v := binary.LittleEndian.Uint64(page[8*i:])
+		if v > 1<<62 {
+			return CacheStatsPayload{}, fmt.Errorf("proto: cache counter %d overflows (%d)", i, v)
+		}
+		w[i] = int64(v)
+	}
+	return CacheStatsPayload{
+		Hits: w[0], Misses: w[1], HitBytes: w[2],
+		PrefetchIssued: w[3], PrefetchUsed: w[4], PrefetchWasted: w[5],
+		Evictions: w[6], Invalidations: w[7], ResidentBytes: w[8], CapacityBytes: w[9],
 	}, nil
 }
 

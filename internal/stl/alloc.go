@@ -215,19 +215,32 @@ func (t *STL) channelCandidates(blk *BuildingBlock, bank int) []int {
 // bindUnit records the reverse mapping for a freshly programmed unit and
 // counts it live. Overwrites pair an invalidateUnit with a bindUnit, so
 // usedPages stays balanced.
+//
+// bindUnit and invalidateUnit are the central cache-invalidation hooks: every
+// path that changes which physical unit backs a building-block page — writes,
+// overwrites, zero elision, GC evacuation, program-fault relocation, staged
+// programs, delete, resize — goes through one or both, and both run only
+// under the device's exclusive lock. Invalidation is strict: the whole block
+// entry is dropped even when the page's bytes are unchanged (a GC move), so a
+// cached block can never disagree with the translation state.
 func (t *STL) bindUnit(s *Space, blockIdx int64, pageIdx int, p nvm.PPA) {
+	if t.cache != nil {
+		t.cache.invalidateBlock(s.id, blockIdx)
+	}
 	idx := p.Linear(t.geo)
 	t.rev[idx] = revEntry{space: s.id, block: blockIdx, page: int32(pageIdx), valid: true}
 	t.die(p.Channel, p.Bank).validInBlk[p.Block]++
 	t.usedPages++
 }
 
-// invalidateUnit drops a unit's reverse mapping and valid count.
+// invalidateUnit drops a unit's reverse mapping and valid count, along with
+// any cached copy of the building block the unit belonged to.
 func (t *STL) invalidateUnit(p nvm.PPA) {
 	idx := p.Linear(t.geo)
 	if !t.rev[idx].valid {
 		return
 	}
+	t.cacheInvalidateUnit(p)
 	t.rev[idx].valid = false
 	t.die(p.Channel, p.Bank).validInBlk[p.Block]--
 	t.usedPages--

@@ -30,10 +30,21 @@ import (
 //
 // The returned buffer is freshly allocated and owned by the caller.
 func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, sim.Time, RequestStats, error) {
+	var (
+		buf   []byte
+		done  sim.Time
+		stats RequestStats
+		err   error
+	)
 	if t.cfg.ScalarPath {
-		return t.readPartitionScalar(at, v, coord, sub)
+		buf, done, stats, err = t.readPartitionScalar(at, v, coord, sub)
+	} else {
+		buf, done, stats, err = t.readPartitionBatched(at, v, coord, sub, nil)
 	}
-	return t.readPartitionBatched(at, v, coord, sub, nil)
+	if err == nil && t.pf != nil {
+		t.maybePrefetch(done, v, coord, sub)
+	}
+	return buf, done, stats, err
 }
 
 // ReadPartitionInto is ReadPartition assembling into dst when dst has enough
@@ -41,16 +52,26 @@ func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, s
 // dst in that case: the caller owns it and may reuse it across requests, but
 // must not hand it to another request while still reading this one's result.
 func (t *STL) ReadPartitionInto(at sim.Time, v *View, coord, sub []int64, dst []byte) ([]byte, sim.Time, RequestStats, error) {
+	var (
+		buf   []byte
+		done  sim.Time
+		stats RequestStats
+		err   error
+	)
 	if t.cfg.ScalarPath {
-		buf, done, stats, err := t.readPartitionScalar(at, v, coord, sub)
-		if err != nil || buf == nil || int64(cap(dst)) < int64(len(buf)) {
-			return buf, done, stats, err
+		buf, done, stats, err = t.readPartitionScalar(at, v, coord, sub)
+		if err == nil && buf != nil && int64(cap(dst)) >= int64(len(buf)) {
+			out := dst[:len(buf)]
+			copy(out, buf)
+			buf = out
 		}
-		out := dst[:len(buf)]
-		copy(out, buf)
-		return out, done, stats, nil
+	} else {
+		buf, done, stats, err = t.readPartitionBatched(at, v, coord, sub, dst)
 	}
-	return t.readPartitionBatched(at, v, coord, sub, dst)
+	if err == nil && t.pf != nil {
+		t.maybePrefetch(done, v, coord, sub)
+	}
+	return buf, done, stats, err
 }
 
 // WritePartition writes data (laid out in the partition's row-major shape)
@@ -94,11 +115,15 @@ func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst
 	}
 	ps := int64(t.geo.PageSize)
 	done := at
+	var hitBytes int64    // payload bytes served from the block cache
+	var readyMax sim.Time // latest DRAM-residency time among the hits
 
 	// Plan: record every distinct page the extents touch, queueing device
-	// reads in first-touch order. Compressed blocks are device operations of
-	// their own (the block is the decompression unit), so the queued batch
-	// drains before each materialization to keep scalar issue order.
+	// reads in first-touch order. Cached pages are served from DRAM instead
+	// of joining the flash batch; their cost folds in after the final flush.
+	// Compressed blocks are device operations of their own (the block is the
+	// decompression unit), so the queued batch drains before each
+	// materialization to keep scalar issue order.
 	for i := range exts {
 		e := &exts[i]
 		blk := t.resolveBlock(rs, s, e.Block, false, &stats)
@@ -128,6 +153,18 @@ func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst
 			rs.pageIdx[key] = idx
 			rs.pageData = append(rs.pageData, nil)
 			if slot := blk.pages[p]; slot.allocated {
+				if t.cache != nil {
+					pb := s.pageBytes(t.geo, int(p))
+					if data, ready, ok := t.cache.lookup(s, e.Block, int(p), pb); ok {
+						rs.pageData[idx] = data
+						hitBytes += pb
+						if ready > readyMax {
+							readyMax = ready
+						}
+						continue
+					}
+					rs.fillKeys = append(rs.fillKeys, key)
+				}
 				rs.ppas = append(rs.ppas, slot.ppa)
 				rs.planOf = append(rs.planOf, idx)
 				stats.PagesRead++
@@ -140,6 +177,12 @@ func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst
 	}
 	if err := t.flushReads(rs, at, &done); err != nil {
 		return nil, at, stats, err
+	}
+	if hitBytes > 0 {
+		// Hits stream out of cache DRAM serially once the latest filled page
+		// is resident; flash misses overlap with them on their own timelines.
+		start := sim.Max(at, readyMax)
+		done = sim.Max(done, start+t.cache.copyCost(hitBytes))
 	}
 
 	// Assemble: second extent walk, copying from the plan's page data.

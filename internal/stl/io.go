@@ -57,6 +57,8 @@ func (t *STL) readPartitionScalar(at sim.Time, v *View, coord, sub []int64) ([]b
 	images := make(blockImageCache)
 	gcoord := make([]int64, len(s.grid))
 	done := at
+	var hitBytes int64    // payload bytes served from the block cache
+	var readyMax sim.Time // latest DRAM-residency time among the hits
 
 	for _, e := range exts {
 		blk, ok := blocks[e.Block]
@@ -99,9 +101,27 @@ func (t *STL) readPartitionScalar(at sim.Time, v *View, coord, sub []int64) ([]b
 				slot := blk.pages[p]
 				switch {
 				case slot.allocated:
+					pb := s.pageBytes(t.geo, int(p))
+					var cached []byte
+					var ready sim.Time
+					hit := false
+					if t.cache != nil {
+						cached, ready, hit = t.cache.lookup(s, e.Block, int(p), pb)
+					}
+					if hit {
+						st = readState{data: cached, ok: true}
+						hitBytes += pb
+						if ready > readyMax {
+							readyMax = ready
+						}
+						break
+					}
 					data, d, err := t.dev.ReadPage(at, slot.ppa)
 					if err != nil {
 						return nil, at, stats, err
+					}
+					if t.cache != nil {
+						t.cache.fill(s, e.Block, int(p), data, d, false)
 					}
 					st = readState{data: data, done: d, ok: true}
 					stats.PagesRead++
@@ -125,6 +145,12 @@ func (t *STL) readPartitionScalar(at sim.Time, v *View, coord, sub []int64) ([]b
 			dstLo := e.Dst + (lo - e.Off)
 			copy(buf[dstLo:dstLo+(hi-lo)], st.data[srcLo:])
 		}
+	}
+	if hitBytes > 0 {
+		// Same hit-cost model as the batched path: cached pages stream out of
+		// DRAM serially once the latest one is resident.
+		start := sim.Max(at, readyMax)
+		done = sim.Max(done, start+t.cache.copyCost(hitBytes))
 	}
 	return buf, done, stats, nil
 }
@@ -156,6 +182,11 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 
 	ps := int64(t.geo.PageSize)
 	gcoord := make([]int64, len(s.grid))
+	// The scalar path predates requestScratch but borrows its page-buffer
+	// freelist: ProgramPage copies payloads before returning, so each staged
+	// page's RMW buffer recycles instead of allocating per page.
+	rs := t.getScratch(s)
+	defer t.putScratch(rs)
 
 	// Pass 1: group extents by page, accumulating coverage. Extents of one
 	// partition never overlap, so summing lengths is exact.
@@ -232,7 +263,7 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 		ready := at
 		var pageBuf []byte
 		if !t.dev.Phantom() {
-			pageBuf = make([]byte, ps)
+			pageBuf = rs.pageBuf(int(ps))
 		}
 		if slot.allocated && st.covered < pb {
 			old, d, err := t.dev.ReadPage(at, slot.ppa)
@@ -269,6 +300,7 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 				slot.allocated = false
 			}
 			t.zeroSkipped++
+			rs.releaseBuf(pageBuf)
 			continue
 		}
 		var dst nvm.PPA
@@ -285,6 +317,7 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 		if err != nil {
 			return at, stats, err
 		}
+		rs.releaseBuf(pageBuf)
 		slot.ppa = dst
 		slot.allocated = true
 		t.bindUnit(s, st.blockIdx, st.page, dst)

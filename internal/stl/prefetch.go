@@ -1,0 +1,191 @@
+package stl
+
+import (
+	"sync"
+
+	"nds/internal/nvm"
+	"nds/internal/sim"
+)
+
+// The dimensional prefetcher. A partition stream that walks the space along
+// one grid axis — row bands, column bands, tile sweeps — touches consecutive
+// building blocks whose grid coordinates advance by one in exactly one
+// dimension. Once a view's accesses advance that way prefetchTrigger times in
+// a row, the prefetcher warms the next Config.PrefetchDepth blocks along the
+// axis through the device's batched read path, issued at the triggering
+// request's completion time. The warm-up is asynchronous in simulated time:
+// it never extends the triggering request, and a later demand read that
+// arrives before the prefetch batch completes waits only for the batch (the
+// per-page ready times the cache records).
+//
+// Detection is per view — each view is one command stream (the moral
+// equivalent of a submission queue), so a view's access sequence is exactly
+// one client's stream and strides from different clients never interleave
+// into false runs.
+
+// prefetchTrigger is how many consecutive one-dimensional advances arm the
+// prefetcher.
+const prefetchTrigger = 2
+
+// maxTrackedStreams bounds the per-view detector map; stale views (closed or
+// idle) are dropped arbitrarily once the bound is hit.
+const maxTrackedStreams = 256
+
+type streamState struct {
+	last []int64 // grid coordinate of the previous access's primary block
+	axis int     // dimension of the detected stride
+	dir  int64   // +1 or -1 along axis
+	run  int     // consecutive advances observed
+}
+
+type prefetcher struct {
+	mu      sync.Mutex
+	depth   int
+	streams map[*View]*streamState
+}
+
+func newPrefetcher(depth int) *prefetcher {
+	return &prefetcher{depth: depth, streams: make(map[*View]*streamState)}
+}
+
+// observe records the grid coordinate of v's latest primary block and, when a
+// streaming run is armed, returns the axis and direction to warm (ok=true).
+// g is copied; callers may reuse it.
+func (p *prefetcher) observe(v *View, g []int64) (axis int, dir int64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.streams[v]
+	if st == nil {
+		if len(p.streams) >= maxTrackedStreams {
+			for k := range p.streams {
+				delete(p.streams, k)
+				break
+			}
+		}
+		st = &streamState{last: append([]int64(nil), g...), axis: -1}
+		p.streams[v] = st
+		return 0, 0, false
+	}
+	axis, dir = -1, 0
+	same := true
+	for i := range g {
+		switch d := g[i] - st.last[i]; {
+		case d == 0:
+		case (d == 1 || d == -1) && axis == -1:
+			axis, dir, same = i, d, false
+		default:
+			// Multi-axis or long jump: not a stream step.
+			axis, same = -2, false
+		}
+	}
+	copy(st.last, g)
+	switch {
+	case same:
+		// Repeat access to the same block: neither advances nor breaks a run.
+		return 0, 0, false
+	case axis < 0:
+		st.axis, st.run = -1, 0
+		return 0, 0, false
+	case axis == st.axis && dir == st.dir:
+		st.run++
+	default:
+		st.axis, st.dir, st.run = axis, dir, 1
+	}
+	if st.run < prefetchTrigger {
+		return 0, 0, false
+	}
+	return st.axis, st.dir, true
+}
+
+// forget drops a view's detector state (view close).
+func (p *prefetcher) forget(v *View) {
+	p.mu.Lock()
+	delete(p.streams, v)
+	p.mu.Unlock()
+}
+
+// maybePrefetch runs streaming detection for the partition access at
+// coord/sub on view v and, when armed, warms the next blocks along the
+// detected axis. done is the triggering request's completion time — the
+// issue time of the warm-up reads. Runs on the read path under the device's
+// reader lock: it only reads translation state (t.block with alloc=false
+// never mutates) and fills the cache.
+func (t *STL) maybePrefetch(done sim.Time, v *View, coord, sub []int64) {
+	if t.cache == nil || t.pf == nil {
+		return
+	}
+	s := v.space
+	if s.root == nil || s.bbBytes > t.cache.capacity {
+		return
+	}
+	g := make([]int64, len(s.grid))
+	if !primaryGrid(v, coord, sub, g) {
+		return
+	}
+	axis, dir, ok := t.pf.observe(v, g)
+	if !ok {
+		return
+	}
+
+	var ppas []nvm.PPA
+	var keys []pageKey
+	candidates := make([]int, 0, s.pagesPerBB)
+	miss := make([]int, 0, s.pagesPerBB)
+	for k := 1; k <= t.pf.depth; k++ {
+		g[axis] += dir
+		if g[axis] < 0 || g[axis] >= s.grid[axis] {
+			break
+		}
+		blk, _ := t.block(s, g, false)
+		if blk == nil || blk.compressed {
+			continue
+		}
+		blockIdx := s.BlockGridIndex(g)
+		candidates = candidates[:0]
+		for p := range blk.pages {
+			if blk.pages[p].allocated {
+				candidates = append(candidates, p)
+			}
+		}
+		miss = t.cache.missing(s, blockIdx, candidates, miss[:0])
+		for _, p := range miss {
+			ppas = append(ppas, blk.pages[p].ppa)
+			keys = append(keys, pageKey{blockIdx, p})
+		}
+	}
+	if len(ppas) == 0 {
+		return
+	}
+	datas := make([][]byte, len(ppas))
+	d, err := t.dev.ReadPages(done, ppas, datas)
+	if err != nil {
+		return // warm-up is best-effort; demand reads surface real errors
+	}
+	for i, key := range keys {
+		t.cache.fill(s, key.block, key.page, datas[i], d, true)
+	}
+}
+
+// primaryGrid computes the grid coordinate of the building block holding the
+// partition's first element, translating through the view's shape when it
+// differs from the space's. Returns false for out-of-range coordinates (the
+// caller's read already failed or will).
+func primaryGrid(v *View, coord, sub []int64, out []int64) bool {
+	if len(coord) != len(v.dims) || len(sub) != len(coord) {
+		return false
+	}
+	var lin int64
+	for i := range v.dims {
+		o := coord[i] * sub[i]
+		if o < 0 || o >= v.dims[i] {
+			return false
+		}
+		lin = lin*v.dims[i] + o
+	}
+	s := v.space
+	for i := len(s.dims) - 1; i >= 0; i-- {
+		out[i] = (lin % s.dims[i]) / s.bb[i]
+		lin /= s.dims[i]
+	}
+	return true
+}

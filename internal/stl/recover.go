@@ -95,6 +95,18 @@ func (t *STL) retireBlock(channel, bank, block int) {
 	d.retired[block] = true
 	t.retiredBlocks++
 	t.retiredPages += int64(t.geo.PagesPerBlock)
+	if t.cache != nil {
+		// Strict invalidation on retirement: valid pages in the block stay
+		// readable in place, but any building block touching retired flash is
+		// dropped from DRAM so later reads re-fetch through the device's
+		// fault-aware path (and so a relocated page is never served stale).
+		for pg := 0; pg < t.geo.PagesPerBlock; pg++ {
+			p := nvm.PPA{Channel: channel, Bank: bank, Block: block, Page: pg}
+			if e := t.rev[p.Linear(t.geo)]; e.valid {
+				t.cache.invalidateBlock(e.space, e.block)
+			}
+		}
+	}
 	for i, b := range d.freeBlocks {
 		if b == block {
 			d.freeBlocks = append(d.freeBlocks[:i], d.freeBlocks[i+1:]...)

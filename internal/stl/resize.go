@@ -63,6 +63,14 @@ func (t *STL) ResizeSpace(id SpaceID, newDim0 int64) error {
 			}
 		}
 	}
+	if t.cache != nil {
+		// Grid reindexing: block grid indexes are rank positions in the grid,
+		// so resizing dimension 0 leaves every surviving block's index intact
+		// (dimension 0 is the outermost rank digit) — but shrink-then-grow
+		// must never resurrect a dropped block's bytes, so the whole space is
+		// purged rather than tracking which indexes survived.
+		t.cache.invalidateSpace(id)
+	}
 	s.dims[0] = newDim0
 	s.grid[0] = newGrid0
 	return nil

@@ -26,15 +26,19 @@ type requestScratch struct {
 	sc    []int64 // storage-coordinate scratch
 	gcrd  []int64 // grid-coordinate scratch
 
+	space  *Space // the request's space, for cache fills at flush time
 	blocks map[int64]*BuildingBlock
 
 	// Read plan: pageIdx maps a touched page to its slot in pageData; device
 	// reads batch into ppas/planOf until a flush fills the corresponding
-	// pageData entries via nvm.ReadPages.
+	// pageData entries via nvm.ReadPages. fillKeys parallels ppas with each
+	// read's building-block page, so a flush can install the results in the
+	// block cache (populated only when the cache is enabled).
 	pageIdx  map[pageKey]int32
 	pageData [][]byte
 	ppas     []nvm.PPA
 	planOf   []int32
+	fillKeys []pageKey
 	datas    [][]byte
 	images   blockImageCache
 
@@ -72,6 +76,7 @@ func (t *STL) getScratch(s *Space) *requestScratch {
 		}
 	}
 	rs.gcrd = growInt64(rs.gcrd, len(s.grid))
+	rs.space = s
 	return rs
 }
 
@@ -79,6 +84,7 @@ func (t *STL) getScratch(s *Space) *requestScratch {
 // cleared so a pooled scratch never pins device arenas or caller buffers.
 func (t *STL) putScratch(rs *requestScratch) {
 	rs.exts = rs.exts[:0]
+	rs.space = nil
 	clear(rs.blocks)
 	clear(rs.pageIdx)
 	clear(rs.stageIdx)
@@ -89,6 +95,7 @@ func (t *STL) putScratch(rs *requestScratch) {
 	rs.pageData = rs.pageData[:0]
 	rs.ppas = rs.ppas[:0]
 	rs.planOf = rs.planOf[:0]
+	rs.fillKeys = rs.fillKeys[:0]
 	for i := range rs.datas {
 		rs.datas[i] = nil
 	}
@@ -195,12 +202,18 @@ func (t *STL) flushReads(rs *requestScratch, at sim.Time, done *sim.Time) error 
 		return err
 	}
 	*done = sim.Max(*done, d)
+	fill := t.cache != nil && len(rs.fillKeys) == len(rs.ppas)
 	for i := range rs.ppas {
 		rs.pageData[rs.planOf[i]] = rs.datas[i]
+		if fill {
+			k := rs.fillKeys[i]
+			t.cache.fill(rs.space, k.block, k.page, rs.datas[i], d, false)
+		}
 		rs.datas[i] = nil
 	}
 	rs.ppas = rs.ppas[:0]
 	rs.planOf = rs.planOf[:0]
+	rs.fillKeys = rs.fillKeys[:0]
 	return nil
 }
 

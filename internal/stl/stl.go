@@ -48,6 +48,20 @@ type Config struct {
 	// statistics, and completion times; the knob exists for that comparison
 	// and as an escape hatch, not as a tuning choice.
 	ScalarPath bool
+	// CacheBytes bounds the building-block cache (cache.go): DRAM the STL's
+	// host (SoftwareNDS) or controller (HardwareNDS) dedicates to caching
+	// whole building blocks. Zero disables the cache entirely — the device is
+	// then bit- and simulated-time-identical to one without the feature.
+	CacheBytes int64
+	// PrefetchDepth is how many blocks ahead the dimensional prefetcher
+	// (prefetch.go) warms once a view streams along one grid axis. Zero
+	// disables prefetch; it also requires CacheBytes > 0 to take effect.
+	PrefetchDepth int
+	// CacheDRAMBandwidth is the DRAM streaming bandwidth (bytes/s) charged
+	// for cache hits on the sim timeline. Zero or negative makes hits
+	// instantaneous. The system layer defaults it per configuration (host
+	// DRAM for SoftwareNDS, controller DRAM for HardwareNDS).
+	CacheDRAMBandwidth float64
 }
 
 // DefaultConfig mirrors the paper's prototype settings.
@@ -105,6 +119,12 @@ type STL struct {
 	gcFlush func() error
 
 	scratch sync.Pool // *requestScratch, reused across partition requests
+
+	// cache and pf are nil when Config.CacheBytes is zero; every data-path
+	// hook is gated on that nil check, which is what keeps the cache-off
+	// device identical to one built before the feature existed.
+	cache *blockCache
+	pf    *prefetcher
 }
 
 // New builds an STL over dev.
@@ -117,6 +137,12 @@ func New(dev *nvm.Device, cfg Config) (*STL, error) {
 	}
 	if cfg.Compress && dev.Phantom() {
 		return nil, fmt.Errorf("stl: compression needs a data-bearing device (phantom devices store no bytes)")
+	}
+	if cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("stl: cache capacity %d is negative", cfg.CacheBytes)
+	}
+	if cfg.PrefetchDepth < 0 {
+		return nil, fmt.Errorf("stl: prefetch depth %d is negative", cfg.PrefetchDepth)
 	}
 	geo := dev.Geometry()
 	t := &STL{
@@ -140,6 +166,12 @@ func New(dev *nvm.Device, cfg Config) (*STL, error) {
 			d.freeBlocks = append(d.freeBlocks, b)
 		}
 		t.dies[i] = d
+	}
+	if cfg.CacheBytes > 0 {
+		t.cache = newBlockCache(cfg.CacheBytes, cfg.CacheDRAMBandwidth, geo, dev.Phantom())
+		if cfg.PrefetchDepth > 0 {
+			t.pf = newPrefetcher(cfg.PrefetchDepth)
+		}
 	}
 	return t, nil
 }
@@ -228,6 +260,12 @@ func (t *STL) DeleteSpace(id SpaceID) error {
 	}
 	t.invalidateTree(s, s.root)
 	t.dropPendingSpace(id)
+	if t.cache != nil {
+		// Belt and braces: every unit invalidation above already dropped its
+		// block's cache entry; the space-wide purge also clears entries whose
+		// pages were all invalidated earlier (e.g. by zero elision).
+		t.cache.invalidateSpace(id)
+	}
 	delete(t.spaces, id)
 	return nil
 }

@@ -41,6 +41,10 @@ type Report struct {
 	// Reliability is the STL's fault/recovery snapshot (zero-valued on
 	// Baseline systems and when no fault plan is installed).
 	Reliability stl.ReliabilityReport
+
+	// Cache is the STL's building-block cache snapshot (zero-valued on
+	// Baseline systems and when the cache is disabled).
+	Cache stl.CacheStats
 }
 
 // Report snapshots the system's resource accounting over the horizon
@@ -73,6 +77,7 @@ func (s *System) Report(horizon sim.Time) Report {
 		r.WriteAmp = s.STL.WriteAmplification()
 		r.UsedPages = s.STL.UsedPages()
 		r.Reliability = s.STL.Reliability()
+		r.Cache = s.STL.CacheStats()
 	}
 	return r
 }
@@ -109,6 +114,11 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "\n  reliability: %d program / %d erase / %d wear-out faults, %d read retries; %d retries OK, %d blocks retired, capacity %d/%d pages",
 			rel.ProgramFaults, rel.EraseFaults, rel.WearoutFaults, rel.ReadRetries,
 			rel.ProgramRetries, rel.RetiredBlocks, rel.EffectivePages, rel.MaxPages)
+	}
+	if c := r.Cache; c.CapacityBytes > 0 {
+		fmt.Fprintf(&b, "\n  cache: %d hits / %d misses, prefetch %d issued / %d used / %d wasted, %d evictions, %d/%d bytes resident",
+			c.Hits, c.Misses, c.PrefetchIssued, c.PrefetchUsed, c.PrefetchWasted,
+			c.Evictions, c.ResidentBytes, c.CapacityBytes)
 	}
 	return b.String()
 }

@@ -114,6 +114,16 @@ func PrototypeConfig(datasetBytes int64, phantom bool) Config {
 
 func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
 
+// Default bandwidths for the building-block cache DRAM, used when a
+// configuration enables the cache without naming one. Host DRAM (SoftwareNDS:
+// the STL caches in host memory) is modeled as one DDR4-3200 channel;
+// controller DRAM (HardwareNDS: the cache lives next to the in-device STL) as
+// half that, matching the modest LPDDR channels of SSD controllers.
+const (
+	hostCacheDRAMBW = 25.6e9
+	ctrlCacheDRAMBW = 12.8e9
+)
+
 // System is one instantiated configuration.
 type System struct {
 	Kind Kind
@@ -143,6 +153,23 @@ func (s *System) assemblyChunks(st stl.RequestStats) int {
 
 // New builds a system of the given kind.
 func New(kind Kind, cfg Config) (*System, error) {
+	// Per-kind cache placement: the building-block cache belongs to the STL,
+	// so Baseline (FTL, no STL) cannot have one; the NDS kinds differ only in
+	// which DRAM backs it.
+	switch kind {
+	case Baseline:
+		cfg.STL.CacheBytes = 0
+		cfg.STL.PrefetchDepth = 0
+		cfg.STL.CacheDRAMBandwidth = 0
+	case SoftwareNDS:
+		if cfg.STL.CacheBytes > 0 && cfg.STL.CacheDRAMBandwidth == 0 {
+			cfg.STL.CacheDRAMBandwidth = hostCacheDRAMBW
+		}
+	case HardwareNDS:
+		if cfg.STL.CacheBytes > 0 && cfg.STL.CacheDRAMBandwidth == 0 {
+			cfg.STL.CacheDRAMBandwidth = ctrlCacheDRAMBW
+		}
+	}
 	dev, err := nvm.NewDevice(cfg.Geometry, cfg.Timing, cfg.Phantom)
 	if err != nil {
 		return nil, err

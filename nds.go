@@ -115,6 +115,20 @@ type Options struct {
 	// differential tests hold them to it); the knob exists for that
 	// comparison, not as a tuning choice.
 	ScalarDataPath bool
+	// CacheBytes sizes the STL's building-block DRAM cache (host DRAM in
+	// ModeSoftware, controller DRAM in ModeHardware). Zero disables the cache
+	// entirely, leaving the device bit- and timing-identical to one without
+	// the feature. Flash pages read on the demand path are retained at
+	// building-block granularity and served from DRAM on re-access; any
+	// write, GC move, block retirement, or resize invalidates the affected
+	// blocks. Observe effectiveness through CacheStats().
+	CacheBytes int64
+	// PrefetchDepth enables the dimensional prefetcher on cached devices:
+	// when a view streams partitions along one axis of the building-block
+	// grid, the next PrefetchDepth blocks on that axis warm into the cache
+	// in the background. Zero disables prefetch; ignored when CacheBytes is
+	// zero.
+	PrefetchDepth int
 	// Faults, when non-nil and enabled, installs deterministic flash fault
 	// injection: the simulated medium fails programs and erases, needs ECC
 	// read retries, and wears blocks out at seed-derived points, and the
@@ -158,6 +172,22 @@ type ReliabilityReport struct {
 	MaxPages       int64 // original logical allocation budget
 	EffectivePages int64 // budget after graceful degradation
 	UsedPages      int64 // live units
+}
+
+// CacheStats describes the building-block cache's behavior: demand hit/miss
+// counters, prefetcher effectiveness, and current occupancy. All zero on a
+// device opened without CacheBytes.
+type CacheStats struct {
+	Hits           int64 // demand page reads served from DRAM
+	Misses         int64 // demand page reads that went to flash
+	HitBytes       int64 // payload bytes served from DRAM
+	PrefetchIssued int64 // pages warmed by the dimensional prefetcher
+	PrefetchUsed   int64 // prefetched pages later hit by a demand read
+	PrefetchWasted int64 // prefetched pages evicted or invalidated unused
+	Evictions      int64 // building blocks evicted for capacity
+	Invalidations  int64 // building blocks dropped by writes/GC/retirement
+	ResidentBytes  int64 // bytes currently held
+	CapacityBytes  int64 // configured capacity
 }
 
 // SpaceID names a created address space.
@@ -221,6 +251,8 @@ func Open(opts Options) (*Device, error) {
 	cfg.STL.ZeroPageElision = opts.ZeroPageElision
 	cfg.STL.WriteBuffering = opts.WriteBuffering
 	cfg.STL.ScalarPath = opts.ScalarDataPath
+	cfg.STL.CacheBytes = opts.CacheBytes
+	cfg.STL.PrefetchDepth = opts.PrefetchDepth
 	if opts.Faults != nil {
 		cfg.Faults = nvm.FaultPlan{
 			Seed:             opts.Faults.Seed,
@@ -290,6 +322,26 @@ func (d *Device) Reliability() ReliabilityReport {
 		MaxPages:       r.MaxPages,
 		EffectivePages: r.EffectivePages,
 		UsedPages:      r.UsedPages,
+	}
+}
+
+// CacheStats snapshots the building-block cache's counters (get_cache_stats
+// on the wire). All zero when the device was opened without CacheBytes.
+func (d *Device) CacheStats() CacheStats {
+	d.io.RLock()
+	defer d.io.RUnlock()
+	c := d.sys.STL.CacheStats()
+	return CacheStats{
+		Hits:           c.Hits,
+		Misses:         c.Misses,
+		HitBytes:       c.HitBytes,
+		PrefetchIssued: c.PrefetchIssued,
+		PrefetchUsed:   c.PrefetchUsed,
+		PrefetchWasted: c.PrefetchWasted,
+		Evictions:      c.Evictions,
+		Invalidations:  c.Invalidations,
+		ResidentBytes:  c.ResidentBytes,
+		CapacityBytes:  c.CapacityBytes,
 	}
 }
 

@@ -30,6 +30,12 @@ type benchSnapshot struct {
 }
 
 type benchPoint struct {
+	// Workload is "read" (disjoint tile reads of a shared space), "mixed"
+	// (each client alternates tile overwrites and reads of its share of a
+	// shared space), or "write" (each client overwrites its own space in
+	// bands). Empty means "read": snapshots written before the workload
+	// field existed measured only reads.
+	Workload   string  `json:"workload,omitempty"`
 	Clients    int     `json:"clients"`
 	Iterations int     `json:"iterations"`
 	WallNsOp   float64 `json:"wall_ns_per_op"`
@@ -37,6 +43,19 @@ type benchPoint struct {
 	// Cache carries the device's cache counters after the measured phases
 	// (omitted when the cache is disabled).
 	Cache *nds.CacheStats `json:"cache,omitempty"`
+	// GC carries the background-collection counters (runs, erases, pages
+	// relocated, foreground stall time, write amplification) after the
+	// measured phases; omitted for the pure-read workload, which never
+	// collects.
+	GC *nds.GCStats `json:"gc,omitempty"`
+}
+
+// normWorkload maps the legacy empty workload name to "read".
+func normWorkload(w string) string {
+	if w == "" {
+		return "read"
+	}
+	return w
 }
 
 // revision returns the VCS commit baked into the binary by the Go toolchain,
@@ -96,24 +115,54 @@ func measureSnapshot(cacheBytes int64, prefetch int) benchSnapshot {
 		CacheBytes:    cacheBytes,
 		PrefetchDepth: prefetch,
 	}
-	for _, clients := range []int{1, 16} {
-		pt, err := measureConcurrent(clients, cacheBytes, prefetch)
+	points := []struct {
+		workload string
+		clients  int
+	}{
+		{"read", 1}, {"read", 16},
+		{"mixed", 16},
+		{"write", 4}, {"write", 16},
+	}
+	for _, p := range points {
+		pt, err := measurePoint(p.workload, p.clients, cacheBytes, prefetch)
 		if err != nil {
-			fatalf("bench json (clients=%d): %v", clients, err)
+			fatalf("bench json (%s, clients=%d): %v", p.workload, p.clients, err)
 		}
 		snap.Results = append(snap.Results, pt)
 	}
 	return snap
 }
 
+// measurePoint dispatches one benchmark configuration to its workload
+// driver.
+func measurePoint(workload string, clients int, cacheBytes int64, prefetch int) (benchPoint, error) {
+	switch normWorkload(workload) {
+	case "read":
+		return measureConcurrent(clients, cacheBytes, prefetch)
+	case "mixed":
+		return measureMixed(clients, cacheBytes, prefetch)
+	case "write":
+		return measureWrite(clients, cacheBytes, prefetch)
+	}
+	return benchPoint{}, fmt.Errorf("unknown workload %q", workload)
+}
+
 func printSnapshot(snap benchSnapshot) {
-	fmt.Printf("%-10s %12s %14s %14s\n", "clients", "wall ns/op", "sim-MB/s", "cache hit%")
+	fmt.Printf("%-8s %-8s %12s %14s %10s %8s %10s %8s\n",
+		"workload", "clients", "wall ns/op", "sim-MB/s", "cache hit%", "gc runs", "stall us", "WA")
 	for _, p := range snap.Results {
 		hitPct := "-"
 		if p.Cache != nil && p.Cache.Hits+p.Cache.Misses > 0 {
 			hitPct = fmt.Sprintf("%.1f", 100*float64(p.Cache.Hits)/float64(p.Cache.Hits+p.Cache.Misses))
 		}
-		fmt.Printf("%-10d %12.0f %14.1f %14s\n", p.Clients, p.WallNsOp, p.SimMBps, hitPct)
+		gcRuns, stall, wa := "-", "-", "-"
+		if p.GC != nil {
+			gcRuns = fmt.Sprintf("%d", p.GC.Runs)
+			stall = fmt.Sprintf("%.0f", float64(p.GC.StallNs)/1e3)
+			wa = fmt.Sprintf("%.3f", p.GC.WriteAmp)
+		}
+		fmt.Printf("%-8s %-8d %12.0f %14.1f %10s %8s %10s %8s\n",
+			normWorkload(p.Workload), p.Clients, p.WallNsOp, p.SimMBps, hitPct, gcRuns, stall, wa)
 	}
 }
 
@@ -131,32 +180,41 @@ func benchCompare(path string, simTol, wallTol float64) {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		fatalf("bench compare: %s: %v", path, err)
 	}
-	cur := measureSnapshot(base.CacheBytes, base.PrefetchDepth)
+	// Rerun exactly the baseline's (workload, clients) points — a baseline
+	// written before the workload field existed reruns as pure reads — so
+	// write and mixed throughput are gated the same way reads always were.
+	cur := benchSnapshot{
+		Revision:      revision(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Benchmark:     base.Benchmark,
+		CacheBytes:    base.CacheBytes,
+		PrefetchDepth: base.PrefetchDepth,
+	}
+	for _, bp := range base.Results {
+		pt, err := measurePoint(bp.Workload, bp.Clients, base.CacheBytes, base.PrefetchDepth)
+		if err != nil {
+			fatalf("bench compare (%s, clients=%d): %v", normWorkload(bp.Workload), bp.Clients, err)
+		}
+		cur.Results = append(cur.Results, pt)
+	}
 	header(fmt.Sprintf("Benchmark comparison vs %s (rev %s)", path, base.Revision))
 	printSnapshot(cur)
 	failed := false
-	for _, bp := range base.Results {
-		var cp *benchPoint
-		for i := range cur.Results {
-			if cur.Results[i].Clients == bp.Clients {
-				cp = &cur.Results[i]
-			}
-		}
-		if cp == nil {
-			fmt.Printf("clients=%d: missing from current run\n", bp.Clients)
-			failed = true
-			continue
-		}
+	for i, bp := range base.Results {
+		cp := cur.Results[i]
+		label := fmt.Sprintf("%s/clients=%d", normWorkload(bp.Workload), bp.Clients)
 		simRatio := cp.SimMBps / bp.SimMBps
 		wallRatio := cp.WallNsOp / bp.WallNsOp
-		fmt.Printf("clients=%d: sim %0.1f -> %0.1f MB/s (%.2fx), wall %0.0f -> %0.0f ns/op (%.2fx)\n",
-			bp.Clients, bp.SimMBps, cp.SimMBps, simRatio, bp.WallNsOp, cp.WallNsOp, wallRatio)
+		fmt.Printf("%s: sim %0.1f -> %0.1f MB/s (%.2fx), wall %0.0f -> %0.0f ns/op (%.2fx)\n",
+			label, bp.SimMBps, cp.SimMBps, simRatio, bp.WallNsOp, cp.WallNsOp, wallRatio)
 		if simRatio < 1-simTol {
-			fmt.Printf("clients=%d: FAIL simulated throughput regressed beyond %.0f%%\n", bp.Clients, simTol*100)
+			fmt.Printf("%s: FAIL simulated throughput regressed beyond %.0f%%\n", label, simTol*100)
 			failed = true
 		}
 		if wallRatio > wallTol {
-			fmt.Printf("clients=%d: FAIL wall-clock cost regressed beyond %.1fx\n", bp.Clients, wallTol)
+			fmt.Printf("%s: FAIL wall-clock cost regressed beyond %.1fx\n", label, wallTol)
 			failed = true
 		}
 	}
@@ -181,6 +239,7 @@ func measureConcurrent(clients int, cacheBytes int64, prefetch int) (benchPoint,
 	if err != nil {
 		return benchPoint{}, err
 	}
+	defer d.Close()
 	id, err := d.CreateSpace(4, []int64{dim, dim})
 	if err != nil {
 		return benchPoint{}, err
@@ -257,6 +316,7 @@ func measureConcurrent(clients int, cacheBytes int64, prefetch int) (benchPoint,
 		iters++
 	}
 	pt := benchPoint{
+		Workload:   "read",
 		Clients:    clients,
 		Iterations: iters,
 		WallNsOp:   float64(wall.Nanoseconds()) / float64(iters),
@@ -267,4 +327,190 @@ func measureConcurrent(clients int, cacheBytes int64, prefetch int) (benchPoint,
 		pt.Cache = &cs
 	}
 	return pt, nil
+}
+
+// measureMixed drives a mixed read/write workload over one shared space:
+// each client owns a disjoint set of 64x64 tiles and, per phase, overwrites
+// each of its tiles then reads it back. Payload bytes count both directions.
+func measureMixed(clients int, cacheBytes int64, prefetch int) (benchPoint, error) {
+	const (
+		dim   = 1024
+		tiles = 256 // 16x16 grid of 64x64 tiles
+		tileB = 64 * 64 * 4
+	)
+	d, err := nds.Open(nds.Options{
+		Mode:          nds.ModeHardware,
+		CapacityHint:  16 << 20,
+		CacheBytes:    cacheBytes,
+		PrefetchDepth: prefetch,
+	})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	defer d.Close()
+	id, err := d.CreateSpace(4, []int64{dim, dim})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	w, err := d.OpenSpace(id, []int64{dim, dim})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	data := make([]byte, dim*dim*4)
+	rand.New(rand.NewSource(7)).Read(data)
+	if _, err := w.Write([]int64{0, 0}, []int64{dim, dim}, data); err != nil {
+		return benchPoint{}, err
+	}
+	if err := w.Close(); err != nil {
+		return benchPoint{}, err
+	}
+	views := make([]*nds.Space, clients)
+	for i := range views {
+		if views[i], err = d.OpenSpace(id, []int64{dim, dim}); err != nil {
+			return benchPoint{}, err
+		}
+	}
+	defer func() {
+		for _, v := range views {
+			v.Close()
+		}
+	}()
+
+	phase := func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		per := tiles / clients
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(500 + c)))
+				payload := make([]byte, tileB)
+				buf := make([]byte, tileB)
+				coord := make([]int64, 2)
+				sub := []int64{64, 64}
+				for k := 0; k < per; k++ {
+					tile := int64(c*per + k)
+					coord[0], coord[1] = tile/16, tile%16
+					rng.Read(payload)
+					if _, err := views[c].Write(coord, sub, payload); err != nil {
+						errs <- err
+						return
+					}
+					if _, _, err := views[c].ReadInto(coord, sub, buf); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	pt, err := timedPhases("mixed", clients, 2*tiles*tileB, phase, d)
+	if err != nil {
+		return benchPoint{}, err
+	}
+	if cacheBytes > 0 {
+		cs := d.CacheStats()
+		pt.Cache = &cs
+	}
+	return pt, nil
+}
+
+// measureWrite drives the write-heavy workload: one 512x512 float32 space
+// per client, each overwritten in 64-row bands (128 KiB per write) from its
+// own stream — the same shape as BenchmarkConcurrentWriters, so the JSON
+// snapshot tracks the concurrent write path release over release.
+func measureWrite(clients int, cacheBytes int64, prefetch int) (benchPoint, error) {
+	const (
+		dim   = 512
+		bands = 8 // dim / 64
+		bandB = 64 * dim * 4
+	)
+	d, err := nds.Open(nds.Options{
+		Mode:          nds.ModeHardware,
+		CapacityHint:  64 << 20,
+		CacheBytes:    cacheBytes,
+		PrefetchDepth: prefetch,
+	})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	defer d.Close()
+	spaces := make([]*nds.Space, clients)
+	for i := range spaces {
+		id, err := d.CreateSpace(4, []int64{dim, dim})
+		if err != nil {
+			return benchPoint{}, err
+		}
+		if spaces[i], err = d.OpenSpace(id, []int64{dim, dim}); err != nil {
+			return benchPoint{}, err
+		}
+	}
+	defer func() {
+		for _, sp := range spaces {
+			sp.Close()
+		}
+	}()
+
+	phase := func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for c, sp := range spaces {
+			wg.Add(1)
+			go func(c int, sp *nds.Space) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(700 + c)))
+				band := make([]byte, bandB)
+				coord := make([]int64, 2)
+				sub := []int64{64, dim}
+				for k := int64(0); k < bands; k++ {
+					rng.Read(band)
+					coord[0], coord[1] = k, 0
+					if _, err := sp.Write(coord, sub, band); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(c, sp)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	return timedPhases("write", clients, int64(clients)*bands*bandB, phase, d)
+}
+
+// timedPhases runs one warm-up phase, then repeats the phase until enough
+// wall time accumulates for a stable ns/op, and packages the result with the
+// device's GC counters.
+func timedPhases(workload string, clients int, bytesPerPhase int64, phase func() error, d *nds.Device) (benchPoint, error) {
+	if err := phase(); err != nil {
+		return benchPoint{}, err
+	}
+	var (
+		iters   int
+		wall    time.Duration
+		simSpan time.Duration
+	)
+	for wall < 500*time.Millisecond || iters < 3 {
+		s0, w0 := d.Now(), time.Now()
+		if err := phase(); err != nil {
+			return benchPoint{}, err
+		}
+		wall += time.Since(w0)
+		simSpan += d.Now() - s0
+		iters++
+	}
+	gc := d.GCStats()
+	return benchPoint{
+		Workload:   workload,
+		Clients:    clients,
+		Iterations: iters,
+		WallNsOp:   float64(wall.Nanoseconds()) / float64(iters),
+		SimMBps:    float64(iters) * float64(bytesPerPhase) / simSpan.Seconds() / 1e6,
+		GC:         &gc,
+	}, nil
 }

@@ -119,3 +119,114 @@ func TestDifferentialConcurrentStreams(t *testing.T) {
 		t.Fatal("final space contents diverge between batched and scalar paths")
 	}
 }
+
+// TestDifferentialConcurrentVsSerializedWrites: lock modes must be
+// data-equivalent. Sixteen streams overwrite disjoint tiles of one space
+// twice — once on the concurrent write path (per-space serialization,
+// background GC) and once on the exclusive-lock path (SerializedWrites +
+// SynchronousGC, the pre-PR behavior) — and both devices must end with
+// exactly the image the host computes. The payloads are keyed by tile, not
+// by arrival order, so the final image is interleaving-independent even
+// though the two runs schedule writes differently.
+func TestDifferentialConcurrentVsSerializedWrites(t *testing.T) {
+	const (
+		clients = 16
+		grid    = 16  // 16x16 tiles of 64x64 over the 1024x1024 space
+		tiles   = 256 // grid * grid
+		tileB   = 64 * 64 * 4
+		passes  = 2
+	)
+	run := func(serialized bool) []byte {
+		d, err := Open(Options{
+			Mode:             ModeHardware,
+			CapacityHint:     16 << 20,
+			SerializedWrites: serialized,
+			SynchronousGC:    serialized,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		id, err := d.CreateSpace(4, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		per := tiles / clients
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				v, err := d.OpenSpace(id, []int64{1024, 1024})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer v.Close()
+				payload := make([]byte, tileB)
+				buf := make([]byte, tileB)
+				for p := 0; p < passes; p++ {
+					for k := 0; k < per; k++ {
+						tile := int64(c*per + k)
+						coord := []int64{tile / grid, tile % grid}
+						rand.New(rand.NewSource(int64(p)*tiles + tile)).Read(payload)
+						if _, err := v.Write(coord, []int64{64, 64}, payload); err != nil {
+							errs <- fmt.Errorf("pass %d tile %d write: %w", p, tile, err)
+							return
+						}
+						data, _, err := v.ReadInto(coord, []int64{64, 64}, buf)
+						if err != nil {
+							errs <- fmt.Errorf("pass %d tile %d read: %w", p, tile, err)
+							return
+						}
+						if !bytes.Equal(data, payload) {
+							errs <- fmt.Errorf("pass %d tile %d read back wrong bytes", p, tile)
+							return
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		final, err := d.OpenSpace(id, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _, err := final.Read([]int64{0, 0}, []int64{1024, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := final.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return full
+	}
+
+	// The host-side expected image: every tile holds its final-pass payload.
+	want := make([]byte, 1024*1024*4)
+	tilePayload := make([]byte, tileB)
+	for tile := int64(0); tile < tiles; tile++ {
+		rand.New(rand.NewSource(int64(passes-1)*tiles + tile)).Read(tilePayload)
+		lo := [2]int64{tile / grid * 64, tile % grid * 64}
+		for r := int64(0); r < 64; r++ {
+			row := ((lo[0]+r)*1024 + lo[1]) * 4
+			copy(want[row:row+64*4], tilePayload[r*64*4:(r+1)*64*4])
+		}
+	}
+	concurrentImg := run(false)
+	serializedImg := run(true)
+	if !bytes.Equal(concurrentImg, want) {
+		t.Error("concurrent write path diverged from the host image")
+	}
+	if !bytes.Equal(serializedImg, want) {
+		t.Error("serialized write path diverged from the host image")
+	}
+	if !bytes.Equal(concurrentImg, serializedImg) {
+		t.Error("lock modes disagree on the final space contents")
+	}
+}

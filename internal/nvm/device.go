@@ -79,8 +79,9 @@ func (s *dieShard) frame(pageSize int) []byte {
 // device state itself (programmed bitmap, stored bytes, wear) is sharded
 // per die, so streams touching distinct dies never contend on a lock at all.
 // Callers remain responsible for flash-rule discipline (no two concurrent
-// programs of the same page) — in this repository the STL's exclusive write
-// path guarantees it.
+// programs of the same page) — in this repository the STL guarantees it by
+// serializing writers per space (a unit is programmed at most once before it
+// is erased) and claiming dies for GC.
 type Device struct {
 	geo Geometry
 	tim Timing
@@ -241,9 +242,9 @@ func (d *Device) pageBytesLocked(s *dieShard, p PPA) []byte {
 // page's bytes are never mutated in place (overwrites program a fresh unit),
 // so the alias stays valid until the page's block is erased and its frame
 // recycled into a later program — callers that need the data past an erase of
-// the block must copy. In this repository erases only run from the STL's
-// exclusive write/GC path, which never overlaps a reader still holding the
-// alias.
+// the block must copy. In this repository erases only run from the STL's GC,
+// which rebinds a victim's live units under the owning spaces' write locks
+// before erasing, so it never overlaps a reader still holding the alias.
 func (d *Device) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	if !p.Valid(d.geo) {
 		return nil, at, fmt.Errorf("nvm: read of invalid address %v", p)

@@ -2,6 +2,9 @@ package stl
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"nds/internal/nvm"
 	"nds/internal/sim"
@@ -10,50 +13,36 @@ import (
 // die tracks per-(channel,bank) log-structured allocation state, mirroring
 // the physical constraint that pages within an erase block are programmed in
 // order.
+//
+// mu is a leaf lock in the STL's order (space -> die -> cache shard / device
+// shard): it guards the allocation cursor, the free-block list, and this
+// die's slice of the reverse-lookup table (rev entries whose PPA lands on
+// this die, plus validInBlk). freePages is additionally an atomic so
+// watermark checks and placement heuristics can read it without taking mu;
+// every mutation happens under mu so compound invariants stay intact.
 type die struct {
+	mu          sync.Mutex
 	freeBlocks  []int
 	activeBlock int
 	nextPage    int
-	freePages   int64
+	freePages   atomic.Int64
 	validInBlk  []int32
 	retired     []bool // per-block: removed from service (nil until first retirement)
+
+	// collecting marks that one GC actor (the background worker or an inline
+	// collector) owns victim selection and evacuation on this die. It is a
+	// try-only claim, never a blocking lock: nothing that holds a space lock
+	// ever blocks on a GC actor, which is what keeps the space->die order
+	// deadlock-free.
+	collecting bool
 }
 
-func (t *STL) die(channel, bank int) *die { return t.dies[channel*t.geo.Banks+bank] }
-
-// takeUnit carves the next programmable page out of the given die, running
-// GC when below the low-water mark. It does not touch reverse maps; callers
-// bind the unit to a building block.
-func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error) {
-	d := t.die(channel, bank)
-	lowWater := int64(t.cfg.GCLowWater * float64(t.geo.PagesPerBank()))
-	if d.freePages <= lowWater {
-		if t.gcFlush != nil {
-			if err := t.gcFlush(); err != nil {
-				return nvm.PPA{}, at, err
-			}
-		}
-		var err error
-		at, err = t.collectDie(at, channel, bank)
-		if err != nil {
-			return nvm.PPA{}, at, err
-		}
-	}
-	if d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock {
-		if len(d.freeBlocks) <= 1 {
-			if t.gcFlush != nil {
-				if err := t.gcFlush(); err != nil {
-					return nvm.PPA{}, at, err
-				}
-			}
-			var err error
-			at, err = t.collectDie(at, channel, bank)
-			if err != nil {
-				return nvm.PPA{}, at, err
-			}
-		}
+// carve takes the next programmable page of the die, opening a fresh block
+// when the active one is exhausted. Caller holds d.mu.
+func (d *die) carve(channel, bank, pagesPerBlock int) (nvm.PPA, bool) {
+	if d.activeBlock < 0 || d.nextPage >= pagesPerBlock {
 		if len(d.freeBlocks) == 0 {
-			return nvm.PPA{}, at, fmt.Errorf("stl: die ch%d/bk%d out of free blocks: %w", channel, bank, ErrCapacity)
+			return nvm.PPA{}, false
 		}
 		d.activeBlock = d.freeBlocks[0]
 		d.freeBlocks = d.freeBlocks[1:]
@@ -61,8 +50,188 @@ func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error
 	}
 	p := nvm.PPA{Channel: channel, Bank: bank, Block: d.activeBlock, Page: d.nextPage}
 	d.nextPage++
-	d.freePages--
+	d.freePages.Add(-1)
+	return p, true
+}
+
+// carvable reports whether carve would succeed. Caller holds d.mu.
+func (d *die) carvable(pagesPerBlock int) bool {
+	return (d.activeBlock >= 0 && d.nextPage < pagesPerBlock) || len(d.freeBlocks) > 0
+}
+
+func (t *STL) die(channel, bank int) *die { return t.dies[channel*t.geo.Banks+bank] }
+
+// allocCtx carries the per-request context that allocation and garbage
+// collection need: the deferred-program flush hook (the batched write path
+// and group-commit flush install it so their queued programs land before GC
+// issues any device operation, preserving scalar issue order), and the space
+// whose write lock the request already holds (so an inline GC commit treats
+// it as owned instead of try-locking it against itself).
+type allocCtx struct {
+	flush func() error
+	held  *Space
+}
+
+// lowWaterPages is the per-die free-page threshold below which collection is
+// wanted; criticalWaterPages is where a foreground write stops trusting the
+// background worker and reclaims inline (half the low-water reserve).
+func (t *STL) lowWaterPages() int64 {
+	return int64(t.cfg.GCLowWater * float64(t.geo.PagesPerBank()))
+}
+
+func (t *STL) criticalWaterPages() int64 { return t.lowWaterPages() / 2 }
+
+// highWaterPages is where the background worker stops collecting a die; it
+// sits above the low mark so each worker pass buys a batch of foreground
+// allocations before the next kick.
+func (t *STL) highWaterPages() int64 {
+	if t.cfg.GCHighWater > t.cfg.GCLowWater {
+		return int64(t.cfg.GCHighWater * float64(t.geo.PagesPerBank()))
+	}
+	return t.lowWaterPages() + t.lowWaterPages()/2
+}
+
+// takeUnit carves the next programmable page out of the given die. With
+// synchronous GC (Config.BackgroundGC unset) collection runs inline at
+// exactly the original trigger points, so single-threaded runs are
+// bit-identical to the pre-concurrent path. With the background worker
+// enabled, crossing the low-water mark only kicks the worker; the foreground
+// write blocks on reclamation solely when the die is critically dry.
+// takeUnit does not touch reverse maps; callers bind the unit to a building
+// block.
+func (t *STL) takeUnit(at sim.Time, channel, bank int, ac *allocCtx) (nvm.PPA, sim.Time, error) {
+	d := t.die(channel, bank)
+	if t.cfg.BackgroundGC {
+		return t.takeUnitConcurrent(at, d, channel, bank, ac)
+	}
+	low := t.lowWaterPages()
+	if d.freePages.Load() <= low {
+		var err error
+		if at, err = t.reclaim(at, channel, bank, ac, low); err != nil {
+			return nvm.PPA{}, at, err
+		}
+	}
+	d.mu.Lock()
+	needBlock := (d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock) && len(d.freeBlocks) <= 1
+	d.mu.Unlock()
+	if needBlock {
+		var err error
+		if at, err = t.reclaim(at, channel, bank, ac, low); err != nil {
+			return nvm.PPA{}, at, err
+		}
+	}
+	d.mu.Lock()
+	p, ok := d.carve(channel, bank, t.geo.PagesPerBlock)
+	d.mu.Unlock()
+	if !ok {
+		return nvm.PPA{}, at, fmt.Errorf("stl: die ch%d/bk%d out of free blocks: %w", channel, bank, ErrCapacity)
+	}
 	return p, at, nil
+}
+
+// reclaim is the synchronous-mode collection step: drain any deferred
+// program batch (so GC's device operations keep scalar issue order), then
+// collect the die toward target.
+func (t *STL) reclaim(at sim.Time, channel, bank int, ac *allocCtx, target int64) (sim.Time, error) {
+	if ac != nil && ac.flush != nil {
+		if err := ac.flush(); err != nil {
+			return at, err
+		}
+	}
+	done, _, err := t.collectDie(at, channel, bank, ac, target)
+	return done, err
+}
+
+func (t *STL) takeUnitConcurrent(at sim.Time, d *die, channel, bank int, ac *allocCtx) (nvm.PPA, sim.Time, error) {
+	low := t.lowWaterPages()
+	critical := t.criticalWaterPages()
+	d.mu.Lock()
+	free := d.freePages.Load()
+	var p nvm.PPA
+	ok := false
+	if free > critical {
+		// Above the critical mark every free page is fair game (free pages
+		// always live in the open block or the free list, so the carve cannot
+		// fail here).
+		p, ok = d.carve(channel, bank, t.geo.PagesPerBlock)
+	}
+	d.mu.Unlock()
+	if free <= low {
+		t.kickGC()
+	}
+	if ok {
+		return p, at, nil
+	}
+	// Critically dry: reclaim inline (or wait out whoever holds the die's GC
+	// claim), with a bounded wall-clock stall before escalating to ErrMedia.
+	var err error
+	if at, err = t.reclaimDry(at, channel, bank, ac); err != nil {
+		return nvm.PPA{}, at, err
+	}
+	d.mu.Lock()
+	p, ok = d.carve(channel, bank, t.geo.PagesPerBlock)
+	d.mu.Unlock()
+	if !ok {
+		return nvm.PPA{}, at, fmt.Errorf("stl: die ch%d/bk%d out of free blocks: %w", channel, bank, ErrCapacity)
+	}
+	return p, at, nil
+}
+
+const (
+	// gcStallPoll is how often a critically-dry foreground write re-checks a
+	// die whose GC claim another actor holds.
+	gcStallPoll = 50 * time.Microsecond
+	// gcStallLimit bounds the total wall-clock time a foreground write waits
+	// on reclamation before escalating to ErrMedia.
+	gcStallLimit = 250 * time.Millisecond
+)
+
+// reclaimDry is the background-mode slow path: the die is at or below the
+// critical watermark (or cannot open a block), so the write must reclaim
+// inline or wait for the actor that holds the die's GC claim. All wall-clock
+// time spent here is charged to GCStallNs; by construction it is only
+// entered below the critical mark, so a write above the low watermark never
+// stalls on GC.
+func (t *STL) reclaimDry(at sim.Time, channel, bank int, ac *allocCtx) (sim.Time, error) {
+	d := t.die(channel, bank)
+	start := time.Now()
+	defer func() { t.gcStallNs.Add(time.Since(start).Nanoseconds()) }()
+	if ac != nil && ac.flush != nil {
+		if err := ac.flush(); err != nil {
+			return at, err
+		}
+	}
+	critical := t.criticalWaterPages()
+	for {
+		d.mu.Lock()
+		usable := d.carvable(t.geo.PagesPerBlock) && d.freePages.Load() > 0
+		recovered := d.freePages.Load() > critical
+		d.mu.Unlock()
+		if usable && recovered {
+			return at, nil
+		}
+		done, outcome, err := t.collectDie(at, channel, bank, ac, critical)
+		if err != nil {
+			return at, err
+		}
+		switch outcome {
+		case gcProgress:
+			at = sim.Max(at, done)
+			continue
+		case gcNothing:
+			// Nothing reclaimable: a genuine capacity condition. Carve what is
+			// left (the caller falls over to another die or reports
+			// ErrCapacity) instead of burning the stall budget.
+			return at, nil
+		}
+		// gcBusy: another actor owns the claim (or holds the space locks the
+		// commit needs); wait for it to release or replenish the die.
+		if time.Since(start) > gcStallLimit {
+			return at, fmt.Errorf("stl: die ch%d/bk%d critically dry and reclamation stalled: %w",
+				channel, bank, ErrMedia)
+		}
+		time.Sleep(gcStallPoll)
+	}
 }
 
 // allocateUnit implements the §4.2 allocation policy for page slot idx of a
@@ -77,18 +246,19 @@ func (t *STL) takeUnit(at sim.Time, channel, bank int) (nvm.PPA, sim.Time, error
 //     chosen and the sweep repeats.
 //
 // The chosen die may be full; the policy then falls over to the next
-// candidate in least-used order.
-func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, sim.Time, error) {
-	if limit := t.effectiveMaxPages(); t.usedPages >= limit {
+// candidate in least-used order. Callers hold the space's write lock (or an
+// equivalent exclusive context), which protects blk and s.
+func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock, ac *allocCtx) (nvm.PPA, sim.Time, error) {
+	if limit := t.effectiveMaxPages(); t.usedPages.Load() >= limit {
 		return nvm.PPA{}, at, fmt.Errorf("stl: logical capacity exhausted (%d pages): %w", limit, ErrCapacity)
 	}
 	if t.cfg.NaiveAllocation {
-		return t.allocateNaive(at, s, blk)
+		return t.allocateNaive(at, s, blk, ac)
 	}
 	var bank int
 	switch {
 	case blk.used == 0:
-		bank = t.rng.Intn(t.geo.Banks) // rule 1
+		bank = t.randIntn(t.geo.Banks) // rule 1
 	case blk.used%t.geo.Channels == 0:
 		bank = t.leastUsedBank(blk) // rules 3/4: channel sweep complete
 	default:
@@ -100,7 +270,7 @@ func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, 
 	bankOrder := t.bankCandidates(blk, bank)
 	for _, bk := range bankOrder {
 		for _, ch := range t.channelCandidates(blk, bk) {
-			p, ready, err := t.takeUnit(at, ch, bk)
+			p, ready, err := t.takeUnit(at, ch, bk, ac)
 			if err != nil {
 				continue // die exhausted; try the next candidate
 			}
@@ -118,17 +288,17 @@ func (t *STL) allocateUnit(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, 
 // allocateNaive is the ablation allocator: every unit of a block comes from
 // one die chosen round-robin (with spill-over to neighbouring dies when
 // full), so a block read engages a single channel.
-func (t *STL) allocateNaive(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA, sim.Time, error) {
-	die := int(t.naiveNext)
+func (t *STL) allocateNaive(at sim.Time, s *Space, blk *BuildingBlock, ac *allocCtx) (nvm.PPA, sim.Time, error) {
+	var die int
 	if blk.used > 0 && blk.lastBank >= 0 {
 		die = blk.naiveDie
 	} else {
-		t.naiveNext = (t.naiveNext + 1) % int64(len(t.dies))
+		die = int(t.naiveNext.Add(1)-1) % len(t.dies)
 	}
 	for off := 0; off < len(t.dies); off++ {
 		d := (die + off) % len(t.dies)
 		ch, bk := d/t.geo.Banks, d%t.geo.Banks
-		p, ready, err := t.takeUnit(at, ch, bk)
+		p, ready, err := t.takeUnit(at, ch, bk, ac)
 		if err != nil {
 			continue
 		}
@@ -145,9 +315,28 @@ func (t *STL) allocateNaive(at sim.Time, s *Space, blk *BuildingBlock) (nvm.PPA,
 
 // allocateReplacement picks a unit from the same channel and bank as an
 // overwritten unit (§4.2: "the STL simply picks a page from the same channel
-// and bank as the overwritten unit").
-func (t *STL) allocateReplacement(at sim.Time, old nvm.PPA) (nvm.PPA, sim.Time, error) {
-	return t.takeUnit(at, old.Channel, old.Bank)
+// and bank as the overwritten unit"). With the background worker enabled, a
+// dry die falls over to any die with room — data placement beats strict
+// same-die replacement once foreground writes no longer wait for inline
+// collection (documented deviation, see DESIGN.md); synchronous mode keeps
+// the strict behaviour.
+func (t *STL) allocateReplacement(at sim.Time, old nvm.PPA, ac *allocCtx) (nvm.PPA, sim.Time, error) {
+	p, done, err := t.takeUnit(at, old.Channel, old.Bank, ac)
+	if err == nil || !t.cfg.BackgroundGC {
+		return p, done, err
+	}
+	if np, ok := t.allocateRecoveryUnit(old); ok {
+		return np, at, nil
+	}
+	return p, done, err
+}
+
+// randIntn draws from the shared policy RNG under its lock.
+func (t *STL) randIntn(n int) int {
+	t.rngMu.Lock()
+	v := t.rng.Intn(n)
+	t.rngMu.Unlock()
+	return v
 }
 
 // leastUsedBank returns the bank with the fewest units in blk, breaking ties
@@ -165,7 +354,10 @@ func (t *STL) leastUsedBank(blk *BuildingBlock) int {
 			best = append(best, b)
 		}
 	}
-	return best[t.rng.Intn(len(best))]
+	if len(best) == 1 {
+		return best[0]
+	}
+	return best[t.randIntn(len(best))]
 }
 
 // bankCandidates lists banks to try: first the preferred bank, then the rest
@@ -190,13 +382,15 @@ func (t *STL) bankCandidates(blk *BuildingBlock, preferred int) []int {
 
 // channelCandidates lists channels in ascending block-usage order; among
 // equally-used channels, the one whose die has the most free pages first.
+// freePages is read without the die lock — it is a placement heuristic, and
+// a slightly stale value only reorders fall-over candidates.
 func (t *STL) channelCandidates(blk *BuildingBlock, bank int) []int {
 	order := make([]int, t.geo.Channels)
 	for i := range order {
 		order[i] = i
 	}
 	key := func(ch int) (uint16, int64) {
-		return blk.chanUse[ch], -t.die(ch, bank).freePages
+		return blk.chanUse[ch], -t.die(ch, bank).freePages.Load()
 	}
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0; j-- {
@@ -219,29 +413,43 @@ func (t *STL) channelCandidates(blk *BuildingBlock, bank int) []int {
 // bindUnit and invalidateUnit are the central cache-invalidation hooks: every
 // path that changes which physical unit backs a building-block page — writes,
 // overwrites, zero elision, GC evacuation, program-fault relocation, staged
-// programs, delete, resize — goes through one or both, and both run only
-// under the device's exclusive lock. Invalidation is strict: the whole block
+// programs, delete, resize — goes through one or both. Both take the owning
+// die's lock internally (the rev table is sharded by die) and require the
+// unit's space to be write-locked or otherwise exclusive, so no concurrent
+// reader can observe the transition. Invalidation is strict: the whole block
 // entry is dropped even when the page's bytes are unchanged (a GC move), so a
 // cached block can never disagree with the translation state.
 func (t *STL) bindUnit(s *Space, blockIdx int64, pageIdx int, p nvm.PPA) {
 	if t.cache != nil {
 		t.cache.invalidateBlock(s.id, blockIdx)
 	}
-	idx := p.Linear(t.geo)
-	t.rev[idx] = revEntry{space: s.id, block: blockIdx, page: int32(pageIdx), valid: true}
-	t.die(p.Channel, p.Bank).validInBlk[p.Block]++
-	t.usedPages++
+	d := t.die(p.Channel, p.Bank)
+	d.mu.Lock()
+	t.rev[p.Linear(t.geo)] = revEntry{space: s.id, block: blockIdx, page: int32(pageIdx), valid: true}
+	d.validInBlk[p.Block]++
+	d.mu.Unlock()
+	t.usedPages.Add(1)
 }
 
 // invalidateUnit drops a unit's reverse mapping and valid count, along with
 // any cached copy of the building block the unit belonged to.
 func (t *STL) invalidateUnit(p nvm.PPA) {
+	d := t.die(p.Channel, p.Bank)
 	idx := p.Linear(t.geo)
-	if !t.rev[idx].valid {
+	d.mu.Lock()
+	e := t.rev[idx]
+	if !e.valid {
+		d.mu.Unlock()
 		return
 	}
-	t.cacheInvalidateUnit(p)
 	t.rev[idx].valid = false
-	t.die(p.Channel, p.Bank).validInBlk[p.Block]--
-	t.usedPages--
+	d.validInBlk[p.Block]--
+	d.mu.Unlock()
+	t.usedPages.Add(-1)
+	if t.cache != nil {
+		// The exclusive context that invalidates (space write lock, delete,
+		// resize) also prevents concurrent readers of this block, so dropping
+		// the cache entry after the rev update cannot race a stale re-read.
+		t.cache.invalidateBlock(e.space, e.block)
+	}
 }

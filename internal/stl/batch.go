@@ -16,9 +16,9 @@ import (
 // operations relative to the scalar loop, never reorders them. A deferred
 // program batch is flushed at exactly the points where the scalar path would
 // have issued those programs before the next device operation — before any
-// read-modify-write page read, before garbage collection runs (via the STL's
-// gcFlush hook), before a compressed block is materialized, and at request
-// end. Because sim.Resource reservations depend only on the order and
+// read-modify-write page read, before garbage collection runs (via the
+// request's allocCtx flush hook), before a compressed block is materialized,
+// and at request end. Because sim.Resource reservations depend only on the order and
 // arguments of Acquire calls, identical issue order means bit-identical
 // completion times; the differential tests in stl hold the two paths to that.
 
@@ -36,6 +36,9 @@ func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, s
 		stats RequestStats
 		err   error
 	)
+	s := v.space
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if t.cfg.ScalarPath {
 		buf, done, stats, err = t.readPartitionScalar(at, v, coord, sub)
 	} else {
@@ -43,6 +46,9 @@ func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, s
 	}
 	if err == nil && t.pf != nil {
 		t.maybePrefetch(done, v, coord, sub)
+	}
+	if err == nil {
+		t.noteTime(done)
 	}
 	return buf, done, stats, err
 }
@@ -58,6 +64,9 @@ func (t *STL) ReadPartitionInto(at sim.Time, v *View, coord, sub []int64, dst []
 		stats RequestStats
 		err   error
 	)
+	s := v.space
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if t.cfg.ScalarPath {
 		buf, done, stats, err = t.readPartitionScalar(at, v, coord, sub)
 		if err == nil && buf != nil && int64(cap(dst)) >= int64(len(buf)) {
@@ -71,6 +80,9 @@ func (t *STL) ReadPartitionInto(at sim.Time, v *View, coord, sub []int64, dst []
 	if err == nil && t.pf != nil {
 		t.maybePrefetch(done, v, coord, sub)
 	}
+	if err == nil {
+		t.noteTime(done)
+	}
 	return buf, done, stats, err
 }
 
@@ -80,16 +92,29 @@ func (t *STL) ReadPartitionInto(at sim.Time, v *View, coord, sub []int64, dst []
 // units per the §4.2 policy, read-modify-writes partially covered pages, and
 // replaces overwritten units within their channel/bank (§4.2, §4.4).
 func (t *STL) WritePartition(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
-	if t.cfg.Compress {
+	s := v.space
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		done  sim.Time
+		stats RequestStats
+		err   error
+	)
+	switch {
+	case t.cfg.Compress:
 		if data == nil {
 			return at, RequestStats{}, fmt.Errorf("stl: compressed writes need payload data: %w", ErrInvalid)
 		}
-		return t.writeCompressed(at, v, coord, sub, data)
+		done, stats, err = t.writeCompressed(at, v, coord, sub, data)
+	case t.cfg.ScalarPath:
+		done, stats, err = t.writePartitionScalar(at, v, coord, sub, data)
+	default:
+		done, stats, err = t.writePartitionBatched(at, v, coord, sub, data)
 	}
-	if t.cfg.ScalarPath {
-		return t.writePartitionScalar(at, v, coord, sub, data)
+	if err == nil {
+		t.noteTime(done)
 	}
-	return t.writePartitionBatched(at, v, coord, sub, data)
+	return done, stats, err
 }
 
 func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst []byte) ([]byte, sim.Time, RequestStats, error) {
@@ -256,10 +281,9 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 
 	// Pass 2: read-modify-write partially covered pages, allocate units, and
 	// accumulate programs into a batch that drains at the flush points (RMW
-	// reads, GC via the gcFlush hook, staged programs, request end).
+	// reads, GC via the allocCtx flush hook, staged programs, request end).
 	done := at
-	t.gcFlush = func() error { return t.flushPrograms(rs, &done, &stats) }
-	defer func() { t.gcFlush = nil }()
+	ac := &allocCtx{flush: func() error { return t.flushPrograms(rs, &done, &stats) }, held: s}
 	for si := range rs.stages {
 		st := &rs.stages[si]
 		slot := &st.blk.pages[st.page]
@@ -279,7 +303,7 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 				if err := t.flushPrograms(rs, &done, &stats); err != nil {
 					return at, stats, err
 				}
-				d, err := t.programStaged(at, s, st.blockIdx, st.blk, st.page, pp)
+				d, err := t.programStaged(at, s, st.blockIdx, st.blk, st.page, pp, ac)
 				if err != nil {
 					return at, stats, err
 				}
@@ -324,16 +348,16 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 				t.invalidateUnit(slot.ppa)
 				slot.allocated = false
 			}
-			t.zeroSkipped++
+			t.zeroSkipped.Add(1)
 			rs.releaseBuf(pageBuf)
 			continue
 		}
 		var unit nvm.PPA
 		if slot.allocated {
 			t.invalidateUnit(slot.ppa)
-			unit, ready, err = t.allocateReplacement(ready, slot.ppa)
+			unit, ready, err = t.allocateReplacement(ready, slot.ppa, ac)
 		} else {
-			unit, ready, err = t.allocateUnit(ready, s, st.blk)
+			unit, ready, err = t.allocateUnit(ready, s, st.blk, ac)
 		}
 		if err != nil {
 			// Land anything already queued so STL and device state agree.
@@ -346,7 +370,7 @@ func (t *STL) writePartitionBatched(at sim.Time, v *View, coord, sub []int64, da
 		slot.ppa = unit
 		slot.allocated = true
 		t.bindUnit(s, st.blockIdx, st.page, unit)
-		t.progs++
+		t.progs.Add(1)
 		stats.PagesProgrammed++
 	}
 	if err := t.flushPrograms(rs, &done, &stats); err != nil {

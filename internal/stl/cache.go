@@ -24,14 +24,16 @@ import (
 // keep exact fill/ready state, so timing and statistics stay exact.
 //
 // Concurrency: the cache is sharded; each shard has its own mutex guarding
-// its entry map and CLOCK ring. Reads hit the shards under the device's
-// reader lock, so shard mutexes are leaves: nothing is acquired while one is
+// its entry map and CLOCK ring. Shard mutexes are leaves of the STL lock
+// order (maintMu -> space -> die -> shard): nothing is acquired while one is
 // held. A page's data region is written exactly once — under the shard lock,
 // before its fill state becomes visible — and invalidation only drops
 // references, so a reader that observed the fill state may copy from the
-// returned slice after unlocking. All mutators of translation state run under
-// the device's exclusive lock, which is what makes strict invalidation (drop
-// the whole block entry on any rebind) race-free against in-flight reads.
+// returned slice after unlocking. All mutators of translation state hold the
+// owning space's write lock (or run in an exclusive maintenance context that
+// excludes that space's readers), which is what makes strict invalidation
+// (drop the whole block entry on any rebind) race-free against in-flight
+// reads.
 //
 // With Config.CacheBytes zero the STL carries a nil cache and every hook is a
 // single nil check: the device is bit- and simulated-time-identical to one
@@ -354,17 +356,6 @@ func (c *blockCache) stats() CacheStats {
 		sh.mu.Unlock()
 	}
 	return s
-}
-
-// cacheInvalidateUnit drops the cache entry covering physical unit p, located
-// through the reverse-lookup table. Must run before the rev entry is cleared.
-func (t *STL) cacheInvalidateUnit(p nvm.PPA) {
-	if t.cache == nil {
-		return
-	}
-	if e := t.rev[p.Linear(t.geo)]; e.valid {
-		t.cache.invalidateBlock(e.space, e.block)
-	}
 }
 
 // CacheStats snapshots the building-block cache's counters; zero-valued when

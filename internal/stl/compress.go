@@ -124,13 +124,14 @@ func (t *STL) storeBlockImage(at sim.Time, s *Space, blockIdx int64, blk *Buildi
 		payload = comp
 		blk.compressed = true
 		blk.compLen = int64(len(comp))
-		t.compressedBlocks++
+		t.compressedBlocks.Add(1)
 	}
 	pages := int(ceilDiv(int64(len(payload)), ps))
 	blk.physPages = pages
 	done := at
+	ac := &allocCtx{held: s}
 	for i := 0; i < pages; i++ {
-		dst, ready, err := t.allocateUnit(at, s, blk)
+		dst, ready, err := t.allocateUnit(at, s, blk, ac)
 		if err != nil {
 			return done, err
 		}
@@ -143,7 +144,7 @@ func (t *STL) storeBlockImage(at sim.Time, s *Space, blockIdx int64, blk *Buildi
 		blk.pages[i].ppa = dst
 		blk.pages[i].allocated = true
 		t.bindUnit(s, blockIdx, i, dst)
-		t.progs++
+		t.progs.Add(1)
 		stats.PagesProgrammed++
 		done = sim.Max(done, d)
 	}
@@ -226,11 +227,11 @@ type blockImageCache map[int64][]byte
 
 // CompressedBlocks reports how many block store operations chose the
 // compressed representation.
-func (t *STL) CompressedBlocks() int64 { return t.compressedBlocks }
+func (t *STL) CompressedBlocks() int64 { return t.compressedBlocks.Load() }
 
 // ZeroPagesSkipped reports how many all-zero page writes the §8 page-zero
 // optimization elided.
-func (t *STL) ZeroPagesSkipped() int64 { return t.zeroSkipped }
+func (t *STL) ZeroPagesSkipped() int64 { return t.zeroSkipped.Load() }
 
 func allZero(b []byte) bool {
 	for _, x := range b {

@@ -236,8 +236,9 @@ func TestFaultWearOutGracefulDegradation(t *testing.T) {
 }
 
 // TestGCRelocationOutOfSpaceRecovery: evacuateBlock with no room for the
-// survivors fails atomically — ErrCapacity, no mappings touched, every byte
-// still readable from the source units.
+// survivors fails atomically — it reports that nothing was reclaimable, no
+// mappings are touched, and every byte is still readable from the source
+// units.
 func TestGCRelocationOutOfSpaceRecovery(t *testing.T) {
 	geo := nvm.Geometry{Channels: 2, Banks: 1, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 512}
 	dev, err := nvm.NewDevice(geo, nvm.TLCTiming(), false)
@@ -278,8 +279,8 @@ func TestGCRelocationOutOfSpaceRecovery(t *testing.T) {
 	d.freeBlocks = nil
 	d.activeBlock = -1
 
-	if _, err := st.evacuateBlock(0, 0, 0, victim); !errors.Is(err, ErrCapacity) {
-		t.Fatalf("want ErrCapacity from stranded evacuation, got %v", err)
+	if _, res, err := st.evacuateBlock(0, 0, 0, victim, nil); err != nil || res == gcProgress {
+		t.Fatalf("want a no-progress outcome from stranded evacuation, got res=%v err=%v", res, err)
 	}
 
 	// Source mappings must still be authoritative.

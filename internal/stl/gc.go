@@ -3,6 +3,7 @@ package stl
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"nds/internal/nvm"
 	"nds/internal/sim"
@@ -13,125 +14,250 @@ import (
 // invalidated units. Unlike a conventional FTL, the reverse-lookup table maps
 // each surviving unit straight back to its building block, so mapping updates
 // are O(1) per relocated page.
+//
+// Collection runs in one of two modes:
+//
+//   - Synchronous (Config.BackgroundGC unset): collectDie runs inline in the
+//     foreground write path at the original trigger points, so
+//     single-threaded runs — including fault-replay determinism tests — are
+//     unchanged.
+//   - Background: a worker goroutine sweeps dies whose free pages fell below
+//     the low watermark up to the high watermark, and foreground writes only
+//     collect inline (bounded, with ErrMedia escalation) when a die is
+//     critically dry.
+//
+// Either way, evacuation is three-phase so it can run concurrently with
+// readers and writers of unrelated spaces: (1) snapshot the victim's valid
+// units from the reverse-lookup table under the die lock; (2) try-lock the
+// owning spaces in ascending-ID order and re-validate the snapshot — if any
+// space lock cannot be had (a writer owns it), the pass is abandoned, so a GC
+// actor never blocks a lock holder and the space -> die order stays
+// deadlock-free; (3) under those locks, read the sources, program copies into
+// freshly carved units, rebind, and erase the victim.
+//
+// Taking the space locks *before* reading the sources is load-bearing: the
+// batched write path binds a unit when its program is queued and only drains
+// the queue while still holding the space's write lock, so a unit observed
+// valid while we hold that lock is guaranteed to be programmed. Reading
+// first and locking later could capture a pre-program (all-zero) image of
+// such a unit and then commit it after the writer unlocks, losing the write.
+// A fault or an abort at any point leaves the sources authoritative and at
+// worst orphans unbound copies in blocks a later pass reclaims.
 
-// collectDie reclaims space on one die until it is above its low-water mark.
+// gcOutcome classifies one collection attempt.
+type gcOutcome int
+
+const (
+	gcProgress gcOutcome = iota // reclaimed (or retired) at least one block
+	gcNothing                   // nothing reclaimable on this die
+	gcBusy                      // claim or commit locks unavailable; retry later
+)
+
+// gcCommitTries bounds how many times an evacuation retries the commit-phase
+// space try-locks before abandoning the pass.
+const gcCommitTries = 100
+
+// collectDie reclaims space on one die until its free pages exceed target.
 // Collection is best-effort: it stops without error when no victim block
-// would net free space.
-func (t *STL) collectDie(at sim.Time, channel, bank int) (sim.Time, error) {
+// would net free space, and reports gcBusy without collecting when another
+// actor holds the die's claim.
+func (t *STL) collectDie(at sim.Time, channel, bank int, ac *allocCtx, target int64) (sim.Time, gcOutcome, error) {
 	d := t.die(channel, bank)
-	lowWater := int64(t.cfg.GCLowWater * float64(t.geo.PagesPerBank()))
-	for d.freePages <= lowWater {
-		victim := t.pickVictim(channel, bank)
+	d.mu.Lock()
+	if d.collecting {
+		d.mu.Unlock()
+		return at, gcBusy, nil
+	}
+	d.collecting = true
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.collecting = false
+		d.mu.Unlock()
+	}()
+	t.gcRuns.Add(1)
+
+	outcome := gcNothing
+	var busy []int // victims skipped because their owners' locks were unavailable
+	for {
+		d.mu.Lock()
+		if d.freePages.Load() > target {
+			d.mu.Unlock()
+			break
+		}
+		victim := t.pickVictimLocked(d, channel, bank, busy)
 		if victim < 0 && d.activeBlock >= 0 && d.validInBlk[d.activeBlock] < int32(d.nextPage) {
 			// Reclaimable pages sit only in the open block: close it.
-			d.freePages -= int64(t.geo.PagesPerBlock - d.nextPage)
+			d.freePages.Add(-int64(t.geo.PagesPerBlock - d.nextPage))
 			d.activeBlock = -1
-			victim = t.pickVictim(channel, bank)
+			victim = t.pickVictimLocked(d, channel, bank, busy)
 		}
 		if victim < 0 {
-			return at, nil // nothing reclaimable
+			d.mu.Unlock()
+			break // nothing reclaimable
 		}
 		survivors := int64(d.validInBlk[victim])
 		room := int64(len(d.freeBlocks)) * int64(t.geo.PagesPerBlock)
 		if d.activeBlock >= 0 {
 			room += int64(t.geo.PagesPerBlock - d.nextPage)
 		}
+		d.mu.Unlock()
 		if room < survivors {
-			return at, nil
+			break
 		}
-		var err error
-		at, err = t.evacuateBlock(at, channel, bank, victim)
+		done, res, err := t.evacuateBlock(at, channel, bank, victim, ac)
 		if err != nil {
-			return at, err
+			return at, outcome, err
 		}
+		if res == gcBusy {
+			// A writer owns one of the victim's spaces. Move on to the
+			// next-best victim instead of spinning on this one: a block whose
+			// units belong to idle spaces (or to no space at all) can still
+			// make progress while the busy one stays locked.
+			if outcome == gcNothing {
+				outcome = gcBusy
+			}
+			busy = append(busy, victim)
+			continue
+		}
+		if res != gcProgress {
+			if outcome == gcNothing {
+				outcome = res
+			}
+			break
+		}
+		at = sim.Max(at, done)
+		outcome = gcProgress
 	}
-	return at, nil
+	return at, outcome, nil
 }
 
-// pickVictim chooses the closed block with the fewest valid pages among
-// those with reclaimable pages; -1 if none.
-func (t *STL) pickVictim(channel, bank int) int {
-	d := t.die(channel, bank)
+// pickVictimLocked chooses the GC victim among closed, unretired, not
+// fully-valid blocks: greedy most-invalid first, but within a band of
+// near-greedy candidates (valid counts within PagesPerBlock/8 of the
+// minimum) the block with the fewest lifetime erases wins, so collection
+// doubles as intra-die wear leveling. With uniform erase counts the choice
+// degenerates to the plain greedy policy (lowest valid count, lowest block
+// index). Blocks listed in exclude (victims already found busy this pass) are
+// skipped. -1 if no block is eligible. Caller holds d.mu.
+func (t *STL) pickVictimLocked(d *die, channel, bank int, exclude []int) int {
 	free := make(map[int]bool, len(d.freeBlocks))
 	for _, b := range d.freeBlocks {
 		free[b] = true
 	}
-	best, bestScore := -1, int32(1<<30)
-	for b := 0; b < t.geo.BlocksPerBank; b++ {
+	eligible := func(b int) bool {
 		if b == d.activeBlock || free[b] {
-			continue
+			return false
+		}
+		for _, x := range exclude {
+			if b == x {
+				return false
+			}
 		}
 		if d.retired != nil && d.retired[b] {
 			// Retired blocks are never erased; evacuating one nets nothing,
 			// and its valid pages stay readable in place.
+			return false
+		}
+		return d.validInBlk[b] < int32(t.geo.PagesPerBlock)
+	}
+	minValid := int32(1 << 30)
+	for b := 0; b < t.geo.BlocksPerBank; b++ {
+		if eligible(b) && d.validInBlk[b] < minValid {
+			minValid = d.validInBlk[b]
+		}
+	}
+	if minValid == 1<<30 {
+		return -1
+	}
+	band := int32(t.geo.PagesPerBlock / 8)
+	if band < 1 {
+		band = 1
+	}
+	best, bestErase, bestValid := -1, int64(0), int32(0)
+	for b := 0; b < t.geo.BlocksPerBank; b++ {
+		if !eligible(b) || d.validInBlk[b] > minValid+band {
 			continue
 		}
+		e := t.dev.EraseCount(nvm.PPA{Channel: channel, Bank: bank, Block: b})
 		v := d.validInBlk[b]
-		if v >= int32(t.geo.PagesPerBlock) {
-			continue
-		}
-		if v < bestScore {
-			best, bestScore = b, v
+		if best < 0 || e < bestErase || (e == bestErase && v < bestValid) {
+			best, bestErase, bestValid = b, e, v
 		}
 	}
 	return best
 }
 
-// gcMove is one planned relocation: a valid source unit and the translation
-// state that must be rebound once its data lands on the destination.
-type gcMove struct {
-	src      nvm.PPA
-	space    *Space
-	blk      *BuildingBlock
-	blockIdx int64
-	page     int32
+// plannedMove is one relocation captured from the reverse-lookup table: the
+// source unit and the translation identity it had at planning time. The
+// building block itself is resolved at commit, under the owning space's
+// write lock.
+type plannedMove struct {
+	src   nvm.PPA
+	space SpaceID
+	block int64
+	page  int32
 }
 
 // evacuateBlock relocates the victim's valid units within the die (so each
 // building block keeps its channel/bank spread), updates their building
 // blocks through the reverse-lookup table, and erases the victim.
 //
-// The move is effectively atomic on error: every rebind target is resolved
-// and every destination unit carved before any byte is programmed, so a
-// translation inconsistency or out-of-space condition surfaces with the
-// source mappings still live and nothing leaked. Data moves through the
-// batched device path (one ReadPages and one ProgramPages per victim);
-// injected program faults relocate to fresh units, and an erase fault or
-// worn-out victim is retired in place rather than reported as an error.
-func (t *STL) evacuateBlock(at sim.Time, channel, bank, block int) (sim.Time, error) {
+// The move is effectively atomic on error or abort: sources stay bound until
+// the commit rebinds them under the owning spaces' write locks, so a fault,
+// an out-of-space condition, or an abandoned commit leaves the translation
+// state untouched and at worst orphans unbound copies that a later
+// collection reclaims. Data moves through the batched device path (one
+// ReadPages and one ProgramPages per victim); injected program faults
+// relocate to fresh units, and an erase fault or worn-out victim is retired
+// in place rather than reported as an error.
+func (t *STL) evacuateBlock(at sim.Time, channel, bank, block int, ac *allocCtx) (sim.Time, gcOutcome, error) {
 	d := t.die(channel, bank)
 
-	// Plan: collect the victim's valid units and validate their rebind
-	// targets before touching the device.
-	var moves []gcMove
+	// Phase 1: snapshot the victim's valid units under the die lock. New
+	// units cannot appear in the victim afterwards (programs only land in the
+	// open block, and the victim is closed and claimed), so the snapshot can
+	// only shrink — stale entries are dropped by the re-validation below.
+	var moves []plannedMove
+	d.mu.Lock()
 	for pg := 0; pg < t.geo.PagesPerBlock; pg++ {
 		src := nvm.PPA{Channel: channel, Bank: bank, Block: block, Page: pg}
-		entry := t.rev[src.Linear(t.geo)]
-		if !entry.valid {
-			continue
+		if e := t.rev[src.Linear(t.geo)]; e.valid {
+			moves = append(moves, plannedMove{src: src, space: e.space, block: e.block, page: e.page})
 		}
-		s, ok := t.spaces[entry.space]
-		if !ok {
-			return at, fmt.Errorf("stl: GC found unit of unknown space %d", entry.space)
-		}
-		gcoord := make([]int64, len(s.grid))
-		s.GridCoord(entry.block, gcoord)
-		blk, _ := t.block(s, gcoord, false)
-		if blk == nil {
-			return at, fmt.Errorf("stl: GC reverse entry names missing block %d of space %d", entry.block, s.id)
-		}
-		moves = append(moves, gcMove{src: src, space: s, blk: blk, blockIdx: entry.block, page: entry.page})
 	}
+	d.mu.Unlock()
+
+	// Phase 2: take the owning spaces' write locks in ascending-ID order
+	// (try-only, so a GC actor never blocks a lock holder), then re-validate
+	// the snapshot. Holding the locks guarantees every surviving source is
+	// programmed (see the package comment) and that nothing can invalidate it
+	// until the rebind below — every invalidation path holds the space's
+	// write lock or runs in a maintenance context that excludes GC.
+	held, ok := t.lockSpacesForCommit(moves, ac)
+	if !ok {
+		return at, gcBusy, nil
+	}
+	defer func() {
+		for _, s := range held {
+			s.mu.Unlock()
+		}
+	}()
+	valid := moves[:0]
+	d.mu.Lock()
+	for i := range moves {
+		m := moves[i]
+		e := t.rev[m.src.Linear(t.geo)]
+		if e.valid && e.space == m.space && e.block == m.block && e.page == m.page {
+			valid = append(valid, m)
+		}
+	}
+	d.mu.Unlock()
+	moves = valid
 
 	done := at
+	var ops []nvm.ProgramOp
 	if len(moves) > 0 {
-		room := int64(len(d.freeBlocks)) * int64(t.geo.PagesPerBlock)
-		if d.activeBlock >= 0 {
-			room += int64(t.geo.PagesPerBlock - d.nextPage)
-		}
-		if room < int64(len(moves)) {
-			return at, fmt.Errorf("stl: GC relocation out of space on ch%d/bk%d: %w", channel, bank, ErrCapacity)
-		}
 		srcs := make([]nvm.PPA, len(moves))
 		datas := make([][]byte, len(moves))
 		for i := range moves {
@@ -139,32 +265,49 @@ func (t *STL) evacuateBlock(at sim.Time, channel, bank, block int) (sim.Time, er
 		}
 		readDone, err := t.dev.ReadPages(at, srcs, datas)
 		if err != nil {
-			return at, err
+			return at, gcNothing, err
 		}
-		// Carve every destination up front (the room check above guarantees
-		// the die can supply them), then land the whole block in one batch.
-		ops := make([]nvm.ProgramOp, len(moves))
+		// Carve every destination, then land the whole block in one batch.
+		// The room check in collectDie ran under the same claim, but
+		// concurrent foreground carving may have consumed it; bail without
+		// touching translation state if so (carved units stay unbound).
+		ops = make([]nvm.ProgramOp, 0, len(moves))
+		d.mu.Lock()
 		for i := range moves {
-			dst, ok := t.takeUnitRaw(channel, bank)
-			if !ok {
-				return at, fmt.Errorf("stl: GC relocation out of space on ch%d/bk%d: %w", channel, bank, ErrCapacity)
+			dst, okCarve := d.carve(channel, bank, t.geo.PagesPerBlock)
+			if !okCarve {
+				d.mu.Unlock()
+				return at, gcNothing, nil
 			}
-			ops[i] = nvm.ProgramOp{At: readDone, P: dst, Data: datas[i]}
+			ops = append(ops, nvm.ProgramOp{At: readDone, P: dst, Data: datas[i]})
 		}
+		d.mu.Unlock()
 		done, err = t.gcProgramBatch(ops)
 		if err != nil {
 			// Nothing was rebound: the source mappings are still authoritative
 			// and any orphan destination copies sit unbound in blocks GC will
 			// reclaim normally.
-			return at, err
+			return at, gcNothing, err
 		}
-		for i := range moves {
-			m := &moves[i]
-			m.blk.pages[m.page].ppa = ops[i].P
-			t.invalidateUnit(m.src)
-			t.bindUnit(m.space, m.blockIdx, int(m.page), ops[i].P)
-			t.gcMoves++
+	}
+
+	// Phase 3: rebind the survivors and erase the victim.
+	for i := range moves {
+		m := &moves[i]
+		s, okS := t.spaces[m.space]
+		if !okS {
+			return done, gcNothing, fmt.Errorf("stl: GC found unit of unknown space %d", m.space)
 		}
+		gcoord := make([]int64, len(s.grid))
+		s.GridCoord(m.block, gcoord)
+		blk, _ := t.block(s, gcoord, false)
+		if blk == nil {
+			return done, gcNothing, fmt.Errorf("stl: GC reverse entry names missing block %d of space %d", m.block, s.id)
+		}
+		blk.pages[m.page].ppa = ops[i].P
+		t.invalidateUnit(m.src)
+		t.bindUnit(s, m.block, int(m.page), ops[i].P)
+		t.gcMoves.Add(1)
 	}
 
 	eraseDone, err := t.dev.EraseBlock(done, nvm.PPA{Channel: channel, Bank: bank, Block: block})
@@ -173,14 +316,70 @@ func (t *STL) evacuateBlock(at sim.Time, channel, bank, block int) (sim.Time, er
 			// The victim's data is already out; the block just can't rejoin
 			// the free pool. Retire it and carry on.
 			t.retireBlock(channel, bank, block)
-			return eraseDone, nil
+			return eraseDone, gcProgress, nil
 		}
-		return done, err
+		return done, gcNothing, err
 	}
+	d.mu.Lock()
 	d.freeBlocks = append(d.freeBlocks, block)
-	d.freePages += int64(t.geo.PagesPerBlock)
-	t.gcErases++
-	return eraseDone, nil
+	d.freePages.Add(int64(t.geo.PagesPerBlock))
+	d.mu.Unlock()
+	t.gcErases.Add(1)
+	return eraseDone, gcProgress, nil
+}
+
+// lockSpacesForCommit write-locks every distinct space in moves, in
+// ascending-ID order, treating ac.held (the space the calling request
+// already owns) as pre-acquired. Locks are taken with TryLock plus a bounded
+// yield-retry so a GC actor never blocks a writer; on exhaustion every lock
+// taken here is released and false is returned. The returned slice holds
+// only the spaces this call locked (never ac.held).
+func (t *STL) lockSpacesForCommit(moves []plannedMove, ac *allocCtx) ([]*Space, bool) {
+	ids := make([]SpaceID, 0, 4)
+	for i := range moves {
+		id := moves[i].space
+		dup := false
+		for _, have := range ids {
+			if have == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ids = append(ids, id)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	held := make([]*Space, 0, len(ids))
+	for _, id := range ids {
+		if ac != nil && ac.held != nil && ac.held.id == id {
+			continue // the calling request already owns this one
+		}
+		s, ok := t.spaces[id]
+		if !ok {
+			continue // space vanished; its moves are re-checked as stale
+		}
+		got := false
+		for try := 0; try < gcCommitTries; try++ {
+			if s.mu.TryLock() {
+				got = true
+				break
+			}
+			time.Sleep(2 * time.Microsecond)
+		}
+		if !got {
+			for _, h := range held {
+				h.mu.Unlock()
+			}
+			return nil, false
+		}
+		held = append(held, s)
+	}
+	return held, true
 }
 
 // gcProgramBatch lands a GC relocation batch, recovering from injected
@@ -210,9 +409,59 @@ func (t *STL) gcProgramBatch(ops []nvm.ProgramOp) (sim.Time, error) {
 		if !ok {
 			return done, fmt.Errorf("stl: no unit available to relocate faulted GC program at %v: %w", pe.P, ErrMedia)
 		}
-		t.programRetries++
+		t.programRetries.Add(1)
 		ops[0].P = np
 		ops[0].At = pe.Done
 	}
 	return done, nil
+}
+
+// kickGC nudges the background worker (non-blocking; a pending kick absorbs
+// further ones). No-op in synchronous mode.
+func (t *STL) kickGC() {
+	if t.gcKick == nil {
+		return
+	}
+	select {
+	case t.gcKick <- struct{}{}:
+	default:
+	}
+}
+
+// gcWorker is the background collection loop: each kick triggers one sweep
+// over all dies. It exits when Close is called.
+func (t *STL) gcWorker() {
+	defer close(t.gcDone)
+	for {
+		select {
+		case <-t.gcStop:
+			return
+		case <-t.gcKick:
+		}
+		t.gcSweep()
+	}
+}
+
+// gcSweep collects every die below the low watermark up to the high
+// watermark. The sweep holds maintMu, so it is mutually exclusive with space
+// create/delete/resize and Flush; its device operations are issued at the
+// foreground high-water completion time, so relocation traffic competes with
+// foreground requests on the same simulated channel/bank timelines.
+func (t *STL) gcSweep() {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
+	at := sim.Time(t.simClock.Load())
+	low, high := t.lowWaterPages(), t.highWaterPages()
+	for ch := 0; ch < t.geo.Channels; ch++ {
+		for bk := 0; bk < t.geo.Banks; bk++ {
+			if t.die(ch, bk).freePages.Load() > low {
+				continue
+			}
+			done, _, err := t.collectDie(at, ch, bk, nil, high)
+			if err != nil {
+				continue // best-effort: real faults resurface on the foreground path
+			}
+			t.noteTime(done)
+		}
+	}
 }

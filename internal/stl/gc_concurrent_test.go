@@ -1,0 +1,226 @@
+package stl
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nds/internal/nvm"
+)
+
+// TestBackgroundGCUnderConcurrentWriters: heavy overwrite churn from several
+// writers on distinct spaces, with collection on the background worker. The
+// churn cycles the raw capacity several times over, so the test fails unless
+// watermark-driven collection actually reclaims blocks while the writers run;
+// every space must read back exactly the bytes its writer last stored. CI
+// runs this under -race, which makes it the race check for the per-space
+// write locks, the per-die allocation state, and the GC commit protocol.
+func TestBackgroundGCUnderConcurrentWriters(t *testing.T) {
+	geo := nvm.Geometry{Channels: 4, Banks: 2, BlocksPerBank: 16, PagesPerBlock: 8, PageSize: 512}
+	dev, err := nvm.NewDevice(geo, nvm.TLCTiming(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.BackgroundGC = true
+	st, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const (
+		writers = 4
+		side    = 64 // 64x64 float32 per space; 32x32 building blocks
+		iters   = 200
+	)
+	type client struct {
+		s   *Space
+		v   *View
+		img []byte
+	}
+	clients := make([]*client, writers)
+	for i := range clients {
+		s, err := st.CreateSpace(4, []int64{side, side})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := NewView(s, []int64{side, side})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = &client{s: s, v: v, img: make([]byte, side*side*4)}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(40 + i)))
+			rng.Read(c.img)
+			if _, _, err := st.WritePartition(0, c.v, []int64{0, 0}, []int64{side, side}, c.img); err != nil {
+				errs <- err
+				return
+			}
+			bb := c.s.BlockDims()[0] // 32
+			tile := make([]byte, bb*bb*4)
+			for k := 0; k < iters; k++ {
+				// Alternate whole-block and quarter-block overwrites: whole
+				// blocks produce fully-invalid victims (cheap erases), quarter
+				// blocks leave victims with live pages, forcing GC to relocate
+				// data the final verification then checks.
+				sub := bb
+				if k%2 == 1 {
+					sub = bb / 2
+				}
+				rng.Read(tile[:sub*sub*4])
+				grid := int64(side) / sub
+				coord := []int64{rng.Int63n(grid), rng.Int63n(grid)}
+				if _, _, err := st.WritePartition(0, c.v, coord, []int64{sub, sub}, tile[:sub*sub*4]); err != nil {
+					errs <- err
+					return
+				}
+				for r := int64(0); r < sub; r++ {
+					row := ((coord[0]*sub+r)*side + coord[1]*sub) * 4
+					copy(c.img[row:row+sub*4], tile[r*sub*4:(r+1)*sub*4])
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i, c := range clients {
+		got, _, _, err := st.ReadPartition(0, c.v, []int64{0, 0}, []int64{side, side})
+		if err != nil {
+			t.Fatalf("writer %d final read: %v", i, err)
+		}
+		for j := range got {
+			if got[j] != c.img[j] {
+				t.Fatalf("writer %d: byte %d diverged from the host image", i, j)
+			}
+		}
+	}
+	rep := st.GCReport()
+	if rep.Runs == 0 || rep.Erases == 0 {
+		t.Fatalf("churn of several times raw capacity never collected: %+v", rep)
+	}
+	if rep.PagesRelocated == 0 {
+		t.Fatalf("no live page was ever relocated — mixed-validity victims untested: %+v", rep)
+	}
+	t.Logf("GC report: %+v", rep)
+}
+
+// TestNoStallAboveLowWatermark: the write-path contract of the watermark
+// design — a foreground write blocks on reclamation only below the critical
+// mark, so a workload that keeps every die above the low watermark must
+// record zero GCStallNs.
+func TestNoStallAboveLowWatermark(t *testing.T) {
+	geo := nvm.Geometry{Channels: 4, Banks: 2, BlocksPerBank: 16, PagesPerBlock: 8, PageSize: 512}
+	dev, err := nvm.NewDevice(geo, nvm.TLCTiming(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.BackgroundGC = true
+	st, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// One 128x128 float32 space is 128 pages over 1024 raw: writing it once
+	// plus a round of tile overwrites leaves every die far above the
+	// low-water mark (about 13 of its 128 pages).
+	s, err := st.CreateSpace(4, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, []int64{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	img := fillRandom(rng, s.Bytes())
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{128, 128}, img); err != nil {
+		t.Fatal(err)
+	}
+	bb := s.BlockDims()[0]
+	tile := make([]byte, bb*bb*4)
+	for i := 0; i < 8; i++ {
+		rng.Read(tile)
+		coord := []int64{rng.Int63n(128 / bb), rng.Int63n(128 / bb)}
+		if _, _, err := st.WritePartition(0, v, coord, []int64{bb, bb}, tile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := st.GCReport(); rep.StallNs != 0 {
+		t.Fatalf("write stalled %dns on GC with every die above the low watermark: %+v", rep.StallNs, rep)
+	}
+}
+
+// TestGroupCommitFlushDrainsAllChannelsOnError: the Flush contract under the
+// concurrent per-channel drain — when programs fail, every channel's batch is
+// still attempted, every failed page stays pending for a retry, and the
+// recorded error surfaces. A plan that fails every program attempt makes both
+// staged pages (placed on different channels by the allocation policy)
+// unrecoverable.
+func TestGroupCommitFlushDrainsAllChannelsOnError(t *testing.T) {
+	geo := nvm.Geometry{Channels: 2, Banks: 1, BlocksPerBank: 4, PagesPerBlock: 4, PageSize: 512}
+	cfg := DefaultConfig()
+	cfg.WriteBuffering = true
+	st := newFaultSTL(t, geo, cfg, nvm.FaultPlan{Seed: 7, ProgramFailEvery: 1})
+
+	// One 16x16 building block spans two pages, which the §4.2 policy places
+	// on the two different channels. Half-cover each page so both stage.
+	s, err := st.CreateSpace(4, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	half := fillRandom(rng, 4*16*4)
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{4, 16}, half); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.WritePartition(0, v, []int64{2, 0}, []int64{4, 16}, half); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingPages() != 2 {
+		t.Fatalf("staged %d pages, want 2", st.PendingPages())
+	}
+
+	_, err = st.Flush(0)
+	if !errors.Is(err, ErrMedia) {
+		t.Fatalf("want ErrMedia from a flush whose every program fails, got %v", err)
+	}
+	if st.PendingPages() != 2 {
+		t.Fatalf("%d pages pending after failed flush, want both retained", st.PendingPages())
+	}
+	r := st.Reliability()
+	if r.ProgramFaults < 2 || r.RetiredBlocks < 2 {
+		// One faulted program and one retirement per channel proves the drain
+		// reached both channels rather than stopping at the first error.
+		t.Fatalf("flush did not drain both channels: %+v", r)
+	}
+	// Staged bytes survive the failed flush: reads overlay the pending
+	// buffers.
+	got, _, _, err := st.ReadPartition(0, v, []int64{0, 0}, []int64{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != half[i] {
+			t.Fatalf("byte %d of staged data lost by failed flush", i)
+		}
+	}
+}

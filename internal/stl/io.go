@@ -236,6 +236,7 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 	// buffering enabled, sub-unit writes to unprogrammed pages collect in
 	// STL memory instead, and program once the unit fills.
 	done := at
+	ac := &allocCtx{held: s} // scalar path issues programs immediately: no flush hook
 	for _, st := range order {
 		slot := &st.blk.pages[st.page]
 		pb := s.pageBytes(t.geo, st.page)
@@ -251,7 +252,7 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 				t.stageWrite(s, st.blockIdx, st.page, lo-int64(st.page)*ps, chunk, hi-lo)
 			}
 			if pp := t.takeIfFull(s, st.blockIdx, st.page, pb); pp != nil {
-				d, err := t.programStaged(at, s, st.blockIdx, st.blk, st.page, pp)
+				d, err := t.programStaged(at, s, st.blockIdx, st.blk, st.page, pp, ac)
 				if err != nil {
 					return at, stats, err
 				}
@@ -299,16 +300,16 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 				t.invalidateUnit(slot.ppa)
 				slot.allocated = false
 			}
-			t.zeroSkipped++
+			t.zeroSkipped.Add(1)
 			rs.releaseBuf(pageBuf)
 			continue
 		}
 		var dst nvm.PPA
 		if slot.allocated {
 			t.invalidateUnit(slot.ppa)
-			dst, ready, err = t.allocateReplacement(ready, slot.ppa)
+			dst, ready, err = t.allocateReplacement(ready, slot.ppa, ac)
 		} else {
-			dst, ready, err = t.allocateUnit(ready, s, st.blk)
+			dst, ready, err = t.allocateUnit(ready, s, st.blk, ac)
 		}
 		if err != nil {
 			return at, stats, err
@@ -321,7 +322,7 @@ func (t *STL) writePartitionScalar(at sim.Time, v *View, coord, sub []int64, dat
 		slot.ppa = dst
 		slot.allocated = true
 		t.bindUnit(s, st.blockIdx, st.page, dst)
-		t.progs++
+		t.progs.Add(1)
 		stats.PagesProgrammed++
 		done = sim.Max(done, d)
 	}

@@ -61,12 +61,12 @@ func (t *STL) Reliability() ReliabilityReport {
 		EraseFaults:    fs.EraseFaults,
 		WearoutFaults:  fs.WearoutFaults,
 		ReadRetries:    fs.ReadRetries,
-		ProgramRetries: t.programRetries,
-		RetiredBlocks:  t.retiredBlocks,
-		RetiredPages:   t.retiredPages,
+		ProgramRetries: t.programRetries.Load(),
+		RetiredBlocks:  t.retiredBlocks.Load(),
+		RetiredPages:   t.retiredPages.Load(),
 		MaxPages:       t.maxPages,
 		EffectivePages: t.effectiveMaxPages(),
-		UsedPages:      t.usedPages,
+		UsedPages:      t.usedPages.Load(),
 	}
 }
 
@@ -75,7 +75,7 @@ func (t *STL) Reliability() ReliabilityReport {
 // shrinks the logical budget.
 func (t *STL) effectiveMaxPages() int64 {
 	reserve := t.geo.TotalPages() - t.maxPages
-	if excess := t.retiredPages - reserve; excess > 0 {
+	if excess := t.retiredPages.Load() - reserve; excess > 0 {
 		return t.maxPages - excess
 	}
 	return t.maxPages
@@ -86,59 +86,66 @@ func (t *STL) effectiveMaxPages() int64 {
 // never erased. Valid pages still in it stay readable in place. Idempotent.
 func (t *STL) retireBlock(channel, bank, block int) {
 	d := t.die(channel, bank)
+	type cacheKey struct {
+		space SpaceID
+		block int64
+	}
+	var drops []cacheKey
+	d.mu.Lock()
 	if d.retired == nil {
 		d.retired = make([]bool, t.geo.BlocksPerBank)
 	}
 	if d.retired[block] {
+		d.mu.Unlock()
 		return
 	}
 	d.retired[block] = true
-	t.retiredBlocks++
-	t.retiredPages += int64(t.geo.PagesPerBlock)
+	t.retiredBlocks.Add(1)
+	t.retiredPages.Add(int64(t.geo.PagesPerBlock))
 	if t.cache != nil {
 		// Strict invalidation on retirement: valid pages in the block stay
 		// readable in place, but any building block touching retired flash is
 		// dropped from DRAM so later reads re-fetch through the device's
 		// fault-aware path (and so a relocated page is never served stale).
+		// The drops are collected under d.mu (which guards the rev entries)
+		// and applied after unlock to respect the die -> cache-shard order.
 		for pg := 0; pg < t.geo.PagesPerBlock; pg++ {
 			p := nvm.PPA{Channel: channel, Bank: bank, Block: block, Page: pg}
 			if e := t.rev[p.Linear(t.geo)]; e.valid {
-				t.cache.invalidateBlock(e.space, e.block)
+				drops = append(drops, cacheKey{e.space, e.block})
 			}
 		}
 	}
+	removed := false
 	for i, b := range d.freeBlocks {
 		if b == block {
 			d.freeBlocks = append(d.freeBlocks[:i], d.freeBlocks[i+1:]...)
-			d.freePages -= int64(t.geo.PagesPerBlock)
-			return
+			d.freePages.Add(-int64(t.geo.PagesPerBlock))
+			removed = true
+			break
 		}
 	}
-	if block == d.activeBlock {
+	if !removed && block == d.activeBlock {
 		// The open block's unprogrammed tail is no longer free space.
-		d.freePages -= int64(t.geo.PagesPerBlock - d.nextPage)
+		d.freePages.Add(-int64(t.geo.PagesPerBlock - d.nextPage))
 		d.activeBlock = -1
+	}
+	d.mu.Unlock()
+	for _, k := range drops {
+		t.cache.invalidateBlock(k.space, k.block)
 	}
 }
 
 // takeUnitRaw carves the next programmable page out of a die without running
-// garbage collection or the gcFlush hook — safe to call from recovery code
-// that is itself inside a flush or GC. Returns false when the die has no
+// garbage collection or the caller's flush hook — safe to call from recovery
+// code that is itself inside a flush or GC. Returns false when the die has no
 // programmable unit.
 func (t *STL) takeUnitRaw(channel, bank int) (nvm.PPA, bool) {
 	d := t.die(channel, bank)
-	if d.activeBlock < 0 || d.nextPage >= t.geo.PagesPerBlock {
-		if len(d.freeBlocks) == 0 {
-			return nvm.PPA{}, false
-		}
-		d.activeBlock = d.freeBlocks[0]
-		d.freeBlocks = d.freeBlocks[1:]
-		d.nextPage = 0
-	}
-	p := nvm.PPA{Channel: channel, Bank: bank, Block: d.activeBlock, Page: d.nextPage}
-	d.nextPage++
-	d.freePages--
-	return p, true
+	d.mu.Lock()
+	p, ok := d.carve(channel, bank, t.geo.PagesPerBlock)
+	d.mu.Unlock()
+	return p, ok
 }
 
 // allocateRecoveryUnit finds a destination for data whose program to old
@@ -182,7 +189,7 @@ func (t *STL) programWithRecovery(at sim.Time, p nvm.PPA, data []byte, stats *Re
 		if !ok {
 			return p, done, fmt.Errorf("stl: no unit available to relocate faulted program at %v: %w", p, ErrMedia)
 		}
-		t.programRetries++
+		t.programRetries.Add(1)
 		if stats != nil {
 			stats.ProgramRetries++
 		}
@@ -193,10 +200,15 @@ func (t *STL) programWithRecovery(at sim.Time, p nvm.PPA, data []byte, stats *Re
 // rebindFaulted points the building-block slot that owns old (located through
 // the reverse-lookup table) at np instead, keeping usedPages and valid counts
 // balanced. Used by the batch recovery path, where the unit was bound when
-// its program was queued. Returns false if old is not bound (translation
-// state is inconsistent — callers surface an error).
+// its program was queued; the caller's space write lock (or Flush's maintMu
+// plus the device-wide lock) is what makes the read-then-rebind atomic.
+// Returns false if old is not bound (translation state is inconsistent —
+// callers surface an error).
 func (t *STL) rebindFaulted(old, np nvm.PPA) bool {
+	d := t.die(old.Channel, old.Bank)
+	d.mu.Lock()
 	e := t.rev[old.Linear(t.geo)]
+	d.mu.Unlock()
 	if !e.valid {
 		return false
 	}
@@ -221,7 +233,10 @@ func (t *STL) rebindFaulted(old, np nvm.PPA) bool {
 // units are programmed units.
 func (t *STL) unbindOps(ops []nvm.ProgramOp) {
 	for i := range ops {
+		d := t.die(ops[i].P.Channel, ops[i].P.Bank)
+		d.mu.Lock()
 		e := t.rev[ops[i].P.Linear(t.geo)]
+		d.mu.Unlock()
 		if !e.valid {
 			continue
 		}

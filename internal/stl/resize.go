@@ -16,6 +16,8 @@ import "fmt"
 // every building block whose grid row falls beyond the new bound, releasing
 // its units; a later re-grow reads zeros there.
 func (t *STL) ResizeSpace(id SpaceID, newDim0 int64) error {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	s, ok := t.spaces[id]
 	if !ok {
 		return fmt.Errorf("stl: resize of space %d: %w", id, ErrUnknownSpace)
@@ -23,17 +25,21 @@ func (t *STL) ResizeSpace(id SpaceID, newDim0 int64) error {
 	if newDim0 <= 0 {
 		return fmt.Errorf("stl: new dimension must be positive, got %d: %w", newDim0, ErrInvalid)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	newGrid0 := ceilDiv(newDim0, s.bb[0])
 	oldGrid0 := s.grid[0]
 	if newGrid0 < oldGrid0 {
 		// Staged (§4.4) pages beyond the new bound are discarded with their
 		// blocks.
 		stride := prod(s.grid[1:])
+		t.pendingMu.Lock()
 		for k := range t.pending {
 			if k.space == id && k.block/stride >= newGrid0 {
 				delete(t.pending, k)
 			}
 		}
+		t.pendingMu.Unlock()
 	}
 	if s.root != nil {
 		switch {

@@ -228,7 +228,7 @@ func (t *STL) flushReads(rs *requestScratch, at sim.Time, done *sim.Time) error 
 // retried from the failed attempt's completion. An unrecoverable failure
 // unbinds every op that did not land, so bound units are always programmed
 // units. Recovery allocates with takeUnitRaw (no GC), so it cannot re-enter
-// this flush through the gcFlush hook.
+// this flush through the request's allocCtx flush hook.
 func (t *STL) flushPrograms(rs *requestScratch, done *sim.Time, stats *RequestStats) error {
 	if len(rs.ops) == 0 {
 		return nil
@@ -274,7 +274,7 @@ func (t *STL) flushPrograms(rs *requestScratch, done *sim.Time, stats *RequestSt
 			t.unbindOps(ops)
 			return fmt.Errorf("stl: faulted program at %v is not bound to any building block: %w", pe.P, ErrMedia)
 		}
-		t.programRetries++
+		t.programRetries.Add(1)
 		if stats != nil {
 			stats.ProgramRetries++
 		}

@@ -16,6 +16,7 @@ package stl
 
 import (
 	"fmt"
+	"sync"
 
 	"nds/internal/nvm"
 )
@@ -35,8 +36,16 @@ type Space struct {
 	bbBytes    int64 // bytes per building block
 	pagesPerBB int   // basic access units per building block
 
+	// mu is the space's data-path lock: partition reads hold it shared,
+	// partition writes exclusive, so writers to *different* spaces run in
+	// parallel while a space's own readers never observe a half-applied
+	// write. It guards the index tree (root and below), the per-block usage
+	// state, and the allocation statistics. In the STL lock order it sits
+	// between maintMu and the die locks.
+	mu sync.RWMutex
+
 	root *indexNode
-	// Statistics maintained by the STL.
+	// Statistics maintained by the STL (guarded by mu).
 	allocatedBBs   int64
 	allocatedPages int64
 }
@@ -66,10 +75,18 @@ func (s *Space) Volume() int64 { return prod(s.dims) }
 func (s *Space) Bytes() int64 { return s.Volume() * int64(s.elemSize) }
 
 // AllocatedBlocks reports how many building blocks hold at least one unit.
-func (s *Space) AllocatedBlocks() int64 { return s.allocatedBBs }
+func (s *Space) AllocatedBlocks() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.allocatedBBs
+}
 
 // AllocatedPages reports how many access units the space occupies.
-func (s *Space) AllocatedPages() int64 { return s.allocatedPages }
+func (s *Space) AllocatedPages() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.allocatedPages
+}
 
 func (s *Space) String() string {
 	return fmt.Sprintf("space %d: dims=%v elem=%dB bb=%v grid=%v (%d pages/bb)",

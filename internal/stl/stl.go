@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"nds/internal/nvm"
+	"nds/internal/sim"
 )
 
 // Config holds STL policy parameters.
@@ -22,6 +24,17 @@ type Config struct {
 	// GCLowWater triggers collection on a die below this free fraction
 	// (the paper uses 10%).
 	GCLowWater float64
+	// GCHighWater is where the background worker stops collecting a die
+	// (free fraction). Values at or below GCLowWater select the default of
+	// 1.5x the low watermark. Ignored in synchronous mode.
+	GCHighWater float64
+	// BackgroundGC decouples collection from foreground writes: crossing the
+	// low watermark kicks a worker goroutine instead of collecting inline,
+	// and a write blocks on reclamation (bounded, escalating to ErrMedia)
+	// only when its die is critically dry. Off by default: synchronous mode
+	// keeps single-threaded runs — and fault-replay determinism — identical
+	// to the pre-concurrent write path.
+	BackgroundGC bool
 	// Seed drives the allocation policy's randomized choices.
 	Seed int64
 	// NaiveAllocation disables the §4.2 channel/bank-spreading policy and
@@ -66,11 +79,12 @@ type Config struct {
 
 // DefaultConfig mirrors the paper's prototype settings.
 func DefaultConfig() Config {
-	return Config{BBMultiplier: 1, OverProvision: 0.10, GCLowWater: 0.10, Seed: 1}
+	return Config{BBMultiplier: 1, OverProvision: 0.10, GCLowWater: 0.10, GCHighWater: 0.15, Seed: 1}
 }
 
 // revEntry maps a physical access unit back to its building block — the
-// reverse-lookup table of §4.2 that accelerates GC mapping updates.
+// reverse-lookup table of §4.2 that accelerates GC mapping updates. Each
+// entry is guarded by the mutex of the die its unit lives on.
 type revEntry struct {
 	space SpaceID
 	block int64
@@ -81,42 +95,65 @@ type revEntry struct {
 // STL is the space translation layer over a raw flash array. It owns the
 // whole device (it replaces the FTL in an NDS-compliant drive, and drives an
 // open-channel drive in the software-only configuration).
+//
+// Concurrency: the data path serializes per space (Space.mu: shared for
+// reads, exclusive for writes), allocation state per die (die.mu), and the
+// write-staging map behind pendingMu. Maintenance operations — space
+// create/delete/resize, Flush, and each background-GC sweep — additionally
+// hold maintMu; the embedding layer (nds) runs them under its device-wide
+// exclusive lock, so maintMu's real job is fencing the GC worker. The lock
+// order is maintMu -> Space.mu (ascending ID; try-only from GC) -> die.mu ->
+// cache shard / device shard, and nothing holding a later lock acquires an
+// earlier one.
 type STL struct {
 	dev *nvm.Device
 	geo nvm.Geometry
 	cfg Config
-	rng *rand.Rand
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// maintMu serializes maintenance actors against each other and against
+	// the background GC worker (see the struct comment).
+	maintMu sync.Mutex
 
 	spaces map[SpaceID]*Space
 	nextID SpaceID
 
 	dies      []*die
 	rev       []revEntry
-	naiveNext int64 // round-robin cursor for the ablation allocator
+	naiveNext atomic.Int64 // round-robin cursor for the ablation allocator
 
-	maxPages  int64 // allocation budget (raw minus over-provision)
-	usedPages int64 // live units across all spaces
+	maxPages  int64        // allocation budget (raw minus over-provision)
+	usedPages atomic.Int64 // live units across all spaces
 
-	gcErases int64
-	gcMoves  int64
-	progs    int64 // host-initiated programs
+	gcErases  atomic.Int64
+	gcMoves   atomic.Int64
+	gcRuns    atomic.Int64 // collection passes that claimed a die
+	gcStallNs atomic.Int64 // wall-clock ns foreground writes spent waiting on GC
+	progs     atomic.Int64 // host-initiated programs
 
 	// Media-fault recovery state (see recover.go).
-	retiredBlocks  int64 // blocks permanently removed from service
-	retiredPages   int64 // raw pages those blocks represent
-	programRetries int64 // faulted programs successfully relocated
+	retiredBlocks  atomic.Int64 // blocks permanently removed from service
+	retiredPages   atomic.Int64 // raw pages those blocks represent
+	programRetries atomic.Int64 // faulted programs successfully relocated
 
-	compressedBlocks int64
-	zeroSkipped      int64
+	compressedBlocks atomic.Int64
+	zeroSkipped      atomic.Int64
 
-	pending map[pendingKey]*pendingPage // §4.4 write staging
+	pendingMu sync.Mutex
+	pending   map[pendingKey]*pendingPage // §4.4 write staging
 
-	// gcFlush, when set, is invoked before garbage collection issues any
-	// device operation. The batched write path installs it so that its
-	// deferred programs land on the device in scalar issue order (programs
-	// first, then GC's reads/programs/erases) — the invariant that keeps
-	// batching timing-transparent. Only the exclusive write path sets it.
-	gcFlush func() error
+	// simClock is the high-water completion time across foreground requests;
+	// the background worker issues its device operations there, so GC
+	// traffic lands on the live edge of the simulated timelines.
+	simClock atomic.Int64
+
+	// Background GC worker plumbing (nil/unused in synchronous mode).
+	gcKick    chan struct{}
+	gcStop    chan struct{}
+	gcDone    chan struct{}
+	closeOnce sync.Once
 
 	scratch sync.Pool // *requestScratch, reused across partition requests
 
@@ -159,9 +196,9 @@ func New(dev *nvm.Device, cfg Config) (*STL, error) {
 	for i := range t.dies {
 		d := &die{
 			activeBlock: -1,
-			freePages:   geo.PagesPerBank(),
 			validInBlk:  make([]int32, geo.BlocksPerBank),
 		}
+		d.freePages.Store(geo.PagesPerBank())
 		for b := 0; b < geo.BlocksPerBank; b++ {
 			d.freeBlocks = append(d.freeBlocks, b)
 		}
@@ -173,7 +210,37 @@ func New(dev *nvm.Device, cfg Config) (*STL, error) {
 			t.pf = newPrefetcher(cfg.PrefetchDepth)
 		}
 	}
+	if cfg.BackgroundGC {
+		t.gcKick = make(chan struct{}, 1)
+		t.gcStop = make(chan struct{})
+		t.gcDone = make(chan struct{})
+		go t.gcWorker()
+	}
 	return t, nil
+}
+
+// Close stops the background GC worker, if any. Idempotent; an STL that is
+// never closed simply leaves the worker parked on its kick channel.
+func (t *STL) Close() error {
+	if t.gcStop != nil {
+		t.closeOnce.Do(func() {
+			close(t.gcStop)
+			<-t.gcDone
+		})
+	}
+	return nil
+}
+
+// noteTime folds a request completion time into the clock the background
+// worker issues GC operations at.
+func (t *STL) noteTime(done sim.Time) {
+	d := int64(done)
+	for {
+		cur := t.simClock.Load()
+		if d <= cur || t.simClock.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // Device exposes the underlying array for instrumentation.
@@ -183,22 +250,45 @@ func (t *STL) Device() *nvm.Device { return t.dev }
 func (t *STL) Geometry() nvm.Geometry { return t.geo }
 
 // GCStats reports garbage-collection work done so far.
-func (t *STL) GCStats() (erases, pageMoves int64) { return t.gcErases, t.gcMoves }
+func (t *STL) GCStats() (erases, pageMoves int64) { return t.gcErases.Load(), t.gcMoves.Load() }
+
+// GCReport aggregates the garbage-collection counters the write path exposes
+// to benchmarks and operators.
+type GCReport struct {
+	Runs           int64 // collection passes that claimed a die
+	Erases         int64 // victim blocks erased back to the free pool
+	PagesRelocated int64 // valid units moved by evacuation
+	StallNs        int64 // wall-clock ns foreground writes spent waiting on GC
+}
+
+// GCReport returns a snapshot of the GC counters.
+func (t *STL) GCReport() GCReport {
+	return GCReport{
+		Runs:           t.gcRuns.Load(),
+		Erases:         t.gcErases.Load(),
+		PagesRelocated: t.gcMoves.Load(),
+		StallNs:        t.gcStallNs.Load(),
+	}
+}
 
 // WriteAmplification is (host+GC programs)/host programs, 1.0 when idle.
 func (t *STL) WriteAmplification() float64 {
-	if t.progs == 0 {
+	progs := t.progs.Load()
+	if progs == 0 {
 		return 1
 	}
-	return float64(t.progs+t.gcMoves) / float64(t.progs)
+	return float64(progs+t.gcMoves.Load()) / float64(progs)
 }
 
 // UsedPages reports live access units across all spaces.
-func (t *STL) UsedPages() int64 { return t.usedPages }
+func (t *STL) UsedPages() int64 { return t.usedPages.Load() }
 
 // CreateSpace creates a multi-dimensional address space: the paper's space
 // creation API (§5.1), where a producer supplies dimensionality and element
 // size and the STL sizes building blocks and builds the index skeleton.
+// Like all maintenance operations it must not run concurrently with the data
+// path (the nds layer holds its device-wide lock); maintMu additionally
+// fences it against the background GC worker.
 func (t *STL) CreateSpace(elemSize int, dims []int64) (*Space, error) {
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("stl: space needs at least one dimension: %w", ErrInvalid)
@@ -212,6 +302,8 @@ func (t *STL) CreateSpace(elemSize int, dims []int64) (*Space, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	s := &Space{
 		id:         t.nextID,
 		elemSize:   elemSize,
@@ -252,12 +344,19 @@ func (t *STL) SpaceIDs() []SpaceID {
 
 // DeleteSpace permanently removes a space, invalidating all of its building
 // blocks and dropping its translation structures (the delete_space command
-// of §5.3.1).
+// of §5.3.1). Maintenance operation: see CreateSpace.
 func (t *STL) DeleteSpace(id SpaceID) error {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	s, ok := t.spaces[id]
 	if !ok {
 		return fmt.Errorf("stl: delete of space %d: %w", id, ErrUnknownSpace)
 	}
+	// Taking the space's write lock keeps an in-flight GC commit (which
+	// try-locked it before re-validating) from rebinding units this delete is
+	// about to drop.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t.invalidateTree(s, s.root)
 	t.dropPendingSpace(id)
 	if t.cache != nil {

@@ -37,11 +37,17 @@
 // Stats.Elapsed is its own completion minus its own issue time — not the
 // distance the global clock moved.
 //
-// Internally, reads and view opens share the translation structures under a
-// reader lock and may run fully in parallel; writes and space management
-// (create/delete/resize/flush/import) update translation state under the
-// writer side. View lifecycle (open/close, wire-protocol view IDs) is guarded
-// separately, so closing one view never stalls I/O on another.
+// Internally, reads, writes, and view opens share the device under a reader
+// lock and run fully in parallel: the STL serializes writers per space (a
+// space's readers never observe a half-applied write), allocates under
+// per-die leaf locks, and collects garbage on a background worker driven by
+// per-die free-capacity watermarks, so writers to different spaces — and GC —
+// proceed concurrently. Space management (create/delete/resize/flush/import)
+// is the rare barrier: it takes the writer side and excludes all I/O. View
+// lifecycle (open/close, wire-protocol view IDs) is guarded separately, so
+// closing one view never stalls I/O on another. Options.SerializedWrites and
+// Options.SynchronousGC restore the pre-concurrent behavior for replay-exact
+// comparisons.
 package nds
 
 import (
@@ -129,6 +135,18 @@ type Options struct {
 	// in the background. Zero disables prefetch; ignored when CacheBytes is
 	// zero.
 	PrefetchDepth int
+	// SerializedWrites makes writes take the device-exclusive lock, restoring
+	// the pre-concurrent write path: at most one write runs at a time,
+	// regardless of how many views issue them. Exists for differential
+	// comparison (a concurrent run must produce byte-identical spaces to a
+	// serialized replay of the same per-stream sequences) and as an escape
+	// hatch, not as a tuning choice.
+	SerializedWrites bool
+	// SynchronousGC collects garbage inline on the writing goroutine at
+	// seed-deterministic trigger points instead of on the background worker.
+	// Combined with SerializedWrites it makes two identically-driven devices
+	// bit- and fault-point-identical, which the fault-replay checks require.
+	SynchronousGC bool
 	// Faults, when non-nil and enabled, installs deterministic flash fault
 	// injection: the simulated medium fails programs and erases, needs ECC
 	// read retries, and wears blocks out at seed-derived points, and the
@@ -190,6 +208,33 @@ type CacheStats struct {
 	CapacityBytes  int64 // configured capacity
 }
 
+// GCStats describes the garbage collector's work: how often it ran, how much
+// it moved, what it cost foreground writes, and the resulting write
+// amplification. On a device opened with SynchronousGC, Runs counts inline
+// collection passes and StallNs is zero (inline collection time is part of
+// the triggering write, not a stall).
+type GCStats struct {
+	Runs           int64   // collection passes (worker sweeps or inline triggers)
+	Erases         int64   // victim blocks erased and returned to service
+	PagesRelocated int64   // live pages moved out of victims
+	StallNs        int64   // wall-clock ns foreground writes spent waiting on a critically dry die
+	WriteAmp       float64 // flash programs per logical page written (1.0 = no GC overhead)
+}
+
+// GCStats snapshots the garbage collector's counters.
+func (d *Device) GCStats() GCStats {
+	d.io.RLock()
+	defer d.io.RUnlock()
+	r := d.sys.STL.GCReport()
+	return GCStats{
+		Runs:           r.Runs,
+		Erases:         r.Erases,
+		PagesRelocated: r.PagesRelocated,
+		StallNs:        r.StallNs,
+		WriteAmp:       d.sys.STL.WriteAmplification(),
+	}
+}
+
 // SpaceID names a created address space.
 type SpaceID uint32
 
@@ -211,7 +256,8 @@ type Stats struct {
 // concurrent use and serves concurrent request streams: see the package
 // comment's Concurrency section for the scheduling and timing model.
 //
-// Lock order (for maintainers): Space.mu, then Device.io; Device.viewMu and
+// Lock order (for maintainers): Space.mu, then Device.io, then the STL's
+// internal order (stl.Space.mu -> die -> cache shard); Device.viewMu and
 // Device.clockMu are leaves and never held across another lock acquisition.
 type Device struct {
 	sys *system.System
@@ -220,10 +266,16 @@ type Device struct {
 	clockMu sync.Mutex
 	now     sim.Time
 
-	// io guards the STL's translation structures: reads and view opens take
-	// the reader side (the STL read path does not mutate translation state),
-	// writes and space management take the writer side.
+	// io is the maintenance barrier: reads, writes, and view opens take the
+	// reader side (the STL serializes writers per space and locks allocation
+	// per die, so concurrent data-path requests are safe); space management
+	// (create/delete/resize/flush/import) takes the writer side and excludes
+	// all I/O. With Options.SerializedWrites, writes take the writer side
+	// too, restoring the pre-concurrent exclusive write path.
 	io sync.RWMutex
+
+	// serializedWrites records Options.SerializedWrites.
+	serializedWrites bool
 
 	// viewMu guards the view registry: every open Space, its wire-protocol
 	// dynamic view ID, and the ID counter. Both the typed API and Exec
@@ -253,6 +305,7 @@ func Open(opts Options) (*Device, error) {
 	cfg.STL.ScalarPath = opts.ScalarDataPath
 	cfg.STL.CacheBytes = opts.CacheBytes
 	cfg.STL.PrefetchDepth = opts.PrefetchDepth
+	cfg.STL.BackgroundGC = !opts.SynchronousGC
 	if opts.Faults != nil {
 		cfg.Faults = nvm.FaultPlan{
 			Seed:             opts.Faults.Seed,
@@ -272,10 +325,20 @@ func Open(opts Options) (*Device, error) {
 		return nil, err
 	}
 	return &Device{
-		sys:   sys,
-		open:  make(map[*Space]bool),
-		views: make(map[uint32]*Space),
+		sys:              sys,
+		serializedWrites: opts.SerializedWrites,
+		open:             make(map[*Space]bool),
+		views:            make(map[uint32]*Space),
 	}, nil
+}
+
+// Close releases the device's background resources (the GC worker). Views
+// need not be closed first; further I/O after Close is undefined. Optional on
+// devices opened with SynchronousGC.
+func (d *Device) Close() error {
+	d.io.Lock()
+	defer d.io.Unlock()
+	return d.sys.STL.Close()
 }
 
 // clock reports the current simulated time: the issue time for a command
@@ -541,9 +604,10 @@ func (s *Space) ReadInto(coord, sub []int64, dst []byte) ([]byte, Stats, error) 
 }
 
 // Write stores data (laid out in the partition's row-major shape) at the
-// partition coord/sub. On a phantom device pass nil data. Writes update
-// translation state exclusively, but their flash operations still overlap in
-// simulated time with commands issued on other streams.
+// partition coord/sub. On a phantom device pass nil data. Writes to distinct
+// spaces run in parallel (the STL serializes writers per space), and their
+// flash operations overlap in simulated time with commands issued on other
+// streams; Options.SerializedWrites restores the exclusive write path.
 func (s *Space) Write(coord, sub []int64, data []byte) (Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -552,9 +616,17 @@ func (s *Space) Write(coord, sub []int64, data []byte) (Stats, error) {
 	}
 	d := s.dev
 	issue := s.cursor
-	d.io.Lock()
+	if d.serializedWrites {
+		d.io.Lock()
+	} else {
+		d.io.RLock()
+	}
 	st, err := d.sys.NDSWrite(issue, s.view, coord, sub, data)
-	d.io.Unlock()
+	if d.serializedWrites {
+		d.io.Unlock()
+	} else {
+		d.io.RUnlock()
+	}
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package nds
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// scaling assertions skip under it: the detector serializes enough of the
+// runtime that parallel speedup measurements are meaningless.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package nds
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -126,6 +127,115 @@ func TestConcurrentThroughputScales(t *testing.T) {
 	}
 }
 
+// openWriteDevice builds a device for the write-heavy workload: one
+// 512x512 float32 space (1 MiB) per client, each opened once. serialized
+// selects the pre-PR exclusive-lock behavior (every write holds the device
+// write lock, GC runs inline); otherwise writes to distinct spaces proceed
+// concurrently with collection on the background worker.
+func openWriteDevice(tb testing.TB, serialized bool, clients int) (*Device, []*Space) {
+	tb.Helper()
+	d, err := Open(Options{
+		Mode:             ModeHardware,
+		CapacityHint:     64 << 20,
+		SerializedWrites: serialized,
+		SynchronousGC:    serialized,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spaces := make([]*Space, clients)
+	for i := range spaces {
+		id, err := d.CreateSpace(4, []int64{512, 512})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if spaces[i], err = d.OpenSpace(id, []int64{512, 512}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return d, spaces
+}
+
+// writeClients has each client overwrite its whole space in 64-row bands
+// (128 KiB per write, 8 bands per pass) for the given number of passes,
+// each from its own goroutine. It returns the wall-clock elapsed time, the
+// simulated makespan, and the payload bytes written.
+func writeClients(tb testing.TB, d *Device, spaces []*Space, passes int) (time.Duration, time.Duration, int64) {
+	tb.Helper()
+	const bands = 8 // 512 rows / 64
+	simStart := d.Now()
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(spaces))
+	for c, sp := range spaces {
+		wg.Add(1)
+		go func(c int, sp *Space) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + c)))
+			band := make([]byte, 64*512*4)
+			sub := []int64{64, 512}
+			coord := make([]int64, 2)
+			for p := 0; p < passes; p++ {
+				for k := int64(0); k < bands; k++ {
+					rng.Read(band)
+					coord[0], coord[1] = k, 0
+					if _, err := sp.Write(coord, sub, band); err != nil {
+						errs <- fmt.Errorf("client %d band %d: %w", c, k, err)
+						return
+					}
+				}
+			}
+		}(c, sp)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		tb.Fatal(err)
+	}
+	wall := time.Since(wallStart)
+	bytes := int64(len(spaces)) * int64(passes) * bands * 64 * 512 * 4
+	return wall, d.Now() - simStart, bytes
+}
+
+// TestConcurrentWriteScaling: the acceptance gate for the concurrent write
+// path — the same write-heavy workload must finish at least 2x faster in
+// wall-clock time than the exclusive-lock configuration, while the simulated
+// device throughput stays comparable (locking strategy must not change how
+// much flash work the workload costs). Skipped on small hosts and under the
+// race detector, where wall-clock parallelism is unmeasurable.
+func TestConcurrentWriteScaling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock speedup is not measurable under the race detector")
+	}
+	if procs := runtime.GOMAXPROCS(0); procs < 4 {
+		t.Skipf("need at least 4 CPUs for a meaningful wall-clock speedup, have %d", procs)
+	}
+	const clients, passes = 16, 4
+	measure := func(serialized bool) (time.Duration, time.Duration) {
+		d, spaces := openWriteDevice(t, serialized, clients)
+		defer d.Close()
+		for _, sp := range spaces {
+			defer sp.Close()
+		}
+		// One untimed pass so both modes measure steady-state overwrites
+		// rather than first-touch allocation.
+		writeClients(t, d, spaces, 1)
+		wall, sim, _ := writeClients(t, d, spaces, passes)
+		return wall, sim
+	}
+	serWall, serSim := measure(true)
+	conWall, conSim := measure(false)
+	speedup := float64(serWall) / float64(conWall)
+	t.Logf("serialized: wall %v sim %v; concurrent: wall %v sim %v; speedup %.2fx",
+		serWall, serSim, conWall, conSim, speedup)
+	if speedup < 2 {
+		t.Errorf("concurrent write path only %.2fx faster than the exclusive-lock path, want >= 2x", speedup)
+	}
+	if ratio := float64(conSim) / float64(serSim); ratio > 1.5 || ratio < 1/1.5 {
+		t.Errorf("simulated makespans diverge between lock modes: serialized %v, concurrent %v", serSim, conSim)
+	}
+}
+
 // BenchmarkConcurrentClients reports aggregate simulated throughput of the
 // tile-read workload as the client count grows. sim-MB/s is the headline
 // metric: payload bytes divided by simulated makespan.
@@ -144,5 +254,36 @@ func BenchmarkConcurrentClients(b *testing.B) {
 			}
 			b.ReportMetric(float64(bytes)/span.Seconds()/1e6, "sim-MB/s")
 		})
+	}
+}
+
+// BenchmarkConcurrentWriters runs the write-heavy workload (full-space
+// overwrites in 128 KiB bands, one space per client) in both lock modes.
+// ns/op is the wall-clock cost of one full overwrite pass across all
+// clients — the mode=serialized rows are the pre-PR exclusive-lock
+// baseline the concurrent rows are gated against. sim-MB/s is the
+// simulated device throughput, which must not differ between modes.
+func BenchmarkConcurrentWriters(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		serialized bool
+	}{{"serialized", true}, {"concurrent", false}} {
+		for _, clients := range []int{4, 16} {
+			b.Run(fmt.Sprintf("mode=%s/clients=%d", mode.name, clients), func(b *testing.B) {
+				d, spaces := openWriteDevice(b, mode.serialized, clients)
+				defer d.Close()
+				writeClients(b, d, spaces, 1) // first-touch allocation off the clock
+				b.ReportAllocs()
+				b.ResetTimer()
+				var span time.Duration
+				var bytes int64
+				for i := 0; i < b.N; i++ {
+					_, m, n := writeClients(b, d, spaces, 1)
+					span += m
+					bytes += n
+				}
+				b.ReportMetric(float64(bytes)/span.Seconds()/1e6, "sim-MB/s")
+			})
+		}
 	}
 }

@@ -48,6 +48,16 @@ type benchPoint struct {
 	// measured phases; omitted for the pure-read workload, which never
 	// collects.
 	GC *nds.GCStats `json:"gc,omitempty"`
+	// Open-loop network fields ("net"/"net-burst" workloads, self-hosted
+	// ndsserver over a unix socket): target and achieved arrival rates plus
+	// tail latency percentiles measured from scheduled arrival. For these
+	// points WallNsOp is the mean latency and SimMBps is 0 (open-loop wall
+	// timing has no deterministic simulated counterpart).
+	RateRps     float64 `json:"rate_rps,omitempty"`
+	AchievedRps float64 `json:"achieved_rps,omitempty"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	P999Ns      float64 `json:"p999_ns,omitempty"`
 }
 
 // normWorkload maps the legacy empty workload name to "read".
@@ -122,6 +132,7 @@ func measureSnapshot(cacheBytes int64, prefetch int) benchSnapshot {
 		{"read", 1}, {"read", 16},
 		{"mixed", 16},
 		{"write", 4}, {"write", 16},
+		{"net", 16}, {"net-burst", 16},
 	}
 	for _, p := range points {
 		pt, err := measurePoint(p.workload, p.clients, cacheBytes, prefetch)
@@ -143,14 +154,22 @@ func measurePoint(workload string, clients int, cacheBytes int64, prefetch int) 
 		return measureMixed(clients, cacheBytes, prefetch)
 	case "write":
 		return measureWrite(clients, cacheBytes, prefetch)
+	case "net", "net-burst":
+		return measureNetPoint(normWorkload(workload), clients, cacheBytes, prefetch)
 	}
 	return benchPoint{}, fmt.Errorf("unknown workload %q", workload)
 }
 
 func printSnapshot(snap benchSnapshot) {
-	fmt.Printf("%-8s %-8s %12s %14s %10s %8s %10s %8s\n",
+	fmt.Printf("%-9s %-8s %12s %14s %10s %8s %10s %8s\n",
 		"workload", "clients", "wall ns/op", "sim-MB/s", "cache hit%", "gc runs", "stall us", "WA")
 	for _, p := range snap.Results {
+		if p.P99Ns > 0 {
+			fmt.Printf("%-9s %-8d %12.0f %14s   %.0f/%.0f ops/s  p50=%0.fus p99=%0.fus p999=%0.fus\n",
+				normWorkload(p.Workload), p.Clients, p.WallNsOp, "-",
+				p.RateRps, p.AchievedRps, p.P50Ns/1e3, p.P99Ns/1e3, p.P999Ns/1e3)
+			continue
+		}
 		hitPct := "-"
 		if p.Cache != nil && p.Cache.Hits+p.Cache.Misses > 0 {
 			hitPct = fmt.Sprintf("%.1f", 100*float64(p.Cache.Hits)/float64(p.Cache.Hits+p.Cache.Misses))
@@ -161,7 +180,7 @@ func printSnapshot(snap benchSnapshot) {
 			stall = fmt.Sprintf("%.0f", float64(p.GC.StallNs)/1e3)
 			wa = fmt.Sprintf("%.3f", p.GC.WriteAmp)
 		}
-		fmt.Printf("%-8s %-8d %12.0f %14.1f %10s %8s %10s %8s\n",
+		fmt.Printf("%-9s %-8d %12.0f %14.1f %10s %8s %10s %8s\n",
 			normWorkload(p.Workload), p.Clients, p.WallNsOp, p.SimMBps, hitPct, gcRuns, stall, wa)
 	}
 }
@@ -205,17 +224,33 @@ func benchCompare(path string, simTol, wallTol float64) {
 	for i, bp := range base.Results {
 		cp := cur.Results[i]
 		label := fmt.Sprintf("%s/clients=%d", normWorkload(bp.Workload), bp.Clients)
-		simRatio := cp.SimMBps / bp.SimMBps
 		wallRatio := cp.WallNsOp / bp.WallNsOp
-		fmt.Printf("%s: sim %0.1f -> %0.1f MB/s (%.2fx), wall %0.0f -> %0.0f ns/op (%.2fx)\n",
-			label, bp.SimMBps, cp.SimMBps, simRatio, bp.WallNsOp, cp.WallNsOp, wallRatio)
-		if simRatio < 1-simTol {
-			fmt.Printf("%s: FAIL simulated throughput regressed beyond %.0f%%\n", label, simTol*100)
-			failed = true
+		// Network points carry no simulated throughput (SimMBps 0); their
+		// deterministic gate is replaced by the p99 wall gate below.
+		if bp.SimMBps > 0 {
+			simRatio := cp.SimMBps / bp.SimMBps
+			fmt.Printf("%s: sim %0.1f -> %0.1f MB/s (%.2fx), wall %0.0f -> %0.0f ns/op (%.2fx)\n",
+				label, bp.SimMBps, cp.SimMBps, simRatio, bp.WallNsOp, cp.WallNsOp, wallRatio)
+			if simRatio < 1-simTol {
+				fmt.Printf("%s: FAIL simulated throughput regressed beyond %.0f%%\n", label, simTol*100)
+				failed = true
+			}
+		} else {
+			fmt.Printf("%s: wall %0.0f -> %0.0f ns/op (%.2fx)\n",
+				label, bp.WallNsOp, cp.WallNsOp, wallRatio)
 		}
 		if wallRatio > wallTol {
 			fmt.Printf("%s: FAIL wall-clock cost regressed beyond %.1fx\n", label, wallTol)
 			failed = true
+		}
+		if bp.P99Ns > 0 {
+			p99Ratio := cp.P99Ns / bp.P99Ns
+			fmt.Printf("%s: p99 %0.0f -> %0.0f us (%.2fx)\n",
+				label, bp.P99Ns/1e3, cp.P99Ns/1e3, p99Ratio)
+			if p99Ratio > wallTol {
+				fmt.Printf("%s: FAIL p99 latency regressed beyond %.1fx\n", label, wallTol)
+				failed = true
+			}
 		}
 	}
 	if failed {

@@ -11,6 +11,7 @@
 //	ndsbench -json              # write BENCH_<rev>.json perf snapshot
 //	ndsbench -json -cache 8388608        # same, with an 8 MiB block cache
 //	ndsbench -benchcompare BENCH_x.json  # rerun baseline config, fail on regression
+//	ndsbench -net unix:/tmp/nds.sock -conns 16 -rate 2000   # open-loop tail latency vs ndsd
 //
 // Larger -n values need more memory and time; -n 32768 (the paper's scale)
 // runs the microbenchmarks on an 8 GiB phantom dataset.
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"nds/internal/experiments"
 	"nds/internal/system"
@@ -44,6 +46,13 @@ func main() {
 	benchcompare := flag.String("benchcompare", "", "rerun the benchmark with a BENCH_<rev>.json baseline's config and fail on regression")
 	simtol := flag.Float64("simtol", 0.15, "allowed fractional drop in simulated MB/s for -benchcompare")
 	walltol := flag.Float64("walltol", 3.0, "allowed wall ns/op growth factor for -benchcompare (loose: cross-machine noise)")
+	netAddr := flag.String("net", "", "open-loop load an ndsd server at this address (unix:/path or host:port)")
+	conns := flag.Int("conns", 16, "connections for -net")
+	rate := flag.Float64("rate", 2000, "aggregate target arrival rate in ops/s for -net")
+	dur := flag.Duration("dur", 3*time.Second, "measurement duration for -net")
+	arrival := flag.String("arrival", "poisson", "arrival process for -net: poisson or fixed")
+	zipf := flag.Float64("zipf", 1.1, "Zipfian skew parameter for -net tile choice (<=1 = uniform)")
+	burst := flag.Bool("burst", false, "run the middle third of -net at 4x the target rate")
 	flag.Var(&figs, "fig", "figure to regenerate (2, 3, 9, 9a, 9b, 9c, 9d, 10); repeatable")
 	flag.Var(&tables, "table", "table to regenerate (1, overhead); repeatable")
 	flag.Var(&sweeps, "sweep", "sensitivity sweep to run (channels, bbmult); repeatable")
@@ -54,12 +63,22 @@ func main() {
 		tables = multiFlag{"1", "overhead"}
 		sweeps = multiFlag{"channels", "bbmult"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" {
+	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" && *netAddr == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *faultcheck {
 		faultCheck()
+	}
+	if *netAddr != "" {
+		runNet(*netAddr, netOpts{
+			Conns:   *conns,
+			Rate:    *rate,
+			Dur:     *dur,
+			Arrival: *arrival,
+			ZipfS:   *zipf,
+			Burst:   *burst,
+		})
 	}
 	if *benchcompare != "" {
 		benchCompare(*benchcompare, *simtol, *walltol)

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nds"
+	"nds/internal/ndsclient"
+	"nds/internal/ndsserver"
+)
+
+// The network workload reads 64x64 float32 tiles of a shared 1024x1024 space
+// — the same shape as the in-process concurrent-client benchmark, so the two
+// measure the same device work with and without the wire in between.
+const (
+	netDim     = 1024
+	netTiles   = 256 // 16x16 grid
+	netTileB   = 64 * 64 * 4
+	burstScale = 4 // burst phases run the middle third at this multiple
+)
+
+// netOpts configures one open-loop run.
+type netOpts struct {
+	Conns   int
+	Rate    float64 // aggregate target, ops/s
+	Dur     time.Duration
+	Arrival string  // "poisson" or "fixed"
+	ZipfS   float64 // >1 skews tile choice Zipfian; otherwise uniform
+	Burst   bool    // middle third of Dur at burstScale x Rate
+}
+
+// netResult is one run's outcome. Latencies are measured from each request's
+// *scheduled* arrival time, not its send time, so queueing delay behind a
+// slow response is charged to the server (no coordinated omission).
+type netResult struct {
+	Sent, Done, Errors   int64
+	Elapsed              time.Duration
+	AchievedRps          float64
+	MeanNs               float64
+	P50Ns, P99Ns, P999Ns float64
+}
+
+// runNetLoad drives an open-loop load against a live server: each connection
+// schedules arrivals at Rate/Conns ops/s (Poisson or fixed-interval),
+// dispatches every request at its scheduled time regardless of how many are
+// still outstanding, and records completion latency from the schedule.
+func runNetLoad(addr string, o netOpts) (netResult, error) {
+	if o.Arrival != "poisson" && o.Arrival != "fixed" {
+		return netResult{}, fmt.Errorf("unknown arrival process %q (poisson or fixed)", o.Arrival)
+	}
+	clients := make([]*ndsclient.Client, o.Conns)
+	views := make([]uint32, o.Conns)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	var space uint32
+	for i := range clients {
+		c, err := ndsclient.Dial(addr)
+		if err != nil {
+			return netResult{}, fmt.Errorf("conn %d: %w", i, err)
+		}
+		clients[i] = c
+		if i == 0 {
+			if space, views[0], err = c.CreateSpace(4, []int64{netDim, netDim}); err != nil {
+				return netResult{}, err
+			}
+			continue
+		}
+		if views[i], err = c.OpenView(space, 4, []int64{netDim, netDim}); err != nil {
+			return netResult{}, fmt.Errorf("conn %d: %w", i, err)
+		}
+	}
+	// Warm every connection's path (frame buffers, device arenas) off the
+	// clock.
+	for i, c := range clients {
+		if _, err := c.Read(views[i], []int64{0, 0}, []int64{64, 64}); err != nil {
+			return netResult{}, fmt.Errorf("warmup conn %d: %w", i, err)
+		}
+	}
+
+	var (
+		sent, errs atomic.Int64
+		latMu      sync.Mutex
+		lats       []time.Duration
+		wg         sync.WaitGroup
+	)
+	start := time.Now()
+	perConn := o.Rate / float64(o.Conns)
+	for i := range clients {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, view := clients[ci], views[ci]
+			rng := rand.New(rand.NewSource(int64(9000 + ci)))
+			var zipf *rand.Zipf
+			if o.ZipfS > 1 {
+				zipf = rand.NewZipf(rng, o.ZipfS, 1, netTiles-1)
+			}
+			local := make([]time.Duration, 0, int(perConn*o.Dur.Seconds())+16)
+			var localMu sync.Mutex
+			var reqWG sync.WaitGroup
+			for next := time.Duration(0); next < o.Dur; {
+				rate := perConn
+				if o.Burst && next >= o.Dur/3 && next < 2*o.Dur/3 {
+					rate *= burstScale
+				}
+				sched := start.Add(next)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				var tile int64
+				if zipf != nil {
+					tile = int64(zipf.Uint64())
+				} else {
+					tile = rng.Int63n(netTiles)
+				}
+				sent.Add(1)
+				reqWG.Add(1)
+				// Open loop: the arrival schedule never waits for responses,
+				// so a stalled server accumulates latency, not a lighter load.
+				go func(sched time.Time, tile int64) {
+					defer reqWG.Done()
+					_, err := c.Read(view, []int64{tile / 16, tile % 16}, []int64{64, 64})
+					lat := time.Since(sched)
+					if err != nil {
+						errs.Add(1)
+						return
+					}
+					localMu.Lock()
+					local = append(local, lat)
+					localMu.Unlock()
+				}(sched, tile)
+				if o.Arrival == "fixed" {
+					next += time.Duration(float64(time.Second) / rate)
+				} else {
+					next += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+				}
+			}
+			reqWG.Wait()
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := netResult{
+		Sent:    sent.Load(),
+		Done:    int64(len(lats)),
+		Errors:  errs.Load(),
+		Elapsed: elapsed,
+	}
+	if len(lats) == 0 {
+		return res, fmt.Errorf("no requests completed (%d errors)", res.Errors)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	pct := func(p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))])
+	}
+	res.AchievedRps = float64(res.Done) / elapsed.Seconds()
+	res.MeanNs = float64(sum) / float64(len(lats))
+	res.P50Ns = pct(0.50)
+	res.P99Ns = pct(0.99)
+	res.P999Ns = pct(0.999)
+	return res, nil
+}
+
+// runNet is the -net CLI mode: load an external ndsd (CI smoke, manual
+// experiments) and print the tail-latency report.
+func runNet(addr string, o netOpts) {
+	header(fmt.Sprintf("Open-loop network load: %s", addr))
+	fmt.Printf("conns %d  target %.0f ops/s (%s)  zipf %.2f  burst %v  dur %v\n",
+		o.Conns, o.Rate, o.Arrival, o.ZipfS, o.Burst, o.Dur)
+	res, err := runNetLoad(addr, o)
+	if err != nil {
+		fatalf("net load: %v", err)
+	}
+	fmt.Printf("sent %d  done %d  errors %d  achieved %.1f ops/s\n",
+		res.Sent, res.Done, res.Errors, res.AchievedRps)
+	fmt.Printf("latency us: mean %.0f  p50 %.0f  p99 %.0f  p999 %.0f\n",
+		res.MeanNs/1e3, res.P50Ns/1e3, res.P99Ns/1e3, res.P999Ns/1e3)
+	if res.Errors > 0 {
+		fatalf("net load: %d requests failed", res.Errors)
+	}
+}
+
+// measureNetPoint self-hosts an ndsserver on a private unix socket and runs
+// the open-loop driver against it, so BENCH_<rev>.json carries reproducible
+// tail-latency points and -benchcompare can gate p99 like any other metric.
+func measureNetPoint(workload string, conns int, cacheBytes int64, prefetch int) (benchPoint, error) {
+	// The in-process workloads measured before this point leave a ballooned
+	// heap behind; without a forced collection, runtime GC assists starve the
+	// open-loop scheduler and the tail latencies measure the Go runtime, not
+	// the server.
+	debug.FreeOSMemory()
+	dev, err := nds.Open(nds.Options{
+		Mode:          nds.ModeHardware,
+		CapacityHint:  16 << 20,
+		CacheBytes:    cacheBytes,
+		PrefetchDepth: prefetch,
+	})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	defer dev.Close()
+	srv := ndsserver.New(dev, ndsserver.Config{MaxConns: conns + 8})
+	dir, err := os.MkdirTemp("", "ndsbench-net")
+	if err != nil {
+		return benchPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := net.Listen("unix", filepath.Join(dir, "nds.sock"))
+	if err != nil {
+		return benchPoint{}, err
+	}
+	addr := "unix:" + l.Addr().String()
+	go srv.Serve(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// 1000 ops/s sits well below loopback saturation on small CI machines:
+	// the p99 the snapshot gates is service latency plus scheduler jitter,
+	// not queueing collapse, so -benchcompare stays stable run to run.
+	o := netOpts{
+		Conns:   conns,
+		Rate:    1000,
+		Dur:     2 * time.Second,
+		Arrival: "poisson",
+		ZipfS:   1.1,
+		Burst:   workload == "net-burst",
+	}
+	res, err := runNetLoad(addr, o)
+	if err != nil {
+		return benchPoint{}, err
+	}
+	if res.Errors > 0 {
+		return benchPoint{}, fmt.Errorf("%d requests failed against the self-hosted server", res.Errors)
+	}
+	return benchPoint{
+		Workload:    workload,
+		Clients:     conns,
+		Iterations:  int(res.Done),
+		WallNsOp:    res.MeanNs,
+		RateRps:     o.Rate,
+		AchievedRps: res.AchievedRps,
+		P50Ns:       res.P50Ns,
+		P99Ns:       res.P99Ns,
+		P999Ns:      res.P999Ns,
+	}, nil
+}

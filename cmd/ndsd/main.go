@@ -1,0 +1,137 @@
+// Command ndsd serves an nds.Device over the §5.3.1 wire protocol: a TCP
+// and/or unix-socket daemon in front of the simulated NDS drive, so external
+// clients (ndsbench -net, internal/ndsclient) drive the command set the way
+// a real host would — over a socket, concurrently, with tail latencies worth
+// measuring.
+//
+// Usage:
+//
+//	ndsd -unix /tmp/nds.sock
+//	ndsd -tcp 127.0.0.1:9025 -mode hardware -capacity 67108864
+//	ndsd -unix /tmp/nds.sock -tcp :9025 -cache 8388608 -prefetch 2
+//
+// SIGINT/SIGTERM begin a graceful drain: accepting stops, requests already
+// received finish and flush, per-connection views close, and the process
+// exits 0. A second signal — or the drain timeout — forces the exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nds"
+	"nds/internal/ndsserver"
+)
+
+func main() {
+	tcpAddr := flag.String("tcp", "", "TCP listen address (host:port); empty disables")
+	unixPath := flag.String("unix", "", "unix socket path; empty disables")
+	mode := flag.String("mode", "hardware", "NDS implementation: hardware or software")
+	capacity := flag.Int64("capacity", 64<<20, "simulated flash capacity hint in bytes")
+	cache := flag.Int64("cache", 0, "building-block DRAM cache bytes (0 = off)")
+	prefetch := flag.Int("prefetch", 0, "dimensional prefetch depth in blocks (needs -cache)")
+	maxConns := flag.Int("maxconns", ndsserver.DefaultMaxConns, "connection limit")
+	inflight := flag.Int("inflight", ndsserver.DefaultMaxInFlight, "per-connection in-flight request limit")
+	readTimeout := flag.Duration("readtimeout", ndsserver.DefaultReadTimeout, "per-connection idle read deadline")
+	writeTimeout := flag.Duration("writetimeout", ndsserver.DefaultWriteTimeout, "per-response write deadline")
+	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "graceful drain bound on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress connection-level logging")
+	flag.Parse()
+
+	if *tcpAddr == "" && *unixPath == "" {
+		fmt.Fprintln(os.Stderr, "ndsd: at least one of -tcp or -unix is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	m := nds.ModeHardware
+	switch *mode {
+	case "hardware", "hw":
+	case "software", "sw":
+		m = nds.ModeSoftware
+	default:
+		log.Fatalf("ndsd: unknown -mode %q (hardware or software)", *mode)
+	}
+
+	dev, err := nds.Open(nds.Options{
+		Mode:          m,
+		CapacityHint:  *capacity,
+		CacheBytes:    *cache,
+		PrefetchDepth: *prefetch,
+	})
+	if err != nil {
+		log.Fatalf("ndsd: open device: %v", err)
+	}
+
+	cfg := ndsserver.Config{
+		MaxConns:     *maxConns,
+		MaxInFlight:  *inflight,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv := ndsserver.New(dev, cfg)
+
+	serveErr := make(chan error, 2)
+	var cleanups []func()
+	listen := func(network, addr string) {
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			log.Fatalf("ndsd: listen %s %s: %v", network, addr, err)
+		}
+		log.Printf("ndsd: listening on %s %s (%s NDS, %d B)", network, l.Addr(), m, *capacity)
+		go func() { serveErr <- srv.Serve(l) }()
+	}
+	if *unixPath != "" {
+		// A stale socket file from an unclean previous exit blocks bind;
+		// remove it. A live daemon on the same path is also removed — that
+		// is the operator's mistake, same as any pidfile-less daemon.
+		os.Remove(*unixPath)
+		listen("unix", *unixPath)
+		cleanups = append(cleanups, func() { os.Remove(*unixPath) })
+	}
+	if *tcpAddr != "" {
+		listen("tcp", *tcpAddr)
+	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("ndsd: %v: draining (limit %v)", sig, *drainTimeout)
+	case err := <-serveErr:
+		log.Printf("ndsd: serve: %v: draining", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigCh
+		log.Printf("ndsd: second signal: forcing exit")
+		cancel()
+	}()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("ndsd: drain incomplete: %v", err)
+		code = 1
+	}
+	if err := dev.Close(); err != nil {
+		log.Printf("ndsd: device close: %v", err)
+		code = 1
+	}
+	for _, f := range cleanups {
+		f()
+	}
+	st := srv.Stats()
+	log.Printf("ndsd: drained cleanly: %d conns served, %d requests, %d rejected, %d dropped",
+		st.Accepted, st.Requests, st.Rejected, st.Drops)
+	os.Exit(code)
+}

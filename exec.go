@@ -23,6 +23,12 @@ import (
 func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte, proto.Completion, Stats, error) {
 	cmd, err := proto.Unmarshal(raw)
 	if err != nil {
+		// A well-formed extended entry with an opcode this device lacks is
+		// "unsupported command", not "malformed field": hosts probing for
+		// newer commands need to tell the two apart.
+		if errors.Is(err, proto.ErrUnknownOpcode) {
+			return nil, proto.Completion{Status: proto.StatusUnsupportedOp}, Stats{}, err
+		}
 		return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, err
 	}
 	switch cmd.Opcode() {
@@ -34,9 +40,28 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 		var id SpaceID
 		var view *Space
 		if cmd.CreateFlag() {
+			if sp.ElemSize == 0 {
+				// 0 is "unspecified" — meaningful only against an existing
+				// space's element size; creation needs a concrete one.
+				return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+			}
 			id, view, err = d.execCreateSpace(sp.ElemSize, sp.Dims, d.OpenSpace)
 		} else {
 			id = SpaceID(cmd.Target())
+			// A nonzero payload element size must match the space being
+			// opened: a host that believes the elements are a different
+			// width would compute wrong offsets on every access. 0 opts out
+			// for hosts that only reshape (backward compatible: older
+			// clients always sent the real size or nothing meaningful).
+			if sp.ElemSize != 0 {
+				info, err := d.Inspect(id)
+				if err != nil {
+					return nil, completionFor(err), Stats{}, nil
+				}
+				if info.ElemSize != sp.ElemSize {
+					return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+				}
+			}
 			view, err = d.OpenSpace(id, sp.Dims)
 		}
 		if err != nil {
@@ -120,7 +145,10 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 		}
 		return page, proto.Completion{Status: proto.StatusOK, Result0: uint64(c.Hits)}, Stats{}, nil
 	}
-	return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+	// Unreachable while Unmarshal rejects unknown opcodes, but kept so a
+	// future opcode added to proto without a handler here still answers
+	// honestly instead of claiming a field was malformed.
+	return nil, proto.Completion{Status: proto.StatusUnsupportedOp}, Stats{}, nil
 }
 
 // execCreateSpace handles open_space with the create flag: create, then open

@@ -103,6 +103,37 @@ func TestExecErrorStatuses(t *testing.T) {
 			_, cpl, _, _ := d.Exec(proto.NewWrite(view, 0).Marshal(), coordPage([]int64{0, 0}, []int64{8, 8}), make([]byte, 5))
 			return cpl.Status
 		}, proto.StatusInvalidField},
+
+		{"unknown opcode", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			raw := proto.NewRead(1, 0).Marshal()
+			raw[0] = 0x55 // stomp the opcode byte, leaving the extended bit set
+			_, cpl, _, _ := d.Exec(raw, nil, nil)
+			return cpl.Status
+		}, proto.StatusUnsupportedOp},
+
+		{"open with mismatched element size", func(t *testing.T, d *Device, space, _ uint32) proto.Status {
+			page, _ := proto.SpacePayload{ElemSize: 8, Dims: []int64{32, 32}}.Marshal()
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(space, 0, false).Marshal(), page, nil)
+			return cpl.Status
+		}, proto.StatusInvalidField},
+
+		{"open with matching element size", func(t *testing.T, d *Device, space, _ uint32) proto.Status {
+			page, _ := proto.SpacePayload{ElemSize: 4, Dims: []int64{32, 32}}.Marshal()
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(space, 0, false).Marshal(), page, nil)
+			return cpl.Status
+		}, proto.StatusOK},
+
+		{"open with unspecified element size", func(t *testing.T, d *Device, space, _ uint32) proto.Status {
+			page, _ := proto.SpacePayload{ElemSize: 0, Dims: []int64{32, 32}}.Marshal()
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(space, 0, false).Marshal(), page, nil)
+			return cpl.Status
+		}, proto.StatusOK},
+
+		{"create with unspecified element size", func(t *testing.T, d *Device, _, _ uint32) proto.Status {
+			page, _ := proto.SpacePayload{ElemSize: 0, Dims: []int64{32, 32}}.Marshal()
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(0, 0, true).Marshal(), page, nil)
+			return cpl.Status
+		}, proto.StatusInvalidField},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,239 @@
+package nds
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"nds/internal/proto"
+)
+
+// lifecycleFixture is execFixture plus a couple of extra views, typed and
+// wire, so retirement tests can watch a populated registry empty out.
+func lifecycleFixture(t *testing.T) (d *Device, space SpaceID, views []uint32, typed *Space) {
+	t.Helper()
+	dev, spaceID, view := execFixture(t)
+	d, space = dev, SpaceID(spaceID)
+	views = append(views, view)
+	page, err := proto.SpacePayload{ElemSize: 4, Dims: []int64{32, 32}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cpl, _, _ := d.Exec(proto.NewOpenSpace(spaceID, 0, false).Marshal(), page, nil)
+	if cpl.Status != proto.StatusOK {
+		t.Fatalf("second wire view: %v", cpl.Status)
+	}
+	views = append(views, uint32(cpl.Result1))
+	typed, err = d.OpenSpace(space, []int64{1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, space, views, typed
+}
+
+// TestDeleteSpaceRetiresViews is the regression test for the registry leak:
+// deleting a space must close every open view of it — wire and typed — so
+// the registry returns to zero and stale wire IDs answer StatusUnknownView.
+func TestDeleteSpaceRetiresViews(t *testing.T) {
+	d, space, views, typed := lifecycleFixture(t)
+	if got := d.OpenViews(); got != 3 {
+		t.Fatalf("fixture registry size = %d, want 3", got)
+	}
+	if err := d.DeleteSpace(space); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.OpenViews(); got != 0 {
+		t.Fatalf("registry size after delete = %d, want 0 (views leaked)", got)
+	}
+	page, err := proto.CoordPayload{Coord: []int64{0, 0}, Sub: []int64{8, 8}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		if _, cpl, _, _ := d.Exec(proto.NewRead(v, 0).Marshal(), page, nil); cpl.Status != proto.StatusUnknownView {
+			t.Errorf("stale wire read on view %d = %v, want unknown view", v, cpl.Status)
+		}
+		if _, cpl, _, _ := d.Exec(proto.NewCloseSpace(v).Marshal(), nil, nil); cpl.Status != proto.StatusUnknownView {
+			t.Errorf("stale wire close on view %d = %v, want unknown view", v, cpl.Status)
+		}
+	}
+	if _, _, err := typed.Read([]int64{0}, []int64{4}); !errors.Is(err, ErrClosedView) {
+		t.Errorf("typed read after delete err = %v, want ErrClosedView", err)
+	}
+	if err := typed.Close(); !errors.Is(err, ErrClosedView) {
+		t.Errorf("typed close after delete err = %v, want ErrClosedView", err)
+	}
+}
+
+// TestResizeSpaceRetiresViews: the documented "views become stale" path must
+// actually retire them, exactly like delete — a stale-volume view silently
+// serving reads against the restructured space would compute wrong offsets.
+func TestResizeSpaceRetiresViews(t *testing.T) {
+	d, space, views, typed := lifecycleFixture(t)
+	if err := d.ResizeSpace(space, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.OpenViews(); got != 0 {
+		t.Fatalf("registry size after resize = %d, want 0 (views leaked)", got)
+	}
+	page, err := proto.CoordPayload{Coord: []int64{0, 0}, Sub: []int64{8, 8}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		if _, cpl, _, _ := d.Exec(proto.NewRead(v, 0).Marshal(), page, nil); cpl.Status != proto.StatusUnknownView {
+			t.Errorf("stale wire read on view %d = %v, want unknown view", v, cpl.Status)
+		}
+	}
+	if _, _, err := typed.Read([]int64{0}, []int64{4}); !errors.Is(err, ErrClosedView) {
+		t.Errorf("typed read after resize err = %v, want ErrClosedView", err)
+	}
+	// The space itself survived the resize: a fresh view of the new volume
+	// opens and reads.
+	fresh, err := d.OpenSpace(space, []int64{64, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fresh.Read([]int64{0, 0}, []int64{8, 8}); err != nil {
+		t.Fatalf("read through fresh view after resize: %v", err)
+	}
+	if err := fresh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A failed resize (unknown space) retires nothing.
+	_, _, _, typed2 := lifecycleFixture(t)
+	if err := typed2.dev.ResizeSpace(SpaceID(999), 64); err == nil {
+		t.Fatal("resize of unknown space succeeded")
+	}
+	if got := typed2.dev.OpenViews(); got != 3 {
+		t.Fatalf("failed resize retired views: registry = %d, want 3", got)
+	}
+}
+
+// TestWireViewLifecycleSequences walks multi-command lifecycle sequences at
+// the wire level, asserting the status of the final command in each.
+func TestWireViewLifecycleSequences(t *testing.T) {
+	coordPage := func(t *testing.T) []byte {
+		t.Helper()
+		p, err := proto.CoordPayload{Coord: []int64{0, 0}, Sub: []int64{8, 8}}.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, d *Device, space, view uint32) proto.Status
+		want proto.Status
+	}{
+		{"read after delete_space", func(t *testing.T, d *Device, space, view uint32) proto.Status {
+			if _, cpl, _, _ := d.Exec(proto.NewDeleteSpace(space).Marshal(), nil, nil); cpl.Status != proto.StatusOK {
+				t.Fatalf("delete: %v", cpl.Status)
+			}
+			_, cpl, _, _ := d.Exec(proto.NewRead(view, 0).Marshal(), coordPage(t), nil)
+			return cpl.Status
+		}, proto.StatusUnknownView},
+
+		{"write after delete_space", func(t *testing.T, d *Device, space, view uint32) proto.Status {
+			if _, cpl, _, _ := d.Exec(proto.NewDeleteSpace(space).Marshal(), nil, nil); cpl.Status != proto.StatusOK {
+				t.Fatalf("delete: %v", cpl.Status)
+			}
+			_, cpl, _, _ := d.Exec(proto.NewWrite(view, 0).Marshal(), coordPage(t), make([]byte, 8*8*4))
+			return cpl.Status
+		}, proto.StatusUnknownView},
+
+		{"close after delete_space", func(t *testing.T, d *Device, space, view uint32) proto.Status {
+			if _, cpl, _, _ := d.Exec(proto.NewDeleteSpace(space).Marshal(), nil, nil); cpl.Status != proto.StatusOK {
+				t.Fatalf("delete: %v", cpl.Status)
+			}
+			_, cpl, _, _ := d.Exec(proto.NewCloseSpace(view).Marshal(), nil, nil)
+			return cpl.Status
+		}, proto.StatusUnknownView},
+
+		{"delete twice", func(t *testing.T, d *Device, space, _ uint32) proto.Status {
+			if _, cpl, _, _ := d.Exec(proto.NewDeleteSpace(space).Marshal(), nil, nil); cpl.Status != proto.StatusOK {
+				t.Fatalf("delete: %v", cpl.Status)
+			}
+			_, cpl, _, _ := d.Exec(proto.NewDeleteSpace(space).Marshal(), nil, nil)
+			return cpl.Status
+		}, proto.StatusUnknownSpace},
+
+		{"reopen after close", func(t *testing.T, d *Device, space, view uint32) proto.Status {
+			if _, cpl, _, _ := d.Exec(proto.NewCloseSpace(view).Marshal(), nil, nil); cpl.Status != proto.StatusOK {
+				t.Fatalf("close: %v", cpl.Status)
+			}
+			page, _ := proto.SpacePayload{ElemSize: 4, Dims: []int64{32, 32}}.Marshal()
+			_, cpl, _, _ := d.Exec(proto.NewOpenSpace(space, 0, false).Marshal(), page, nil)
+			if cpl.Status != proto.StatusOK {
+				return cpl.Status
+			}
+			if uint32(cpl.Result1) == view {
+				t.Fatal("retired view ID reused")
+			}
+			_, cpl, _, _ = d.Exec(proto.NewRead(uint32(cpl.Result1), 0).Marshal(), coordPage(t), nil)
+			return cpl.Status
+		}, proto.StatusOK},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, space, view := execFixture(t)
+			if got := c.run(t, d, space, view); got != c.want {
+				t.Fatalf("status = %v, want %v", got, c.want)
+			}
+			if got := d.OpenViews(); got != 0 && c.want != proto.StatusOK {
+				t.Fatalf("registry size after sequence = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestDeleteSpaceConcurrentWithReads: deleting a space while clients stream
+// reads through its views must never produce a success after retirement,
+// only clean per-op errors, and must leave the registry empty.
+func TestDeleteSpaceConcurrentWithReads(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id, err := d.CreateSpace(4, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 4
+	views := make([]*Space, readers)
+	for i := range views {
+		if views[i], err = d.OpenSpace(id, []int64{64, 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, v := range views {
+		wg.Add(1)
+		go func(v *Space) {
+			defer wg.Done()
+			closedSeen := false
+			for i := 0; i < 1000; i++ {
+				_, _, err := v.Read([]int64{0, 0}, []int64{8, 8})
+				switch {
+				case errors.Is(err, ErrClosedView):
+					closedSeen = true
+				case err != nil:
+					// An op in flight during the delete may observe the
+					// deletion itself (ErrUnknownSpace); that is fine, but
+					// retirement must follow.
+				case closedSeen:
+					t.Error("read succeeded after the view was retired")
+					return
+				}
+			}
+		}(v)
+	}
+	if err := d.DeleteSpace(id); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := d.OpenViews(); got != 0 {
+		t.Fatalf("registry size after concurrent delete = %d, want 0", got)
+	}
+}

@@ -1,0 +1,440 @@
+// Package ndsserver serves the §5.3.1 extended-NVMe command set over stream
+// sockets (TCP and unix), framing submission entries with internal/proto's
+// length-prefixed frames. It is the network face of an nds.Device: every
+// connection is an independent host, every view a connection opens is an
+// independent command stream over the device's per-view cursors, and
+// commands pipelined on one connection execute concurrently (bounded by the
+// in-flight limit) and complete out of order, matched to requests by
+// sequence number.
+//
+// Resilience contract:
+//
+//   - Connection limit: at most MaxConns connections are served; beyond
+//     that, accepted sockets are closed immediately.
+//   - Deadlines: a connection idle past ReadTimeout, or one that cannot
+//     absorb a response within WriteTimeout, is dropped.
+//   - Backpressure: at most MaxInFlight requests per connection execute at
+//     once; the reader stops pulling frames when the limit is reached, so a
+//     flooding client queues in its own socket buffers, not in server
+//     memory.
+//   - Graceful drain: Shutdown stops accepting, lets every request already
+//     received finish and its response flush, closes each connection's
+//     remaining views, then closes the sockets. Requests in flight at
+//     shutdown are never dropped.
+//   - Cleanup: however a connection ends — clean EOF, timeout, drain, or
+//     error — every view it still holds open is closed, so a dead client
+//     leaks nothing in the device's view registry.
+package ndsserver
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nds"
+	"nds/internal/proto"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("ndsserver: server closed")
+
+// Defaults for zero Config fields.
+const (
+	DefaultMaxConns      = 64
+	DefaultMaxInFlight   = 32
+	DefaultMaxFrameBytes = proto.DefaultMaxFrame
+	DefaultReadTimeout   = 2 * time.Minute
+	DefaultWriteTimeout  = 30 * time.Second
+	DefaultDrainGrace    = 250 * time.Millisecond
+)
+
+// Config tunes a Server. Zero fields take the defaults above.
+type Config struct {
+	// MaxConns bounds simultaneously served connections.
+	MaxConns int
+	// MaxInFlight bounds concurrently executing requests per connection.
+	MaxInFlight int
+	// MaxFrameBytes bounds one request frame (a larger length prefix drops
+	// the connection — a length-prefixed stream cannot resynchronize).
+	MaxFrameBytes uint32
+	// ReadTimeout is the longest a connection may sit idle between request
+	// frames. Negative disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout is the longest one response write may take. Negative
+	// disables the deadline.
+	WriteTimeout time.Duration
+	// DrainGrace is how long after Shutdown a connection keeps reading:
+	// requests that arrive within the grace are still served, so a client
+	// mid-burst sees responses for everything it managed to send.
+	DrainGrace time.Duration
+	// Logf, when non-nil, receives connection-level events (rejects,
+	// malformed frames, timeouts). Printf-shaped.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns == 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.DrainGrace == 0 {
+		c.DrainGrace = DefaultDrainGrace
+	}
+	return c
+}
+
+// Stats counts a server's lifetime activity.
+type Stats struct {
+	Accepted int64 // connections served
+	Rejected int64 // connections closed at the limit
+	Requests int64 // request frames executed
+	Drops    int64 // connections dropped on error or timeout
+}
+
+// Server serves one nds.Device to any number of socket listeners.
+type Server struct {
+	dev *nds.Device
+	cfg Config
+
+	accepted atomic.Int64
+	rejected atomic.Int64
+	requests atomic.Int64
+	drops    atomic.Int64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	draining  bool
+	wg        sync.WaitGroup // one per live connection
+}
+
+// New builds a Server for dev. The caller retains ownership of dev: Shutdown
+// drains connections but does not Close the device.
+func New(dev *nds.Device, cfg Config) *Server {
+	return &Server{
+		dev:       dev,
+		cfg:       cfg.withDefaults(),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted: s.accepted.Load(),
+		Rejected: s.rejected.Load(),
+		Requests: s.requests.Load(),
+		Drops:    s.drops.Load(),
+	}
+}
+
+// Serve accepts connections on l until Shutdown or a listener error. It
+// blocks; run one goroutine per listener to serve TCP and unix sockets at
+// once. Always returns a non-nil error (ErrServerClosed after Shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		switch {
+		case s.draining:
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		case len(s.conns) >= s.cfg.MaxConns:
+			s.rejected.Add(1)
+			s.mu.Unlock()
+			s.logf("ndsserver: rejecting %v: connection limit %d reached", nc.RemoteAddr(), s.cfg.MaxConns)
+			nc.Close()
+			continue
+		}
+		c := newConn(s, nc)
+		s.conns[c] = struct{}{}
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+// Shutdown gracefully drains the server: it stops accepting, tells every
+// connection to finish what it has received (plus DrainGrace of further
+// reads), waits for all responses to flush and all views to close, and
+// returns nil. If ctx expires first, remaining connections are closed
+// forcibly and the context's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// connDone unregisters a finished connection.
+func (s *Server) connDone(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// conn is one served connection: a reader that unframes and admits
+// requests, bounded executor goroutines, and a writer that frames
+// completions back. Request execution is concurrent, so responses interleave
+// in completion order; the sequence number carries the correlation.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	inflight chan struct{}       // executor admission semaphore
+	respCh   chan proto.Response // executors -> writer
+	wfailed  atomic.Bool         // writer hit an error; discard further responses
+
+	draining atomic.Bool
+	drainMu  sync.Mutex
+	drainAt  time.Time // read deadline once draining
+
+	viewMu sync.Mutex
+	views  map[uint32]struct{} // views this connection opened, for cleanup
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:      s,
+		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 64<<10),
+		bw:       bufio.NewWriterSize(nc, 64<<10),
+		inflight: make(chan struct{}, s.cfg.MaxInFlight),
+		respCh:   make(chan proto.Response, s.cfg.MaxInFlight),
+		views:    make(map[uint32]struct{}),
+	}
+}
+
+// beginDrain flips the connection into drain mode: reads continue only for
+// DrainGrace, then the read loop ends and in-flight requests finish.
+func (c *conn) beginDrain() {
+	c.drainMu.Lock()
+	c.drainAt = time.Now().Add(c.srv.cfg.DrainGrace)
+	c.drainMu.Unlock()
+	c.draining.Store(true)
+	// Wake a reader blocked in ReadRequest; the loop re-arms the deadline
+	// to the grace window on its way out of a timeout only when not
+	// draining, so this one sticks.
+	c.nc.SetReadDeadline(c.drainAt)
+}
+
+func (c *conn) serve() {
+	defer c.srv.connDone(c)
+	var execWG sync.WaitGroup
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writeLoop()
+	}()
+	c.readLoop(&execWG)
+	execWG.Wait()   // every admitted request has queued its response
+	close(c.respCh) // writer flushes the tail and exits
+	<-writerDone
+	c.closeViews()
+	c.nc.Close()
+}
+
+// readLoop admits request frames until EOF, error, timeout, or drain.
+func (c *conn) readLoop(execWG *sync.WaitGroup) {
+	for {
+		if to := c.srv.cfg.ReadTimeout; to > 0 && !c.draining.Load() {
+			c.nc.SetReadDeadline(time.Now().Add(to))
+		}
+		// Re-check after arming the idle deadline: beginDrain stores the
+		// flag before poking its own (shorter) deadline, so whichever order
+		// the two SetReadDeadline calls land in, the drain deadline wins.
+		if c.draining.Load() {
+			c.drainMu.Lock()
+			at := c.drainAt
+			c.drainMu.Unlock()
+			c.nc.SetReadDeadline(at)
+		}
+		req, err := proto.ReadRequest(c.br, c.srv.cfg.MaxFrameBytes)
+		if err != nil {
+			var ne net.Error
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+				// Clean goodbye (or a teardown we initiated).
+			case c.draining.Load():
+				// Drain grace expired mid-read; the admitted work still
+				// finishes below.
+			case errors.As(err, &ne) && ne.Timeout():
+				c.srv.drops.Add(1)
+				c.srv.logf("ndsserver: %v: idle past read timeout", c.nc.RemoteAddr())
+			default:
+				c.srv.drops.Add(1)
+				c.srv.logf("ndsserver: %v: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		c.inflight <- struct{}{} // backpressure: cap concurrent execution
+		execWG.Add(1)
+		go func(req proto.Request) {
+			defer execWG.Done()
+			defer func() { <-c.inflight }()
+			c.handle(req)
+		}(req)
+	}
+}
+
+// handle executes one request against the device and queues its response.
+func (c *conn) handle(req proto.Request) {
+	c.srv.requests.Add(1)
+	data, cpl, _, _ := c.srv.dev.Exec(req.Cmd, req.Payload, req.Data)
+	c.trackViews(req.Cmd, cpl)
+	c.respCh <- proto.Response{Seq: req.Seq, Cpl: cpl, Data: data}
+}
+
+// trackViews keeps the set of views this connection opened, so conn teardown
+// can retire what the client left behind. delete_space needs no bookkeeping
+// here: the device itself retires all views of a deleted space.
+func (c *conn) trackViews(raw [proto.CommandSize]byte, cpl proto.Completion) {
+	if cpl.Status != proto.StatusOK {
+		return
+	}
+	cmd, err := proto.Unmarshal(raw)
+	if err != nil {
+		return
+	}
+	switch cmd.Opcode() {
+	case proto.OpOpenSpace:
+		c.viewMu.Lock()
+		c.views[uint32(cpl.Result1)] = struct{}{}
+		c.viewMu.Unlock()
+	case proto.OpCloseSpace:
+		c.viewMu.Lock()
+		delete(c.views, cmd.Target())
+		c.viewMu.Unlock()
+	}
+}
+
+// closeViews retires every view the connection still holds. Views already
+// retired (close_space raced with delete_space, or the device retired them)
+// answer StatusUnknownView, which is exactly what "nothing to do" looks
+// like.
+func (c *conn) closeViews() {
+	c.viewMu.Lock()
+	ids := make([]uint32, 0, len(c.views))
+	for id := range c.views {
+		ids = append(ids, id)
+	}
+	c.views = make(map[uint32]struct{})
+	c.viewMu.Unlock()
+	for _, id := range ids {
+		c.srv.dev.Exec(proto.NewCloseSpace(id).Marshal(), nil, nil)
+	}
+}
+
+// writeLoop frames responses back in completion order. After a write error
+// the connection is unrecoverable: remaining responses are drained and
+// discarded so executors never block on a dead socket.
+func (c *conn) writeLoop() {
+	for resp := range c.respCh {
+		if c.wfailed.Load() {
+			continue
+		}
+		if to := c.srv.cfg.WriteTimeout; to > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(to))
+		}
+		if err := proto.WriteResponse(c.bw, resp); err != nil {
+			c.failWrite(err)
+			continue
+		}
+		// Flush when no more responses are queued: batches bursts into one
+		// syscall without adding latency to a lone completion.
+		if len(c.respCh) == 0 {
+			if err := c.bw.Flush(); err != nil {
+				c.failWrite(err)
+			}
+		}
+	}
+	if !c.wfailed.Load() {
+		c.bw.Flush()
+	}
+}
+
+func (c *conn) failWrite(err error) {
+	if c.wfailed.CompareAndSwap(false, true) {
+		c.srv.drops.Add(1)
+		c.srv.logf("ndsserver: %v: write: %v", c.nc.RemoteAddr(), err)
+		// Unblock the reader too: the conversation is over.
+		c.nc.Close()
+	}
+}

@@ -1,0 +1,218 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Stream framing: how §5.3.1 submission entries travel over a byte stream
+// (TCP or a unix socket) instead of a PCIe doorbell. Each frame is one
+// length-prefixed record; within a connection, frames are independent
+// requests matched to responses by a host-chosen sequence number, so a host
+// may pipeline many commands and a device may complete them out of order
+// (each open view is its own command stream, exactly like the in-process
+// API).
+//
+// Request frame layout (all integers little-endian):
+//
+//	uint32  length of everything after this field
+//	uint64  sequence number (echoed verbatim in the response)
+//	64 B    submission entry (Command.Marshal)
+//	uint32  payload length | payload bytes (the 4 KB coordinate/space page)
+//	uint32  data length    | data bytes    (the nds_write payload)
+//
+// Response frame layout:
+//
+//	uint32  length of everything after this field
+//	uint64  sequence number
+//	uint8   completion status, 7 B reserved (zero)
+//	uint64  completion result 0
+//	uint64  completion result 1
+//	uint32  data length | data bytes (the nds_read payload)
+//
+// A reader that sees a length prefix larger than its configured bound must
+// drop the connection: the stream is either hostile or desynchronized, and
+// there is no way to resynchronize a length-prefixed stream once a frame
+// boundary is lost.
+
+// DefaultMaxFrame bounds frame payloads for readers that do not choose
+// their own limit: large enough for a 64 MiB partition write, small enough
+// that a hostile length prefix cannot make a reader allocate arbitrarily.
+const DefaultMaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds the reader's
+// limit. The connection carrying it cannot be resynchronized.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
+
+// reqFixedLen is the fixed portion of a request frame body: sequence,
+// submission entry, and the two section length fields.
+const reqFixedLen = 8 + CommandSize + 4 + 4
+
+// respFixedLen is the fixed portion of a response frame body: sequence,
+// status word, two result words, and the data length field.
+const respFixedLen = 8 + 8 + 8 + 8 + 4
+
+// Request is one framed command: the submission entry plus its out-of-band
+// pages (the coordinate/space payload page and the write data).
+type Request struct {
+	Seq     uint64
+	Cmd     [CommandSize]byte
+	Payload []byte
+	Data    []byte
+}
+
+// Response is one framed completion plus the read payload, if any.
+type Response struct {
+	Seq  uint64
+	Cpl  Completion
+	Data []byte
+}
+
+// WriteRequest frames req onto w. It performs one Write call per section,
+// so callers stream through a bufio.Writer and flush at send points.
+func WriteRequest(w io.Writer, req Request) error {
+	if len(req.Payload) > DefaultMaxFrame || len(req.Data) > DefaultMaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4 + reqFixedLen]byte
+	total := reqFixedLen + len(req.Payload) + len(req.Data)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(total))
+	binary.LittleEndian.PutUint64(hdr[4:], req.Seq)
+	copy(hdr[12:], req.Cmd[:])
+	binary.LittleEndian.PutUint32(hdr[12+CommandSize:], uint32(len(req.Payload)))
+	if _, err := w.Write(hdr[:len(hdr)-4]); err != nil {
+		return err
+	}
+	if _, err := w.Write(req.Payload); err != nil {
+		return err
+	}
+	var dlen [4]byte
+	binary.LittleEndian.PutUint32(dlen[:], uint32(len(req.Data)))
+	if _, err := w.Write(dlen[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(req.Data)
+	return err
+}
+
+// ReadRequest parses one request frame from r. maxFrame bounds the length
+// prefix (0 selects DefaultMaxFrame). A clean EOF before the first byte
+// returns io.EOF; EOF inside a frame returns io.ErrUnexpectedEOF.
+func ReadRequest(r io.Reader, maxFrame uint32) (Request, error) {
+	body, err := readFrame(r, maxFrame)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(body) < reqFixedLen {
+		return Request{}, fmt.Errorf("proto: request frame too short (%d B)", len(body))
+	}
+	var req Request
+	req.Seq = binary.LittleEndian.Uint64(body)
+	copy(req.Cmd[:], body[8:])
+	pos := 8 + CommandSize
+	req.Payload, pos, err = readSection(body, pos, "payload")
+	if err != nil {
+		return Request{}, err
+	}
+	req.Data, pos, err = readSection(body, pos, "data")
+	if err != nil {
+		return Request{}, err
+	}
+	if pos != len(body) {
+		return Request{}, fmt.Errorf("proto: request frame has %d trailing bytes", len(body)-pos)
+	}
+	return req, nil
+}
+
+// WriteResponse frames resp onto w.
+func WriteResponse(w io.Writer, resp Response) error {
+	if len(resp.Data) > DefaultMaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4 + respFixedLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(respFixedLen+len(resp.Data)))
+	binary.LittleEndian.PutUint64(hdr[4:], resp.Seq)
+	hdr[12] = byte(resp.Cpl.Status)
+	binary.LittleEndian.PutUint64(hdr[20:], resp.Cpl.Result0)
+	binary.LittleEndian.PutUint64(hdr[28:], resp.Cpl.Result1)
+	binary.LittleEndian.PutUint32(hdr[36:], uint32(len(resp.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(resp.Data)
+	return err
+}
+
+// ReadResponse parses one response frame from r, with the same EOF and
+// maxFrame contract as ReadRequest.
+func ReadResponse(r io.Reader, maxFrame uint32) (Response, error) {
+	body, err := readFrame(r, maxFrame)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(body) < respFixedLen {
+		return Response{}, fmt.Errorf("proto: response frame too short (%d B)", len(body))
+	}
+	var resp Response
+	resp.Seq = binary.LittleEndian.Uint64(body)
+	resp.Cpl = Completion{
+		Status:  Status(body[8]),
+		Result0: binary.LittleEndian.Uint64(body[16:]),
+		Result1: binary.LittleEndian.Uint64(body[24:]),
+	}
+	var pos int
+	resp.Data, pos, err = readSection(body, respFixedLen-4, "data")
+	if err != nil {
+		return Response{}, err
+	}
+	if pos != len(body) {
+		return Response{}, fmt.Errorf("proto: response frame has %d trailing bytes", len(body)-pos)
+	}
+	return resp, nil
+}
+
+// readFrame reads a length prefix and the frame body it announces.
+func readFrame(r io.Reader, maxFrame uint32) ([]byte, error) {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err // io.EOF on a clean frame boundary
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w (%d > %d B)", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// readSection decodes one length-prefixed byte section of a frame body,
+// returning the section (nil when empty, aliasing body otherwise) and the
+// position after it.
+func readSection(body []byte, pos int, name string) ([]byte, int, error) {
+	if pos+4 > len(body) {
+		return nil, 0, fmt.Errorf("proto: frame truncated before %s length", name)
+	}
+	n := int(binary.LittleEndian.Uint32(body[pos:]))
+	pos += 4
+	if n < 0 || pos+n > len(body) {
+		return nil, 0, fmt.Errorf("proto: frame %s section truncated (%d B announced)", name, n)
+	}
+	if n == 0 {
+		return nil, pos, nil
+	}
+	return body[pos : pos+n : pos+n], pos + n, nil
+}

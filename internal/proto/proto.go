@@ -17,8 +17,14 @@ package proto
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
+
+// ErrUnknownOpcode reports a well-formed extended entry whose opcode this
+// device does not implement. The dispatcher maps it to StatusUnsupportedOp,
+// distinct from the StatusInvalidField a malformed entry earns.
+var ErrUnknownOpcode = errors.New("proto: unsupported opcode")
 
 // Opcode identifies an extended command. Values sit in the NVMe
 // vendor-specific range.
@@ -122,7 +128,7 @@ func Unmarshal(raw [CommandSize]byte) (Command, error) {
 	switch c.Opcode() {
 	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability, OpCacheStats:
 	default:
-		return Command{}, fmt.Errorf("proto: unknown opcode %#x", uint8(c.Opcode()))
+		return Command{}, fmt.Errorf("%w %#x", ErrUnknownOpcode, uint8(c.Opcode()))
 	}
 	return c, nil
 }
@@ -236,6 +242,11 @@ func UnmarshalCoordPayload(page []byte) (CoordPayload, error) {
 
 // SpacePayload is the page named by an open_space command: the element size
 // and dimensionality of the space or view.
+//
+// ElemSize 0 means "unspecified": legal only when opening a view of an
+// existing space (the create flag clear), where the device checks a nonzero
+// value against the space's element size and rejects mismatches. Creation
+// always requires a concrete element size.
 type SpacePayload struct {
 	ElemSize int
 	Dims     []int64
@@ -243,7 +254,7 @@ type SpacePayload struct {
 
 // Marshal encodes the payload: uint32 elemSize, uint32 rank, rank x uint32.
 func (p SpacePayload) Marshal() ([]byte, error) {
-	if p.ElemSize <= 0 || p.ElemSize > 1<<16 {
+	if p.ElemSize < 0 || p.ElemSize > 1<<16 {
 		return nil, fmt.Errorf("proto: element size %d out of range", p.ElemSize)
 	}
 	if len(p.Dims) == 0 || len(p.Dims) > MaxDims {
@@ -268,7 +279,7 @@ func UnmarshalSpacePayload(page []byte) (SpacePayload, error) {
 	}
 	elem := binary.LittleEndian.Uint32(page)
 	rank := binary.LittleEndian.Uint32(page[4:])
-	if elem == 0 || elem > 1<<16 {
+	if elem > 1<<16 {
 		return SpacePayload{}, fmt.Errorf("proto: element size %d out of range", elem)
 	}
 	if rank == 0 || rank > MaxDims {
@@ -433,6 +444,12 @@ const (
 	// (program retries exhausted or no relocation target); appended after
 	// StatusInternal so existing status values stay stable on the wire.
 	StatusMediaError
+	// StatusUnsupportedOp: a well-formed extended entry named an opcode this
+	// device does not implement. Distinct from StatusInvalidField (a known
+	// command with a malformed field) so hosts can tell "fix the request"
+	// from "this device lacks the command". Appended to keep prior status
+	// values stable on the wire.
+	StatusUnsupportedOp
 )
 
 func (s Status) String() string {
@@ -449,6 +466,8 @@ func (s Status) String() string {
 		return "capacity exceeded"
 	case StatusMediaError:
 		return "unrecoverable media error"
+	case StatusUnsupportedOp:
+		return "unsupported opcode"
 	default:
 		return "internal error"
 	}

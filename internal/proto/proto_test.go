@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -54,8 +55,19 @@ func TestConventionalCommandsPassThrough(t *testing.T) {
 
 func TestUnknownOpcodeRejected(t *testing.T) {
 	c := newCommand(Opcode(0x55), 0, 0, false)
-	if _, err := Unmarshal(c.Marshal()); err == nil {
+	_, err := Unmarshal(c.Marshal())
+	if err == nil {
 		t.Fatal("unknown opcode accepted")
+	}
+	// The sentinel distinguishes "device lacks this command" (an extended
+	// entry with an unimplemented opcode) from a malformed entry, so the
+	// dispatcher can answer StatusUnsupportedOp instead of StatusInvalidField.
+	if !errors.Is(err, ErrUnknownOpcode) {
+		t.Fatalf("unknown opcode error = %v, want ErrUnknownOpcode", err)
+	}
+	var conventional [CommandSize]byte
+	if _, err := Unmarshal(conventional); errors.Is(err, ErrUnknownOpcode) {
+		t.Fatal("non-extended entry misreported as an unsupported opcode")
 	}
 }
 
@@ -131,8 +143,16 @@ func TestSpacePayloadRoundTrip(t *testing.T) {
 	if got.ElemSize != 8 || len(got.Dims) != 2 || got.Dims[0] != 32768 {
 		t.Fatalf("round-trip = %+v", got)
 	}
-	if _, err := (SpacePayload{ElemSize: 0, Dims: []int64{1}}).Marshal(); err == nil {
-		t.Error("zero element size accepted")
+	// Zero element size is "unspecified": legal on the wire (views of an
+	// existing space may not care), rejected only at creation.
+	zero, err := (SpacePayload{ElemSize: 0, Dims: []int64{1}}).Marshal()
+	if err != nil {
+		t.Errorf("zero element size rejected: %v", err)
+	} else if got, err := UnmarshalSpacePayload(zero); err != nil || got.ElemSize != 0 {
+		t.Errorf("zero element size round-trip = %+v, %v", got, err)
+	}
+	if _, err := (SpacePayload{ElemSize: -1, Dims: []int64{1}}).Marshal(); err == nil {
+		t.Error("negative element size accepted")
 	}
 	if _, err := (SpacePayload{ElemSize: 4, Dims: []int64{1 << 25}}).Marshal(); err == nil {
 		t.Error("oversized dimension accepted")
@@ -143,7 +163,7 @@ func TestSpacePayloadRoundTrip(t *testing.T) {
 }
 
 func TestStatusStrings(t *testing.T) {
-	for s := StatusOK; s <= StatusInternal; s++ {
+	for s := StatusOK; s <= StatusUnsupportedOp; s++ {
 		if s.String() == "" {
 			t.Fatalf("status %d has no string", s)
 		}

@@ -423,23 +423,67 @@ func (d *Device) CreateSpace(elemSize int, dims []int64) (SpaceID, error) {
 }
 
 // DeleteSpace permanently removes a space and invalidates its storage (the
-// delete_space command of §5.3.1).
+// delete_space command of §5.3.1). Every open view of the space — typed or
+// wire — is closed before DeleteSpace returns: its dynamic view ID is
+// retired from the registry, and further operations on it report
+// ErrClosedView (StatusUnknownView on the wire), never a dangling read of
+// freed blocks. An operation already in flight on such a view may instead
+// observe the deletion itself and fail with ErrUnknownSpace.
 func (d *Device) DeleteSpace(id SpaceID) error {
 	d.io.Lock()
-	defer d.io.Unlock()
-
-	return d.sys.STL.DeleteSpace(stl.SpaceID(id))
+	err := d.sys.STL.DeleteSpace(stl.SpaceID(id))
+	d.io.Unlock()
+	if err != nil {
+		return err
+	}
+	d.retireViews(id)
+	return nil
 }
 
 // ResizeSpace expands or shrinks a space along its outermost dimension
 // (§5.1: passing an existing identifier to the space-management API
-// restructures the space). Existing data within the new bound is preserved;
-// open views become stale and must be reopened with matching volumes.
+// restructures the space). Existing data within the new bound is preserved.
+// Open views of the space are stale after a resize — their volumes no longer
+// match — so, like DeleteSpace, ResizeSpace closes them all before
+// returning; consumers reopen with matching volumes.
 func (d *Device) ResizeSpace(id SpaceID, newDim0 int64) error {
 	d.io.Lock()
-	defer d.io.Unlock()
+	err := d.sys.STL.ResizeSpace(stl.SpaceID(id), newDim0)
+	d.io.Unlock()
+	if err != nil {
+		return err
+	}
+	d.retireViews(id)
+	return nil
+}
 
-	return d.sys.STL.ResizeSpace(stl.SpaceID(id), newDim0)
+// retireViews closes every open view of space id, retiring the views'
+// dynamic wire IDs. Called after a successful delete or resize, with no
+// locks held: Close takes Space.mu then viewMu, and any view registered
+// after the snapshot below was opened after the space management operation
+// completed — against the new space state — so it must survive.
+func (d *Device) retireViews(id SpaceID) {
+	d.viewMu.RLock()
+	stale := make([]*Space, 0, len(d.open))
+	for s := range d.open {
+		if s.id == id {
+			stale = append(stale, s)
+		}
+	}
+	d.viewMu.RUnlock()
+	for _, s := range stale {
+		_ = s.Close() // already-closed views are fine: the error is the point
+	}
+}
+
+// OpenViews reports the number of views currently open on the device (the
+// size of the dynamic view-ID registry). Diagnostic: a long-running host
+// that opens and closes views — or deletes spaces with views still open —
+// can watch this return to zero to confirm nothing leaks.
+func (d *Device) OpenViews() int {
+	d.viewMu.RLock()
+	defer d.viewMu.RUnlock()
+	return len(d.views)
 }
 
 // Flush programs every §4.4-staged partial unit (WriteBuffering devices);
@@ -507,17 +551,21 @@ type Space struct {
 // one lifecycle.
 func (d *Device) OpenSpace(id SpaceID, viewDims []int64) (*Space, error) {
 	d.io.RLock()
+	defer d.io.RUnlock()
 	sp, ok := d.sys.STL.Space(stl.SpaceID(id))
 	if !ok {
-		d.io.RUnlock()
 		return nil, fmt.Errorf("nds: open of space %d: %w", id, stl.ErrUnknownSpace)
 	}
 	v, err := stl.NewView(sp, viewDims)
-	d.io.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	s := &Space{dev: d, id: id, view: v, cursor: d.clock()}
+	// Registration happens under the io reader lock so a concurrent
+	// DeleteSpace/ResizeSpace (which takes the writer side) cannot slip
+	// between the space lookup above and the registry insert: any view whose
+	// open observed the space live is registered before the management
+	// operation proceeds, so retireViews sees it.
 	d.viewMu.Lock()
 	d.nextView++
 	s.wire = d.nextView

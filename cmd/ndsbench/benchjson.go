@@ -129,7 +129,7 @@ func measureSnapshot(cacheBytes int64, prefetch int) benchSnapshot {
 		workload string
 		clients  int
 	}{
-		{"read", 1}, {"read", 16},
+		{"read", 1}, {"read", 16}, {"read", 64},
 		{"mixed", 16},
 		{"write", 4}, {"write", 16},
 		{"net", 16}, {"net-burst", 16},

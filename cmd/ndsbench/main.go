@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,6 +55,12 @@ func main() {
 	arrival := flag.String("arrival", "poisson", "arrival process for -net: poisson or fixed")
 	zipf := flag.Float64("zipf", 1.1, "Zipfian skew parameter for -net tile choice (<=1 = uniform)")
 	burst := flag.Bool("burst", false, "run the middle third of -net at 4x the target rate")
+	stream := flag.Bool("stream", false, "single-connection streaming read benchmark (against -net addr, or a self-hosted server)")
+	window := flag.Int("window", 8, "in-flight chunk window for -stream")
+	chunkRows := flag.Int64("chunkrows", 0, "rows per chunk for -stream (0 = auto)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit (enables mutex profiling)")
 	flag.Var(&figs, "fig", "figure to regenerate (2, 3, 9, 9a, 9b, 9c, 9d, 10); repeatable")
 	flag.Var(&tables, "table", "table to regenerate (1, overhead); repeatable")
 	flag.Var(&sweeps, "sweep", "sensitivity sweep to run (channels, bbmult); repeatable")
@@ -63,14 +71,18 @@ func main() {
 		tables = multiFlag{"1", "overhead"}
 		sweeps = multiFlag{"channels", "bbmult"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" && *netAddr == "" {
+	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" && *netAddr == "" && !*stream {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProfiles := startProfiles(*cpuprofile, *memprofile, *mutexprofile)
+	defer stopProfiles()
 	if *faultcheck {
 		faultCheck()
 	}
-	if *netAddr != "" {
+	if *stream {
+		runStream(*netAddr, streamOpts{Window: *window, ChunkRows: *chunkRows})
+	} else if *netAddr != "" {
 		runNet(*netAddr, netOpts{
 			Conns:   *conns,
 			Rate:    *rate,
@@ -144,6 +156,53 @@ func sweepBBMult(n int64) {
 	fmt.Printf("%-6s %10s %10s %10s\n", "mult", "row MB/s", "col MB/s", "tile MB/s")
 	for _, p := range pts {
 		fmt.Printf("%-6d %10.0f %10.0f %10.0f\n", p.X, p.RowMB, p.ColMB, p.TileMB)
+	}
+}
+
+// startProfiles arms the requested pprof outputs and returns the function
+// that stops and writes them. Profiles land only on a successful exit — the
+// fatalf path skips them — which is the right trade for a benchmark tool:
+// a failed run's profile measures the failure, not the workload.
+func startProfiles(cpu, mem, mutex string) func() {
+	if mutex != "" {
+		// Sample one in five contended mutex events: cheap enough to leave on
+		// for a whole benchmark run, dense enough to rank convoys.
+		runtime.SetMutexProfileFraction(5)
+	}
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		cpuF = f
+	}
+	writeProfile := func(name, path string, gcFirst bool) {
+		if path == "" {
+			return
+		}
+		if gcFirst {
+			runtime.GC() // fold retained-but-unswept garbage out of the heap profile
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%s profile: %v", name, err)
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fatalf("%s profile: %v", name, err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		writeProfile("heap", mem, true)
+		writeProfile("mutex", mutex, false)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -200,6 +201,126 @@ func runNet(addr string, o netOpts) {
 	if res.Errors > 0 {
 		fatalf("net load: %d requests failed", res.Errors)
 	}
+}
+
+// streamOpts configures the -stream benchmark.
+type streamOpts struct {
+	Window    int
+	ChunkRows int64
+}
+
+// The streaming benchmark fetches a 16 MiB float32 partition — large enough
+// that one synchronous nds_read per frame leaves the device idle between
+// round trips, small enough to run in CI.
+const (
+	streamRows = 4096
+	streamCols = 1024
+	streamElem = 4
+)
+
+// runStream is the -stream CLI mode: measure how much a single connection
+// gains from the windowed ReadStream pipeline over one whole-partition read.
+// With -net it targets an external server; otherwise it self-hosts one on a
+// private unix socket.
+func runStream(addr string, o streamOpts) {
+	cleanup := func() {}
+	if addr == "" {
+		dev, err := nds.Open(nds.Options{Mode: nds.ModeHardware, CapacityHint: 64 << 20})
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		srv := ndsserver.New(dev, ndsserver.Config{})
+		dir, err := os.MkdirTemp("", "ndsbench-stream")
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		l, err := net.Listen("unix", filepath.Join(dir, "nds.sock"))
+		if err != nil {
+			os.RemoveAll(dir)
+			fatalf("stream: %v", err)
+		}
+		addr = "unix:" + l.Addr().String()
+		go srv.Serve(l)
+		cleanup = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			dev.Close()
+			os.RemoveAll(dir)
+		}
+	}
+	defer cleanup()
+
+	c, err := ndsclient.Dial(addr)
+	if err != nil {
+		fatalf("stream: %v", err)
+	}
+	defer c.Close()
+	_, view, err := c.CreateSpace(streamElem, []int64{streamRows, streamCols})
+	if err != nil {
+		fatalf("stream: %v", err)
+	}
+	total := streamRows * streamCols * streamElem
+	data := make([]byte, total)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(data)
+	if err := c.Write(view, []int64{0, 0}, []int64{streamRows, streamCols}, data); err != nil {
+		fatalf("stream: %v", err)
+	}
+
+	header("Single-connection streaming read")
+	fmt.Printf("partition %dx%d x%dB = %.1f MiB  window %d\n",
+		streamRows, streamCols, streamElem, float64(total)/(1<<20), o.Window)
+
+	coord, sub := []int64{0, 0}, []int64{streamRows, streamCols}
+	const iters = 3
+	var singleBest, streamBest time.Duration
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		got, err := c.Read(view, coord, sub)
+		d := time.Since(t0)
+		if err != nil {
+			fatalf("stream: single read: %v", err)
+		}
+		if i == 0 && !bytes.Equal(got, data) {
+			fatalf("stream: single read returned wrong bytes")
+		}
+		if singleBest == 0 || d < singleBest {
+			singleBest = d
+		}
+	}
+	var streamed bytes.Buffer
+	for i := 0; i < iters; i++ {
+		streamed.Reset()
+		verify := i == 0
+		t0 := time.Now()
+		n, err := c.ReadStream(view, coord, sub,
+			ndsclient.StreamOpts{Window: o.Window, ChunkRows: o.ChunkRows},
+			func(off int64, chunk []byte) error {
+				if verify {
+					streamed.Write(chunk)
+				}
+				return nil
+			})
+		d := time.Since(t0)
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		if n != int64(total) {
+			fatalf("stream: delivered %d bytes, want %d", n, total)
+		}
+		if verify && !bytes.Equal(streamed.Bytes(), data) {
+			fatalf("stream: streamed bytes differ from written data")
+		}
+		if streamBest == 0 || d < streamBest {
+			streamBest = d
+		}
+	}
+	mbps := func(d time.Duration) float64 { return float64(total) / d.Seconds() / 1e6 }
+	fmt.Printf("whole-partition read: %8v  %7.1f MB/s\n", singleBest.Round(time.Microsecond), mbps(singleBest))
+	fmt.Printf("windowed ReadStream:  %8v  %7.1f MB/s  (%.2fx)\n",
+		streamBest.Round(time.Microsecond), mbps(streamBest),
+		float64(singleBest)/float64(streamBest))
 }
 
 // measureNetPoint self-hosts an ndsserver on a private unix socket and runs

@@ -151,6 +151,42 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 	return nil, proto.Completion{Status: proto.StatusUnsupportedOp}, Stats{}, nil
 }
 
+// ExecRead processes one raw nds_read submission entry, delivering the
+// payload through fn as ordered source segments instead of an assembled
+// buffer — the zero-copy path beneath the network server's gather writer.
+// fn's contract is Space.ReadSegments': the segments are valid only for the
+// call, and on a phantom device fn receives (want, nil). fn runs only when
+// the command decodes and executes successfully, so a non-OK completion
+// means fn never ran; an error fn returns aborts the request and comes back
+// in the error return (with an internal-status completion), letting the
+// caller tell its own gather failures apart from device statuses. Entries
+// with any opcode other than nds_read complete with StatusUnsupportedOp.
+func (d *Device) ExecRead(raw [proto.CommandSize]byte, payload []byte, fn func(want int64, segs []Segment) error) (proto.Completion, Stats, error) {
+	cmd, err := proto.Unmarshal(raw)
+	if err != nil {
+		if errors.Is(err, proto.ErrUnknownOpcode) {
+			return proto.Completion{Status: proto.StatusUnsupportedOp}, Stats{}, err
+		}
+		return proto.Completion{Status: proto.StatusInvalidField}, Stats{}, err
+	}
+	if cmd.Opcode() != proto.OpRead {
+		return proto.Completion{Status: proto.StatusUnsupportedOp}, Stats{}, nil
+	}
+	view, ok := d.lookupView(cmd.Target())
+	if !ok {
+		return proto.Completion{Status: proto.StatusUnknownView}, Stats{}, nil
+	}
+	pl, err := proto.UnmarshalCoordPayload(payload)
+	if err != nil {
+		return proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+	}
+	st, err := view.ReadSegments(pl.Coord, pl.Sub, fn)
+	if err != nil {
+		return completionFor(err), Stats{}, err
+	}
+	return proto.Completion{Status: proto.StatusOK, Result0: uint64(st.Bytes)}, st, nil
+}
+
 // execCreateSpace handles open_space with the create flag: create, then open
 // the producer view. If the open fails the just-created space is deleted, so
 // a failed command never leaks an unreachable space. The open step is

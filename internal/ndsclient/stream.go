@@ -1,0 +1,159 @@
+package ndsclient
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StreamOpts tunes ReadStream.
+type StreamOpts struct {
+	// Window is the number of chunk requests kept in flight on the
+	// connection. Zero selects DefaultStreamWindow.
+	Window int
+	// ChunkRows is each chunk's extent along the partition's first
+	// dimension; it must divide the partition's sub[0]. Zero picks the
+	// largest divisor of sub[0] that still yields at least 4x Window chunks
+	// (falling back to sub[0] when the partition is too small to split).
+	ChunkRows int64
+}
+
+// DefaultStreamWindow is the in-flight window ReadStream uses when
+// StreamOpts.Window is zero.
+const DefaultStreamWindow = 8
+
+// ReadStream fetches the partition at coord/sub as a pipeline of smaller
+// partition reads on one connection, keeping StreamOpts.Window requests in
+// flight so a GB-sized fetch saturates the device instead of serializing one
+// round trip per frame. The partition is split along its first dimension
+// into chunks of ChunkRows rows; chunks are requested concurrently and
+// delivered to fn strictly in partition order — off is the chunk's byte
+// offset in the partition's row-major layout, and chunk is valid only for
+// the duration of the call. Returns the total bytes delivered.
+//
+// The chunk coordinates address the same view at finer granularity, so the
+// split is exact only when the chunks tile whole partitions of the view:
+// sub[0] must be divisible by ChunkRows (checked) and the view's first
+// dimension divisible by sub[0] (an interior, unclamped partition — the
+// layout guarantee the caller already relies on for partition reads). An
+// error from fn, the device, or the connection aborts the stream once the
+// in-flight window drains.
+func (c *Client) ReadStream(view uint32, coord, sub []int64, opts StreamOpts, fn func(off int64, chunk []byte) error) (int64, error) {
+	if len(sub) == 0 || len(coord) != len(sub) {
+		return 0, fmt.Errorf("ndsclient: ReadStream coord/sub rank mismatch (%d vs %d)", len(coord), len(sub))
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	rows := sub[0]
+	if rows <= 0 {
+		return 0, fmt.Errorf("ndsclient: ReadStream sub[0] = %d, want > 0", rows)
+	}
+	h := opts.ChunkRows
+	if h == 0 {
+		h = defaultChunkRows(rows, window)
+	}
+	if h <= 0 || rows%h != 0 {
+		return 0, fmt.Errorf("ndsclient: ReadStream chunk rows %d must divide sub[0] = %d", h, rows)
+	}
+	chunks := int(rows / h)
+	if chunks == 1 {
+		// Degenerate stream: one frame, no pipeline to manage.
+		data, err := c.Read(view, coord, sub)
+		if err != nil {
+			return 0, err
+		}
+		if fn != nil {
+			if err := fn(0, data); err != nil {
+				return 0, err
+			}
+		}
+		return int64(len(data)), nil
+	}
+
+	// Each chunk is the partition (base0+j, coord[1:]) of the same view under
+	// sub' = {h, sub[1:]}: (coord[0]*sub[0])/h + j addresses rows
+	// [j*h, (j+1)*h) of this partition in the finer partition grid.
+	base0 := coord[0] * rows / h
+	subJ := append([]int64(nil), sub...)
+	subJ[0] = h
+
+	type result struct {
+		data []byte
+		err  error
+	}
+	var (
+		mu      sync.Mutex
+		results = make(map[int]result, window)
+		arrived = sync.NewCond(&mu)
+		wg      sync.WaitGroup
+	)
+	// The delivery loop below drives the window: chunks launch as earlier
+	// chunks are consumed, so at most `window` requests are in flight or
+	// parked in the reorder buffer, and an abort simply stops launching —
+	// in-flight workers always run to completion (wg), never blocking on
+	// anything the aborted loop owns.
+	next := 0
+	launch := func() {
+		j := next
+		next++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			coordJ := append([]int64(nil), coord...)
+			coordJ[0] = base0 + int64(j)
+			data, err := c.Read(view, coordJ, subJ)
+			mu.Lock()
+			results[j] = result{data: data, err: err}
+			arrived.Broadcast()
+			mu.Unlock()
+		}()
+	}
+	for next < chunks && next < window {
+		launch()
+	}
+
+	var total int64
+	var streamErr error
+	for j := 0; j < chunks; j++ {
+		mu.Lock()
+		for {
+			if _, ok := results[j]; ok {
+				break
+			}
+			arrived.Wait()
+		}
+		r := results[j]
+		delete(results, j)
+		mu.Unlock()
+		if r.err == nil && fn != nil {
+			r.err = fn(total, r.data)
+		}
+		total += int64(len(r.data))
+		if r.err != nil {
+			streamErr = r.err
+			break
+		}
+		if next < chunks {
+			launch()
+		}
+	}
+	wg.Wait() // drain stragglers so no goroutine outlives the call
+	if streamErr != nil {
+		return total, fmt.Errorf("ndsclient: ReadStream: %w", streamErr)
+	}
+	return total, nil
+}
+
+// defaultChunkRows picks the largest divisor of rows giving at least
+// 4x window chunks, so the pipeline always has work queued behind the
+// in-flight set; partitions too small to split stream as one chunk.
+func defaultChunkRows(rows int64, window int) int64 {
+	target := rows / int64(4*window)
+	for h := target; h >= 1; h-- {
+		if rows%h == 0 {
+			return h
+		}
+	}
+	return rows
+}

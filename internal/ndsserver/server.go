@@ -112,6 +112,10 @@ type Server struct {
 	dev *nds.Device
 	cfg Config
 
+	// phantom routes reads through the plain Exec path: a phantom device has
+	// no payload to gather, so the zero-copy frame encoder buys nothing.
+	phantom bool
+
 	accepted atomic.Int64
 	rejected atomic.Int64
 	requests atomic.Int64
@@ -130,6 +134,7 @@ func New(dev *nds.Device, cfg Config) *Server {
 	return &Server{
 		dev:       dev,
 		cfg:       cfg.withDefaults(),
+		phantom:   dev.Phantom(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
 	}
@@ -258,9 +263,9 @@ type conn struct {
 	br  *bufio.Reader
 	bw  *bufio.Writer
 
-	inflight chan struct{}       // executor admission semaphore
-	respCh   chan proto.Response // executors -> writer
-	wfailed  atomic.Bool         // writer hit an error; discard further responses
+	inflight chan struct{} // executor admission semaphore
+	respCh   chan outMsg   // executors -> writer
+	wfailed  atomic.Bool   // writer hit an error; discard further responses
 
 	draining atomic.Bool
 	drainMu  sync.Mutex
@@ -277,7 +282,7 @@ func newConn(s *Server, nc net.Conn) *conn {
 		br:       bufio.NewReaderSize(nc, 64<<10),
 		bw:       bufio.NewWriterSize(nc, 64<<10),
 		inflight: make(chan struct{}, s.cfg.MaxInFlight),
-		respCh:   make(chan proto.Response, s.cfg.MaxInFlight),
+		respCh:   make(chan outMsg, s.cfg.MaxInFlight),
 		views:    make(map[uint32]struct{}),
 	}
 }
@@ -354,12 +359,76 @@ func (c *conn) readLoop(execWG *sync.WaitGroup) {
 	}
 }
 
+// outMsg is one queued response: either a structured Response for
+// proto.WriteResponse, or — when frame is non-nil — a pre-encoded frame
+// (header plus gathered payload) written to the stream verbatim. Frames are
+// pooled; the writer releases them after the write, including on the
+// post-failure discard path.
+type outMsg struct {
+	resp  proto.Response
+	frame []byte
+}
+
 // handle executes one request against the device and queues its response.
+// nds_read on a data-bearing device takes the zero-copy path: the response
+// frame is encoded straight from the device's segment lease, so the payload
+// is copied once (device storage -> frame) instead of assembled into a
+// partition buffer and re-copied by the frame writer. The first command byte
+// is the entry's opcode (word 0 is little-endian with the opcode in bits
+// 7:0), so routing needs no full decode; ExecRead re-validates.
 func (c *conn) handle(req proto.Request) {
 	c.srv.requests.Add(1)
+	if proto.Opcode(req.Cmd[0]) == proto.OpRead && !c.srv.phantom {
+		c.handleRead(req)
+		return
+	}
 	data, cpl, _, _ := c.srv.dev.Exec(req.Cmd, req.Payload, req.Data)
 	c.trackViews(req.Cmd, cpl)
-	c.respCh <- proto.Response{Seq: req.Seq, Cpl: cpl, Data: data}
+	c.respCh <- outMsg{resp: proto.Response{Seq: req.Seq, Cpl: cpl, Data: data}}
+}
+
+// handleRead executes one nds_read through Device.ExecRead, gathering the
+// segment lease into a pooled pre-encoded response frame.
+func (c *conn) handleRead(req proto.Request) {
+	var frame []byte
+	oversize := false
+	cpl, _, err := c.srv.dev.ExecRead(req.Cmd, req.Payload, func(want int64, segs []nds.Segment) error {
+		if want > int64(proto.DefaultMaxFrame) {
+			// The assembled path would hit this at WriteResponse; failing the
+			// gather keeps the outcome (connection teardown) identical without
+			// staging an unsendable payload.
+			oversize = true
+			return proto.ErrFrameTooLarge
+		}
+		frame = getFrame(proto.ResponseHeaderLen + int(want))
+		payload := frame[proto.ResponseHeaderLen:]
+		// Gather: segments arrive in destination order; the stretches between
+		// them are unwritten storage and must read as zeros (the pooled frame
+		// holds a previous response's bytes).
+		var pos int64
+		for _, sg := range segs {
+			if sg.Dst > pos {
+				clear(payload[pos:sg.Dst])
+			}
+			pos = sg.Dst + int64(copy(payload[sg.Dst:], sg.Src))
+		}
+		clear(payload[pos:])
+		return nil
+	})
+	if oversize {
+		putFrame(frame)
+		c.failWrite(proto.ErrFrameTooLarge)
+		return
+	}
+	if err != nil || cpl.Status != proto.StatusOK || frame == nil {
+		// Command-level failure: fn never ran (or its work is abandoned), and
+		// the completion status carries the story like any other response.
+		putFrame(frame)
+		c.respCh <- outMsg{resp: proto.Response{Seq: req.Seq, Cpl: cpl}}
+		return
+	}
+	proto.PutResponseHeader(frame, req.Seq, cpl, len(frame)-proto.ResponseHeaderLen)
+	c.respCh <- outMsg{frame: frame}
 }
 
 // trackViews keeps the set of views this connection opened, so conn teardown
@@ -406,14 +475,22 @@ func (c *conn) closeViews() {
 // the connection is unrecoverable: remaining responses are drained and
 // discarded so executors never block on a dead socket.
 func (c *conn) writeLoop() {
-	for resp := range c.respCh {
+	for m := range c.respCh {
 		if c.wfailed.Load() {
+			putFrame(m.frame)
 			continue
 		}
 		if to := c.srv.cfg.WriteTimeout; to > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(to))
 		}
-		if err := proto.WriteResponse(c.bw, resp); err != nil {
+		var err error
+		if m.frame != nil {
+			_, err = c.bw.Write(m.frame)
+			putFrame(m.frame)
+		} else {
+			err = proto.WriteResponse(c.bw, m.resp)
+		}
+		if err != nil {
 			c.failWrite(err)
 			continue
 		}
@@ -427,6 +504,30 @@ func (c *conn) writeLoop() {
 	}
 	if !c.wfailed.Load() {
 		c.bw.Flush()
+	}
+}
+
+// framePool recycles the zero-copy read path's pre-encoded response frames
+// across requests and connections. Steady-state streaming reads therefore
+// allocate no frame memory per response.
+var framePool sync.Pool
+
+// maxPooledFrame caps what putFrame retains: one giant read must not pin a
+// frame that large in the pool forever.
+const maxPooledFrame = 1 << 20
+
+// getFrame returns a frame buffer of length n (contents unspecified).
+func getFrame(n int) []byte {
+	if b, _ := framePool.Get().([]byte); cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// putFrame releases a frame buffer. nil is fine; oversized buffers drop.
+func putFrame(b []byte) {
+	if b != nil && cap(b) <= maxPooledFrame {
+		framePool.Put(b[:0]) //nolint:staticcheck // []byte in a Pool is intentional
 	}
 }
 

@@ -1,0 +1,99 @@
+package ndsserver_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nds/internal/ndsclient"
+	"nds/internal/ndsserver"
+)
+
+// TestReadStreamMatchesRead: a windowed streaming read must deliver exactly
+// the bytes a single nds_read of the same partition returns — in-order
+// chunks, correct offsets, unwritten regions as zeros — while keeping more
+// chunks than the window in flight overall.
+func TestReadStreamMatchesRead(t *testing.T) {
+	_, _, addr := startServer(t, ndsserver.Config{})
+	c := dial(t, addr)
+
+	_, view, err := c.CreateSpace(4, []int64{64, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write rows 16..47 only: the stream must reproduce the written pattern
+	// there and zeros in the untouched rows above and below.
+	payload := make([]byte, 32*32*4)
+	for i := range payload {
+		payload[i] = byte(i*7 + 3)
+	}
+	if err := c.Write(view, []int64{1, 0}, []int64{32, 32}, payload); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Read(view, []int64{0, 0}, []int64{64, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	var offs []int64
+	total, err := c.ReadStream(view, []int64{0, 0}, []int64{64, 32},
+		ndsclient.StreamOpts{Window: 3, ChunkRows: 8},
+		func(off int64, chunk []byte) error {
+			offs = append(offs, off)
+			got.Write(chunk)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(len(want)) {
+		t.Fatalf("ReadStream moved %d bytes, single read returned %d", total, len(want))
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("streamed bytes differ from single-read bytes")
+	}
+	if len(offs) != 8 { // 64 rows / 8 per chunk
+		t.Fatalf("delivered %d chunks, want 8", len(offs))
+	}
+	chunkBytes := int64(8 * 32 * 4)
+	for j, off := range offs {
+		if off != int64(j)*chunkBytes {
+			t.Fatalf("chunk %d delivered at offset %d, want %d", j, off, int64(j)*chunkBytes)
+		}
+	}
+}
+
+// TestReadStreamErrors: a callback error aborts the stream and surfaces; a
+// chunking that does not tile the partition is rejected before any request.
+func TestReadStreamErrors(t *testing.T) {
+	_, _, addr := startServer(t, ndsserver.Config{})
+	c := dial(t, addr)
+
+	_, view, err := c.CreateSpace(4, []int64{64, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("consumer failed")
+	calls := 0
+	_, err = c.ReadStream(view, []int64{0, 0}, []int64{64, 32},
+		ndsclient.StreamOpts{Window: 2, ChunkRows: 16},
+		func(off int64, chunk []byte) error {
+			calls++
+			if off > 0 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ReadStream returned %v, want the callback's error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2 (aborts after the failing chunk)", calls)
+	}
+
+	if _, err := c.ReadStream(view, []int64{0, 0}, []int64{64, 32},
+		ndsclient.StreamOpts{ChunkRows: 7}, nil); err == nil {
+		t.Fatal("ReadStream accepted chunk rows that do not divide sub[0]")
+	}
+}

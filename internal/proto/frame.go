@@ -126,18 +126,33 @@ func ReadRequest(r io.Reader, maxFrame uint32) (Request, error) {
 	return req, nil
 }
 
+// ResponseHeaderLen is the encoded size of a response frame before its data
+// section: the length prefix plus the fixed body.
+const ResponseHeaderLen = 4 + respFixedLen
+
+// PutResponseHeader encodes the header of a response frame carrying dlen
+// payload bytes into hdr, which must be at least ResponseHeaderLen bytes.
+// Writers that gather a response's payload directly into a frame buffer (the
+// server's zero-copy read path) use this instead of WriteResponse; the
+// resulting frame — header followed by exactly dlen data bytes — is written
+// to the stream verbatim and is indistinguishable from WriteResponse output.
+func PutResponseHeader(hdr []byte, seq uint64, cpl Completion, dlen int) {
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(respFixedLen+dlen))
+	binary.LittleEndian.PutUint64(hdr[4:], seq)
+	hdr[12] = byte(cpl.Status)
+	clear(hdr[13:20]) // reserved: pooled buffers may hold stale bytes
+	binary.LittleEndian.PutUint64(hdr[20:], cpl.Result0)
+	binary.LittleEndian.PutUint64(hdr[28:], cpl.Result1)
+	binary.LittleEndian.PutUint32(hdr[36:], uint32(dlen))
+}
+
 // WriteResponse frames resp onto w.
 func WriteResponse(w io.Writer, resp Response) error {
 	if len(resp.Data) > DefaultMaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [4 + respFixedLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(respFixedLen+len(resp.Data)))
-	binary.LittleEndian.PutUint64(hdr[4:], resp.Seq)
-	hdr[12] = byte(resp.Cpl.Status)
-	binary.LittleEndian.PutUint64(hdr[20:], resp.Cpl.Result0)
-	binary.LittleEndian.PutUint64(hdr[28:], resp.Cpl.Result1)
-	binary.LittleEndian.PutUint32(hdr[36:], uint32(len(resp.Data)))
+	var hdr [ResponseHeaderLen]byte
+	PutResponseHeader(hdr[:], resp.Seq, resp.Cpl, len(resp.Data))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Resource models a unit that can serve one operation at a time: a flash
@@ -18,6 +19,14 @@ import (
 // concurrent goroutines happen to call Acquire. This is the per-unit
 // in-flight tracking that lets concurrent host commands overlap on disjoint
 // channels/banks, queue where they collide, and complete out of order.
+//
+// Sharded-clock model: each resource's timeline is its own shard, guarded by
+// its own mutex, and every cross-resource observation (FreeAt, BusyTime, Ops,
+// Pool dispatch, utilization reports) reads atomically published snapshots
+// instead of taking the timeline mutex. Independent channel/bank/die
+// timelines therefore advance with no shared lock between them; timelines
+// reconcile only at genuine joins, where one operation's completion on one
+// resource becomes the arrival time of its next operation on another.
 type Resource struct {
 	Name string
 	mu   sync.Mutex
@@ -25,8 +34,15 @@ type Resource struct {
 	// disjoint, and coalesced; everything before floor is considered busy.
 	ivals []interval
 	floor Time
-	busy  Time
-	ops   int64
+
+	// horizon mirrors horizonLocked() — the end of the last reserved
+	// interval — republished at the end of every mutation while mu is held.
+	// Readers that only need "when does this timeline drain" (Pool dispatch,
+	// BusyDies, NextIdle) load it without touching mu, so observing one
+	// resource never stalls streams advancing another.
+	horizon atomic.Int64
+	busy    atomic.Int64 // accumulated service time
+	ops     atomic.Int64 // operations served
 }
 
 type interval struct{ start, end Time }
@@ -66,8 +82,9 @@ func (r *Resource) Acquire(at, d Time) (start, end Time) {
 		} else {
 			r.ivals = append(r.ivals, interval{start, end})
 		}
-		r.busy += d
-		r.ops++
+		r.horizon.Store(int64(end))
+		r.busy.Add(int64(d))
+		r.ops.Add(1)
 		return start, end
 	}
 	// A gap before interval i can host the operation only if
@@ -94,8 +111,9 @@ func (r *Resource) Acquire(at, d Time) (start, end Time) {
 	}
 	end = start + d
 	r.insertLocked(pos, interval{start, end})
-	r.busy += d
-	r.ops++
+	r.horizon.Store(int64(r.horizonLocked()))
+	r.busy.Add(int64(d))
+	r.ops.Add(1)
 	return start, end
 }
 
@@ -132,26 +150,16 @@ func (r *Resource) horizonLocked() Time {
 }
 
 // FreeAt reports when the resource's timeline drains: the end of its last
-// reserved interval.
-func (r *Resource) FreeAt() Time {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.horizonLocked()
-}
+// reserved interval. Lock-free: it loads the atomically published horizon, so
+// observers and pool dispatchers never contend with streams mutating the
+// timeline.
+func (r *Resource) FreeAt() Time { return Time(r.horizon.Load()) }
 
 // BusyTime reports accumulated service time.
-func (r *Resource) BusyTime() Time {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.busy
-}
+func (r *Resource) BusyTime() Time { return Time(r.busy.Load()) }
 
 // Ops reports the number of operations served.
-func (r *Resource) Ops() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.ops
-}
+func (r *Resource) Ops() int64 { return r.ops.Load() }
 
 // Utilization reports busy time as a fraction of horizon.
 func (r *Resource) Utilization(horizon Time) float64 {
@@ -165,13 +173,18 @@ func (r *Resource) Utilization(horizon Time) float64 {
 func (r *Resource) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.ivals, r.floor, r.busy, r.ops = nil, 0, 0, 0
+	r.ivals, r.floor = nil, 0
+	r.horizon.Store(0)
+	r.busy.Store(0)
+	r.ops.Store(0)
 }
 
 // Pool is a set of identical resources; Acquire picks the earliest-free
 // member, modelling k-way parallel units behind one dispatcher. The
 // dispatcher itself is serialized (a pool-level lock) so that concurrent
-// acquisitions see a consistent earliest-free choice.
+// acquisitions see a consistent earliest-free choice; the scan reads each
+// member's cached horizon, so dispatch costs one pool lock plus one lock on
+// the chosen member, not two lock acquisitions per member.
 type Pool struct {
 	mu      sync.Mutex
 	Members []*Resource
@@ -192,19 +205,19 @@ func (p *Pool) Acquire(at, d Time) (start, end Time, idx int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	idx = 0
-	for i, m := range p.Members {
-		if m.FreeAt() < p.Members[idx].FreeAt() {
-			idx = i
+	best := p.Members[0].FreeAt()
+	for i, m := range p.Members[1:] {
+		if t := m.FreeAt(); t < best {
+			best, idx = t, i+1
 		}
 	}
 	start, end = p.Members[idx].Acquire(at, d)
 	return start, end, idx
 }
 
-// FreeAt reports when the earliest member becomes idle.
+// FreeAt reports when the earliest member becomes idle. Lock-free: member
+// horizons are atomically published, so the scan needs no lock at all.
 func (p *Pool) FreeAt() Time {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if len(p.Members) == 0 {
 		return 0
 	}

@@ -117,29 +117,26 @@ func (t *STL) WritePartition(at sim.Time, v *View, coord, sub []int64, data []by
 	return done, stats, err
 }
 
-func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst []byte) ([]byte, sim.Time, RequestStats, error) {
-	var stats RequestStats
+// planPartitionRead compiles the page plan for the partition at coord/sub
+// and resolves every touched page's bytes into rs: it records distinct pages
+// in first-touch order, serves cached pages from DRAM, serves §4.4-staged
+// pages from STL memory, materializes compressed blocks, and issues the
+// batched device reads. On return rs.pageData/rs.images hold the source bytes
+// and done is the completion time (device batch, decompressions, and cache
+// DRAM streaming all folded in). Shared by the copying assembler
+// (readPartitionBatched) and the segment emitter (readPartitionSegments), so
+// both produce identical timing and statistics by construction.
+func (t *STL) planPartitionRead(rs *requestScratch, at sim.Time, v *View, coord, sub []int64, stats *RequestStats) (exts []Extent, want int64, done sim.Time, err error) {
 	s := v.space
-	rs := t.getScratch(s)
-	defer t.putScratch(rs)
-	exts, want, err := rs.translate(v, coord, sub)
+	exts, want, err = rs.translate(v, coord, sub)
 	if err != nil {
-		return nil, at, stats, err
+		return nil, 0, at, err
 	}
 	stats.Extents = len(exts)
 	stats.Bytes = want
 
-	var buf []byte
-	if !t.dev.Phantom() {
-		if int64(cap(dst)) >= want {
-			buf = dst[:want]
-			clear(buf) // unwritten regions must read as zeros
-		} else {
-			buf = make([]byte, want)
-		}
-	}
 	ps := int64(t.geo.PageSize)
-	done := at
+	done = at
 	var hitBytes int64    // payload bytes served from the block cache
 	var readyMax sim.Time // latest DRAM-residency time among the hits
 
@@ -151,18 +148,18 @@ func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst
 	// materialization to keep scalar issue order.
 	for i := range exts {
 		e := &exts[i]
-		blk := t.resolveBlock(rs, s, e.Block, false, &stats)
+		blk := t.resolveBlock(rs, s, e.Block, false, stats)
 		if blk == nil {
 			continue // untouched block: zeros
 		}
 		if blk.compressed {
 			if _, ok := rs.images[e.Block]; !ok {
 				if err := t.flushReads(rs, at, &done); err != nil {
-					return nil, at, stats, err
+					return nil, 0, at, err
 				}
-				img, d, err := t.blockImage(at, s, blk, &stats)
+				img, d, err := t.blockImage(at, s, blk, stats)
 				if err != nil {
-					return nil, at, stats, err
+					return nil, 0, at, err
 				}
 				done = sim.Max(done, d)
 				rs.images[e.Block] = img
@@ -201,7 +198,7 @@ func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst
 		}
 	}
 	if err := t.flushReads(rs, at, &done); err != nil {
-		return nil, at, stats, err
+		return nil, 0, at, err
 	}
 	if hitBytes > 0 {
 		// Hits stream out of cache DRAM serially once the latest filled page
@@ -209,6 +206,29 @@ func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst
 		start := sim.Max(at, readyMax)
 		done = sim.Max(done, start+t.cache.copyCost(hitBytes))
 	}
+	return exts, want, done, nil
+}
+
+func (t *STL) readPartitionBatched(at sim.Time, v *View, coord, sub []int64, dst []byte) ([]byte, sim.Time, RequestStats, error) {
+	var stats RequestStats
+	s := v.space
+	rs := t.getScratch(s)
+	defer t.putScratch(rs)
+	exts, want, done, err := t.planPartitionRead(rs, at, v, coord, sub, &stats)
+	if err != nil {
+		return nil, at, stats, err
+	}
+
+	var buf []byte
+	if !t.dev.Phantom() {
+		if int64(cap(dst)) >= want {
+			buf = dst[:want]
+			clear(buf) // unwritten regions must read as zeros
+		} else {
+			buf = make([]byte, want)
+		}
+	}
+	ps := int64(t.geo.PageSize)
 
 	// Assemble: second extent walk, copying from the plan's page data.
 	if buf != nil {

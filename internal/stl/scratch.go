@@ -48,6 +48,10 @@ type requestScratch struct {
 	stageIdx map[pageKey]int32
 	ops      []nvm.ProgramOp
 
+	// Segment emission (segments.go): reused across requests; Src pointers
+	// are cleared on put so the pool never pins arena frames.
+	segs []Segment
+
 	bufs [][]byte // page-buffer freelist
 }
 
@@ -108,6 +112,10 @@ func (t *STL) putScratch(rs *requestScratch) {
 		rs.ops[i].Data = nil
 	}
 	rs.ops = rs.ops[:0]
+	for i := range rs.segs {
+		rs.segs[i].Src = nil
+	}
+	rs.segs = rs.segs[:0]
 	if len(rs.bufs) > maxPooledBufs {
 		rs.bufs = rs.bufs[:maxPooledBufs]
 	}

@@ -1,0 +1,116 @@
+package stl
+
+import "nds/internal/sim"
+
+// Segment is one contiguous source piece of an assembled partition read: the
+// bytes Src land at partition offset Dst of the row-major result. Segments
+// are emitted in ascending Dst order and never overlap; partition regions no
+// segment covers are unwritten storage and read as zeros.
+//
+// Src aliases storage the STL owns — device arena frames, cache entries,
+// staged write buffers, or decompressed block images. It is valid only for
+// the duration of the callback that received it (the request still holds the
+// space lock and its scratch); consumers must gather or copy before
+// returning and must never mutate Src.
+type Segment struct {
+	Dst int64
+	Src []byte
+}
+
+// ReadPartitionSegments reads the partition at coord/sub of view v like
+// ReadPartition, but instead of assembling a contiguous buffer it hands the
+// result to fn as an ordered list of source segments. want is the partition's
+// total payload size in bytes; segs covers every written byte of it (gaps are
+// zeros). This is the zero-copy read path: a consumer that can gather —
+// encode a wire frame, checksum, scatter into its own layout — skips the
+// partition-buffer copy entirely.
+//
+// fn runs while the request holds the space's read lock, so the segment
+// sources cannot be erased or rebound under it; the lease ends when fn
+// returns. An error from fn aborts the request and is returned verbatim.
+// Timing and statistics are identical to ReadPartition by construction: both
+// paths share the same plan phase, so the device sees the same operations in
+// the same order. On a phantom device fn receives (want, nil).
+func (t *STL) ReadPartitionSegments(at sim.Time, v *View, coord, sub []int64, fn func(want int64, segs []Segment) error) (sim.Time, RequestStats, error) {
+	var (
+		done  sim.Time
+		stats RequestStats
+		err   error
+	)
+	s := v.space
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t.cfg.ScalarPath {
+		// Reference path: assemble the full buffer, then present it as one
+		// segment so differential tests can hold the two shapes together.
+		var buf []byte
+		buf, done, stats, err = t.readPartitionScalar(at, v, coord, sub)
+		if err == nil {
+			if buf != nil {
+				err = fn(stats.Bytes, []Segment{{Dst: 0, Src: buf}})
+			} else {
+				err = fn(stats.Bytes, nil)
+			}
+		}
+	} else {
+		done, stats, err = t.readPartitionSegments(at, v, coord, sub, fn)
+	}
+	if err == nil && t.pf != nil {
+		t.maybePrefetch(done, v, coord, sub)
+	}
+	if err == nil {
+		t.noteTime(done)
+	}
+	return done, stats, err
+}
+
+// readPartitionSegments is the batched segment emitter: the shared plan phase
+// resolves every touched page's bytes, then a second extent walk records
+// (Dst, Src) pairs instead of copying — the same walk readPartitionBatched
+// performs, minus the memmove per piece.
+func (t *STL) readPartitionSegments(at sim.Time, v *View, coord, sub []int64, fn func(int64, []Segment) error) (sim.Time, RequestStats, error) {
+	var stats RequestStats
+	s := v.space
+	rs := t.getScratch(s)
+	defer t.putScratch(rs)
+	exts, want, done, err := t.planPartitionRead(rs, at, v, coord, sub, &stats)
+	if err != nil {
+		return at, stats, err
+	}
+
+	segs := rs.segs[:0]
+	if !t.dev.Phantom() {
+		ps := int64(t.geo.PageSize)
+		for i := range exts {
+			e := &exts[i]
+			blk := rs.blocks[e.Block]
+			if blk == nil {
+				continue // untouched block: zeros
+			}
+			if blk.compressed {
+				img := rs.images[e.Block]
+				segs = append(segs, Segment{Dst: e.Dst, Src: img[e.Off : e.Off+e.Len]})
+				continue
+			}
+			for p := e.Off / ps; p <= (e.Off+e.Len-1)/ps; p++ {
+				data := rs.pageData[rs.pageIdx[pageKey{e.Block, int(p)}]]
+				if data == nil {
+					continue // unwritten page: zeros
+				}
+				lo := max64(e.Off, p*ps)
+				hi := min64(e.Off+e.Len, (p+1)*ps)
+				srcLo := lo - p*ps
+				segs = append(segs, Segment{Dst: e.Dst + (lo - e.Off), Src: data[srcLo : srcLo+(hi-lo)]})
+			}
+		}
+	}
+	rs.segs = segs // retain capacity in the pooled scratch
+
+	// The callback runs before putScratch and under the space's read lock:
+	// arena frames, cache entries, staged buffers, and the scratch-held block
+	// images all stay pinned for its duration.
+	if err := fn(want, segs); err != nil {
+		return at, stats, err
+	}
+	return done, stats, nil
+}

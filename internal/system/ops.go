@@ -191,6 +191,67 @@ func (s *System) NDSReadInto(at sim.Time, v *stl.View, coord, sub []int64, dst [
 	return nil, stats, fmt.Errorf("system: NDSRead on %v system", s.Kind)
 }
 
+// NDSReadSegments is NDSRead delivering the partition as ordered source
+// segments instead of an assembled buffer: fn receives the payload size and
+// the segment list (gaps are zeros) while the request still holds its locks,
+// exactly as stl.ReadPartitionSegments documents. Timing and statistics are
+// identical to NDSReadInto — both ride the same plan phase and charge the
+// same submission/translation/assembly/link stages — so a consumer that can
+// gather (the ndsd completion writer) skips the partition-buffer copy with
+// no simulated-time difference.
+func (s *System) NDSReadSegments(at sim.Time, v *stl.View, coord, sub []int64, fn func(want int64, segs []stl.Segment) error) (OpStats, error) {
+	var stats OpStats
+	switch s.Kind {
+	case SoftwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, trEnd := s.Host.Translate(subEnd)
+		devDone, st, err := s.STL.ReadPartitionSegments(trEnd, v, coord, sub, fn)
+		if err != nil {
+			return stats, err
+		}
+		raw := st.PagesRead * s.pageSize()
+		_, linkEnd := s.Link.Transfer(trEnd, raw)
+		_, mEnd := s.Host.Marshal(trEnd, st.Bytes, s.assemblyChunks(st))
+		stats = OpStats{
+			Done:     sim.Max(devDone, sim.Max(linkEnd, mEnd)),
+			Bytes:    st.Bytes,
+			RawBytes: raw,
+			Extents:  st.Extents,
+			Pages:    st.PagesRead,
+			Commands: 1,
+
+			ProgramRetries: st.ProgramRetries,
+		}
+		return stats, nil
+
+	case HardwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, cmdXfer := s.Link.Transfer(subEnd, int64(s.Cfg.Geometry.PageSize)) // command + coordinate page
+		_, cmdEnd := s.Ctrl.HandleCommand(cmdXfer)
+		_, trEnd := s.Ctrl.Translate(cmdEnd)
+		devDone, st, err := s.STL.ReadPartitionSegments(trEnd, v, coord, sub, fn)
+		if err != nil {
+			return stats, err
+		}
+		_, dpEnd := s.Ctrl.DispatchPages(trEnd, st.PagesRead)
+		_, asmEnd := s.Ctrl.Assemble(trEnd, st.Bytes, s.assemblyChunks(st))
+		_, linkEnd := s.Link.Transfer(trEnd, st.Bytes)
+		done := sim.Max(sim.Max(devDone, dpEnd), sim.Max(asmEnd, linkEnd))
+		stats = OpStats{
+			Done:     done,
+			Bytes:    st.Bytes,
+			RawBytes: st.Bytes,
+			Extents:  st.Extents,
+			Pages:    st.PagesRead,
+			Commands: 1,
+
+			ProgramRetries: st.ProgramRetries,
+		}
+		return stats, nil
+	}
+	return stats, fmt.Errorf("system: NDSReadSegments on %v system", s.Kind)
+}
+
 // NDSWrite writes one partition through an NDS configuration,
 // synchronously (matching Figure 9(d)'s methodology).
 func (s *System) NDSWrite(at sim.Time, v *stl.View, coord, sub []int64, data []byte) (OpStats, error) {

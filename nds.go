@@ -54,6 +54,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nds/internal/nvm"
@@ -257,14 +258,16 @@ type Stats struct {
 // comment's Concurrency section for the scheduling and timing model.
 //
 // Lock order (for maintainers): Space.mu, then Device.io, then the STL's
-// internal order (stl.Space.mu -> die -> cache shard); Device.viewMu and
-// Device.clockMu are leaves and never held across another lock acquisition.
+// internal order (stl.Space.mu -> die -> cache shard); Device.viewMu is a
+// leaf and never held across another lock acquisition.
 type Device struct {
 	sys *system.System
 
-	// clockMu guards the monotonic simulated clock.
-	clockMu sync.Mutex
-	now     sim.Time
+	// now is the monotonic simulated clock: a lock-free high-water mark over
+	// command completions (CAS-max in advance), so concurrent streams
+	// completing on disjoint resources never funnel through a shared clock
+	// mutex. See DESIGN.md's sharded-clock section.
+	now atomic.Int64
 
 	// io is the maintenance barrier: reads, writes, and view opens take the
 	// reader side (the STL serializes writers per space and locks allocation
@@ -344,19 +347,22 @@ func (d *Device) Close() error {
 // clock reports the current simulated time: the issue time for a command
 // arriving now.
 func (d *Device) clock() sim.Time {
-	d.clockMu.Lock()
-	defer d.clockMu.Unlock()
-	return d.now
+	return sim.Time(d.now.Load())
 }
 
 // advance moves the simulated clock forward to done; the clock never moves
-// backward, so out-of-order completions keep it monotonic.
+// backward, so out-of-order completions keep it monotonic. CAS-max instead
+// of a mutex: every completed command on every stream passes through here,
+// and under 64 concurrent clients a shared clock mutex is a measurable
+// convoy.
 func (d *Device) advance(done sim.Time) {
-	d.clockMu.Lock()
-	if done > d.now {
-		d.now = done
+	d64 := int64(done)
+	for {
+		cur := d.now.Load()
+		if d64 <= cur || d.now.CompareAndSwap(cur, d64) {
+			return
+		}
 	}
-	d.clockMu.Unlock()
 }
 
 // Now reports the device's simulated clock.
@@ -366,6 +372,11 @@ func (d *Device) Now() time.Duration {
 
 // Capacity reports the raw capacity of the simulated flash array.
 func (d *Device) Capacity() int64 { return d.sys.Cfg.Geometry.Capacity() }
+
+// Phantom reports whether the device was opened without byte storage
+// (Options.Phantom): timing and translation are exact but reads return no
+// data.
+func (d *Device) Phantom() bool { return d.sys.Dev.Phantom() }
 
 // Reliability snapshots the device's fault and recovery state: injected
 // fault counts, successful relocations, retired blocks, and the logical
@@ -649,6 +660,40 @@ func (s *Space) ReadInto(coord, sub []int64, dst []byte) ([]byte, Stats, error) 
 		return nil, Stats{}, err
 	}
 	return data, s.account(issue, st), nil
+}
+
+// Segment is one contiguous source piece of a segmented read: see
+// ReadSegments and stl.Segment. The alias lets callers name the type without
+// importing the internal package.
+type Segment = stl.Segment
+
+// ReadSegments reads the partition at coord/sub like Read, but delivers the
+// result to fn as ordered source segments instead of assembling a contiguous
+// buffer: fn receives the partition's payload size and a Dst-ordered,
+// non-overlapping segment list whose gaps read as zeros. This is the
+// zero-copy read path — a consumer that can gather (frame encoders,
+// checksummers, scatter targets) skips the partition-buffer copy entirely.
+//
+// Lease rule: the segments alias device-owned storage and are valid only
+// until fn returns; fn must gather or copy, never retain or mutate. fn runs
+// with the request's locks held, so it must not call back into the device.
+// Timing and stats are identical to Read. On a phantom device fn receives
+// (want, nil).
+func (s *Space) ReadSegments(coord, sub []int64, fn func(want int64, segs []Segment) error) (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view == nil {
+		return Stats{}, fmt.Errorf("nds: read on %w", ErrClosedView)
+	}
+	d := s.dev
+	issue := s.cursor
+	d.io.RLock()
+	st, err := d.sys.NDSReadSegments(issue, s.view, coord, sub, fn)
+	d.io.RUnlock()
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.account(issue, st), nil
 }
 
 // Write stores data (laid out in the partition's row-major shape) at the

@@ -240,7 +240,7 @@ func TestConcurrentWriteScaling(t *testing.T) {
 // tile-read workload as the client count grows. sim-MB/s is the headline
 // metric: payload bytes divided by simulated makespan.
 func BenchmarkConcurrentClients(b *testing.B) {
-	for _, clients := range []int{1, 2, 4, 8, 16} {
+	for _, clients := range []int{1, 2, 4, 8, 16, 64} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
 			d, id := fillSpace(b)
 			b.ReportAllocs()

@@ -1,0 +1,275 @@
+package nds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDifferentialSegmentsVsRead holds the zero-copy segment read path to the
+// copying path's contract: for the same sequence of operations on two
+// identically-driven devices, reassembling ReadSegments' segments (gaps as
+// zeros) must reproduce ReadInto's bytes exactly, and every operation's Stats
+// — including simulated Elapsed — must be identical. The configurations cover
+// each assembler the plan phase can emit segments from: demand-path pages,
+// cache hits, compressed block images, write-buffered staging, and phantom
+// devices (which carry timing but no payload).
+func TestDifferentialSegmentsVsRead(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"hardware", Options{Mode: ModeHardware, CapacityHint: 16 << 20}},
+		{"software", Options{Mode: ModeSoftware, CapacityHint: 16 << 20}},
+		{"cached", Options{Mode: ModeHardware, CapacityHint: 16 << 20, CacheBytes: 4 << 20, PrefetchDepth: 2}},
+		{"compressed", Options{Mode: ModeHardware, CapacityHint: 16 << 20, Compress: true}},
+		{"write-buffered", Options{Mode: ModeHardware, CapacityHint: 16 << 20, WriteBuffering: true}},
+		{"phantom", Options{Mode: ModeHardware, CapacityHint: 16 << 20, Phantom: true}},
+	}
+	// Partition shapes exercised against every configuration. The wide/flat
+	// shapes split building blocks across page boundaries unevenly, and the
+	// whole-space read crosses everything at once.
+	subs := [][]int64{{64, 64}, {16, 128}, {128, 32}, {256, 256}}
+
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			type opRecord struct {
+				stats Stats
+				data  []byte
+			}
+			run := func(useSegments bool) []opRecord {
+				d, err := Open(cfg.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer d.Close()
+				id, err := d.CreateSpace(4, []int64{256, 256})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, err := d.OpenSpace(id, []int64{256, 256})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer v.Close()
+				// Write the middle half only, with runs of repeats so the
+				// compressed configuration actually compresses: reads below
+				// cross written data, unwritten zeros, and the boundary.
+				payload := make([]byte, 128*256*4)
+				rng := rand.New(rand.NewSource(7))
+				for i := 0; i < len(payload); {
+					b, n := byte(rng.Intn(256)), rng.Intn(64)+1
+					for j := 0; j < n && i < len(payload); j++ {
+						payload[i] = b
+						i++
+					}
+				}
+				if _, err := v.Write([]int64{0, 0}, []int64{128, 256}, payload); err != nil {
+					t.Fatal(err)
+				}
+				// Touch part of it again so the write buffer (when enabled)
+				// holds staged data during the reads.
+				if _, err := v.Write([]int64{2, 1}, []int64{32, 64}, payload[:32*64*4]); err != nil {
+					t.Fatal(err)
+				}
+
+				var recs []opRecord
+				for _, sub := range subs {
+					n0, n1 := 256/sub[0], 256/sub[1]
+					for c0 := int64(0); c0 < n0; c0++ {
+						for c1 := int64(0); c1 < n1; c1++ {
+							coord := []int64{c0, c1}
+							want := sub[0] * sub[1] * 4
+							buf := make([]byte, want)
+							var rec opRecord
+							if useSegments {
+								// Prefill with a sentinel: segment gaps must
+								// be zeros in the reassembly, so overwrite
+								// with zeros first and let segments land on
+								// top — exactly what a zero-copy consumer
+								// (the server's gather-writer) does.
+								for i := range buf {
+									buf[i] = 0
+								}
+								st, err := v.ReadSegments(coord, sub, func(got int64, segs []Segment) error {
+									if got != want {
+										return fmt.Errorf("want %d bytes, got %d", want, got)
+									}
+									for _, sg := range segs {
+										copy(buf[sg.Dst:], sg.Src)
+									}
+									return nil
+								})
+								if err != nil {
+									t.Fatalf("sub=%v coord=%v: ReadSegments: %v", sub, coord, err)
+								}
+								rec = opRecord{stats: st, data: buf}
+							} else {
+								data, st, err := v.ReadInto(coord, sub, buf)
+								if err != nil {
+									t.Fatalf("sub=%v coord=%v: ReadInto: %v", sub, coord, err)
+								}
+								if data == nil { // phantom: the contract is all-zeros
+									data = buf
+								}
+								rec = opRecord{stats: st, data: data}
+							}
+							recs = append(recs, rec)
+						}
+					}
+				}
+				return recs
+			}
+
+			copied := run(false)
+			segmented := run(true)
+			if len(copied) != len(segmented) {
+				t.Fatalf("op counts diverge: %d vs %d", len(copied), len(segmented))
+			}
+			for i := range copied {
+				if copied[i].stats != segmented[i].stats {
+					t.Errorf("op %d stats diverge:\n  copy:     %+v\n  segments: %+v",
+						i, copied[i].stats, segmented[i].stats)
+				}
+				if !bytes.Equal(copied[i].data, segmented[i].data) {
+					t.Errorf("op %d payload bytes diverge between copy and segment assembly", i)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadSegments measures the zero-copy read path end to end: a
+// steady-state tile read through ReadSegments should allocate nothing — the
+// plan scratch is pooled, the segment slice is retained on the scratch, and
+// no destination buffer exists at all. Compare with the ReadInto variant,
+// which differs only by the assembly copy.
+func BenchmarkReadSegments(b *testing.B) {
+	d, id := fillSpace(b)
+	defer d.Close()
+	v, err := d.OpenSpace(id, []int64{1024, 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer v.Close()
+	var sink int64
+	fn := func(want int64, segs []Segment) error {
+		for _, sg := range segs {
+			sink += int64(len(sg.Src))
+		}
+		return nil
+	}
+	b.Run("segments", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tile := int64(i % 256)
+			if _, err := v.ReadSegments([]int64{tile / 16, tile % 16}, []int64{64, 64}, fn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("readinto", func(b *testing.B) {
+		buf := make([]byte, 64*64*4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tile := int64(i % 256)
+			if _, _, err := v.ReadInto([]int64{tile / 16, tile % 16}, []int64{64, 64}, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestShardedClockDifferential pins down the sharded clock's core invariant:
+// identical Acquire order and arguments produce bit-identical completion
+// times, no matter which goroutines perform the operations. The same strict
+// round-robin schedule of tile reads runs twice on fresh devices — once on a
+// single goroutine, once spread across eight goroutines that hand a token
+// around to enforce the same total order — and every operation's simulated
+// Elapsed must match. Run under -race (CI does) this is also the memory-model
+// check for the lock-free resource timelines: a missing happens-before edge
+// on the published horizons shows up here as a data race or a timing split.
+func TestShardedClockDifferential(t *testing.T) {
+	const (
+		streams = 8
+		rounds  = 16 // rounds * streams = 128 tile reads
+	)
+	run := func(concurrent bool) []time.Duration {
+		d, id := fillSpace(t)
+		defer d.Close()
+		views := make([]*Space, streams)
+		for i := range views {
+			v, err := d.OpenSpace(id, []int64{1024, 1024})
+			if err != nil {
+				t.Fatal(err)
+			}
+			views[i] = v
+		}
+		defer func() {
+			for _, v := range views {
+				v.Close()
+			}
+		}()
+		out := make([]time.Duration, streams*rounds)
+		readOp := func(s, r int) {
+			tile := int64(s*rounds + r)
+			buf := make([]byte, 64*64*4)
+			_, st, err := views[s].ReadInto([]int64{tile / 16, tile % 16}, []int64{64, 64}, buf)
+			if err != nil {
+				t.Errorf("stream %d round %d: %v", s, r, err)
+				return
+			}
+			out[r*streams+s] = st.Elapsed
+		}
+		if !concurrent {
+			for r := 0; r < rounds; r++ {
+				for s := 0; s < streams; s++ {
+					readOp(s, r)
+				}
+			}
+			return out
+		}
+		// Token ring: stream s performs its round-r read only when handed the
+		// token, then passes it on — the exact total order of the sequential
+		// run, executed by eight goroutines.
+		tokens := make([]chan struct{}, streams)
+		for i := range tokens {
+			tokens[i] = make(chan struct{}, 1)
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					<-tokens[s]
+					readOp(s, r)
+					tokens[(s+1)%streams] <- struct{}{}
+				}
+			}(s)
+		}
+		tokens[0] <- struct{}{}
+		wg.Wait()
+		return out
+	}
+
+	sequential := run(false)
+	tokenRing := run(true)
+	diverged := 0
+	for i := range sequential {
+		if sequential[i] != tokenRing[i] {
+			diverged++
+			if diverged <= 5 {
+				t.Errorf("op %d: sequential Elapsed %v, token-ring Elapsed %v",
+					i, sequential[i], tokenRing[i])
+			}
+		}
+	}
+	if diverged > 0 {
+		t.Fatalf("%d/%d operations timed differently across goroutine placements", diverged, len(sequential))
+	}
+}

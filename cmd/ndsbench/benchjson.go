@@ -133,6 +133,8 @@ func measureSnapshot(cacheBytes int64, prefetch int) benchSnapshot {
 		{"mixed", 16},
 		{"write", 4}, {"write", 16},
 		{"net", 16}, {"net-burst", 16},
+		{"stream", 1},
+		{"net-antagonist", antConns},
 	}
 	for _, p := range points {
 		pt, err := measurePoint(p.workload, p.clients, cacheBytes, prefetch)
@@ -156,6 +158,10 @@ func measurePoint(workload string, clients int, cacheBytes int64, prefetch int) 
 		return measureWrite(clients, cacheBytes, prefetch)
 	case "net", "net-burst":
 		return measureNetPoint(normWorkload(workload), clients, cacheBytes, prefetch)
+	case "stream":
+		return measureStreamPoint(cacheBytes, prefetch)
+	case "net-antagonist":
+		return measureAntagonistPoint(cacheBytes, prefetch)
 	}
 	return benchPoint{}, fmt.Errorf("unknown workload %q", workload)
 }

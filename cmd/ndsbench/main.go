@@ -58,6 +58,8 @@ func main() {
 	stream := flag.Bool("stream", false, "single-connection streaming read benchmark (against -net addr, or a self-hosted server)")
 	window := flag.Int("window", 8, "in-flight chunk window for -stream")
 	chunkRows := flag.Int64("chunkrows", 0, "rows per chunk for -stream (0 = auto)")
+	antagonist := flag.Bool("antagonist", false, "victim-vs-antagonist tenant isolation benchmark (self-hosted, QoS on)")
+	p99bound := flag.Float64("p99bound", 2.0, "allowed victim p99 growth factor under the -antagonist flood")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit (enables mutex profiling)")
@@ -71,7 +73,7 @@ func main() {
 		tables = multiFlag{"1", "overhead"}
 		sweeps = multiFlag{"channels", "bbmult"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" && *netAddr == "" && !*stream {
+	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" && *netAddr == "" && !*stream && !*antagonist {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -79,6 +81,9 @@ func main() {
 	defer stopProfiles()
 	if *faultcheck {
 		faultCheck()
+	}
+	if *antagonist {
+		runAntagonist(*p99bound)
 	}
 	if *stream {
 		runStream(*netAddr, streamOpts{Window: *window, ChunkRows: *chunkRows})

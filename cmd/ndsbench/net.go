@@ -37,6 +37,11 @@ type netOpts struct {
 	Arrival string  // "poisson" or "fixed"
 	ZipfS   float64 // >1 skews tile choice Zipfian; otherwise uniform
 	Burst   bool    // middle third of Dur at burstScale x Rate
+	// MaxOutstanding bounds unfinished requests per connection; arrivals
+	// beyond the bound are shed (counted, not sent). Zero is unbounded — the
+	// pure open loop. The antagonist benchmark bounds its flood so a
+	// throttled tenant's backlog (and drain time) stays finite.
+	MaxOutstanding int
 }
 
 // netResult is one run's outcome. Latencies are measured from each request's
@@ -44,6 +49,7 @@ type netOpts struct {
 // slow response is charged to the server (no coordinated omission).
 type netResult struct {
 	Sent, Done, Errors   int64
+	Shed                 int64 // arrivals dropped by MaxOutstanding
 	Elapsed              time.Duration
 	AchievedRps          float64
 	MeanNs               float64
@@ -55,60 +61,88 @@ type netResult struct {
 // dispatches every request at its scheduled time regardless of how many are
 // still outstanding, and records completion latency from the schedule.
 func runNetLoad(addr string, o netOpts) (netResult, error) {
-	if o.Arrival != "poisson" && o.Arrival != "fixed" {
-		return netResult{}, fmt.Errorf("unknown arrival process %q (poisson or fixed)", o.Arrival)
+	_, clients, views, err := dialNetGroup(addr, o.Conns)
+	if err != nil {
+		return netResult{}, err
 	}
-	clients := make([]*ndsclient.Client, o.Conns)
-	views := make([]uint32, o.Conns)
+	defer closeClients(clients)
+	return driveOpenLoop(clients, views, o, 9000)
+}
+
+// dialNetGroup dials n connections; the first creates a fresh netDim² float32
+// space and the rest open views of it, so the group is one tenant with its
+// own space — the antagonist benchmark dials two groups against one server.
+// Every connection's path (frame buffers, device arenas) is warmed off the
+// clock. On error the already-dialed connections are closed.
+func dialNetGroup(addr string, n int) (space uint32, clients []*ndsclient.Client, views []uint32, err error) {
+	clients = make([]*ndsclient.Client, 0, n)
+	views = make([]uint32, n)
 	defer func() {
-		for _, c := range clients {
-			if c != nil {
-				c.Close()
-			}
+		if err != nil {
+			closeClients(clients)
+			clients = nil
 		}
 	}()
-	var space uint32
-	for i := range clients {
-		c, err := ndsclient.Dial(addr)
-		if err != nil {
-			return netResult{}, fmt.Errorf("conn %d: %w", i, err)
+	for i := 0; i < n; i++ {
+		c, derr := ndsclient.Dial(addr)
+		if derr != nil {
+			return 0, clients, nil, fmt.Errorf("conn %d: %w", i, derr)
 		}
-		clients[i] = c
+		clients = append(clients, c)
 		if i == 0 {
 			if space, views[0], err = c.CreateSpace(4, []int64{netDim, netDim}); err != nil {
-				return netResult{}, err
+				return 0, clients, nil, err
 			}
 			continue
 		}
 		if views[i], err = c.OpenView(space, 4, []int64{netDim, netDim}); err != nil {
-			return netResult{}, fmt.Errorf("conn %d: %w", i, err)
+			return 0, clients, nil, fmt.Errorf("conn %d: %w", i, err)
 		}
 	}
-	// Warm every connection's path (frame buffers, device arenas) off the
-	// clock.
 	for i, c := range clients {
-		if _, err := c.Read(views[i], []int64{0, 0}, []int64{64, 64}); err != nil {
-			return netResult{}, fmt.Errorf("warmup conn %d: %w", i, err)
+		if _, err = c.Read(views[i], []int64{0, 0}, []int64{64, 64}); err != nil {
+			return 0, clients, nil, fmt.Errorf("warmup conn %d: %w", i, err)
 		}
 	}
+	return space, clients, views, nil
+}
 
+func closeClients(clients []*ndsclient.Client) {
+	for _, c := range clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// driveOpenLoop runs the open-loop arrival schedule over an already-dialed
+// connection group and reduces the latencies to percentiles. seedBase keeps
+// concurrent groups (victim, antagonist) on disjoint deterministic streams.
+func driveOpenLoop(clients []*ndsclient.Client, views []uint32, o netOpts, seedBase int64) (netResult, error) {
+	if o.Arrival != "poisson" && o.Arrival != "fixed" {
+		return netResult{}, fmt.Errorf("unknown arrival process %q (poisson or fixed)", o.Arrival)
+	}
 	var (
-		sent, errs atomic.Int64
-		latMu      sync.Mutex
-		lats       []time.Duration
-		wg         sync.WaitGroup
+		sent, errs, shed atomic.Int64
+		latMu            sync.Mutex
+		lats             []time.Duration
+		wg               sync.WaitGroup
 	)
 	start := time.Now()
-	perConn := o.Rate / float64(o.Conns)
+	perConn := o.Rate / float64(len(clients))
 	for i := range clients {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
 			c, view := clients[ci], views[ci]
-			rng := rand.New(rand.NewSource(int64(9000 + ci)))
+			rng := rand.New(rand.NewSource(seedBase + int64(ci)))
 			var zipf *rand.Zipf
 			if o.ZipfS > 1 {
 				zipf = rand.NewZipf(rng, o.ZipfS, 1, netTiles-1)
+			}
+			var sem chan struct{}
+			if o.MaxOutstanding > 0 {
+				sem = make(chan struct{}, o.MaxOutstanding)
 			}
 			local := make([]time.Duration, 0, int(perConn*o.Dur.Seconds())+16)
 			var localMu sync.Mutex
@@ -122,11 +156,24 @@ func runNetLoad(addr string, o netOpts) (netResult, error) {
 				if d := time.Until(sched); d > 0 {
 					time.Sleep(d)
 				}
+				if o.Arrival == "fixed" {
+					next += time.Duration(float64(time.Second) / rate)
+				} else {
+					next += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+				}
 				var tile int64
 				if zipf != nil {
 					tile = int64(zipf.Uint64())
 				} else {
 					tile = rng.Int63n(netTiles)
+				}
+				if sem != nil {
+					select {
+					case sem <- struct{}{}:
+					default:
+						shed.Add(1) // queue bound hit: shed, keep the schedule
+						continue
+					}
 				}
 				sent.Add(1)
 				reqWG.Add(1)
@@ -135,6 +182,9 @@ func runNetLoad(addr string, o netOpts) (netResult, error) {
 				go func(sched time.Time, tile int64) {
 					defer reqWG.Done()
 					_, err := c.Read(view, []int64{tile / 16, tile % 16}, []int64{64, 64})
+					if sem != nil {
+						<-sem
+					}
 					lat := time.Since(sched)
 					if err != nil {
 						errs.Add(1)
@@ -144,11 +194,6 @@ func runNetLoad(addr string, o netOpts) (netResult, error) {
 					local = append(local, lat)
 					localMu.Unlock()
 				}(sched, tile)
-				if o.Arrival == "fixed" {
-					next += time.Duration(float64(time.Second) / rate)
-				} else {
-					next += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
-				}
 			}
 			reqWG.Wait()
 			latMu.Lock()
@@ -163,6 +208,7 @@ func runNetLoad(addr string, o netOpts) (netResult, error) {
 		Sent:    sent.Load(),
 		Done:    int64(len(lats)),
 		Errors:  errs.Load(),
+		Shed:    shed.Load(),
 		Elapsed: elapsed,
 	}
 	if len(lats) == 0 {
@@ -218,79 +264,89 @@ const (
 	streamElem = 4
 )
 
-// runStream is the -stream CLI mode: measure how much a single connection
-// gains from the windowed ReadStream pipeline over one whole-partition read.
-// With -net it targets an external server; otherwise it self-hosts one on a
-// private unix socket.
-func runStream(addr string, o streamOpts) {
-	cleanup := func() {}
-	if addr == "" {
-		dev, err := nds.Open(nds.Options{Mode: nds.ModeHardware, CapacityHint: 64 << 20})
-		if err != nil {
-			fatalf("stream: %v", err)
-		}
-		srv := ndsserver.New(dev, ndsserver.Config{})
-		dir, err := os.MkdirTemp("", "ndsbench-stream")
-		if err != nil {
-			fatalf("stream: %v", err)
-		}
-		l, err := net.Listen("unix", filepath.Join(dir, "nds.sock"))
-		if err != nil {
-			os.RemoveAll(dir)
-			fatalf("stream: %v", err)
-		}
-		addr = "unix:" + l.Addr().String()
-		go srv.Serve(l)
-		cleanup = func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			srv.Shutdown(ctx)
-			dev.Close()
-			os.RemoveAll(dir)
-		}
+// selfHostedServer opens a device with the given options and serves it on a
+// private unix socket, so benchmarks that are not pointed at an external ndsd
+// still measure the full wire path. The returned cleanup drains the server,
+// closes the device, and removes the socket directory.
+func selfHostedServer(opts nds.Options, cfg ndsserver.Config, tag string) (dev *nds.Device, addr string, cleanup func(), err error) {
+	dev, err = nds.Open(opts)
+	if err != nil {
+		return nil, "", nil, err
 	}
-	defer cleanup()
+	srv := ndsserver.New(dev, cfg)
+	dir, err := os.MkdirTemp("", tag)
+	if err != nil {
+		dev.Close()
+		return nil, "", nil, err
+	}
+	l, err := net.Listen("unix", filepath.Join(dir, "nds.sock"))
+	if err != nil {
+		dev.Close()
+		os.RemoveAll(dir)
+		return nil, "", nil, err
+	}
+	addr = "unix:" + l.Addr().String()
+	go srv.Serve(l)
+	cleanup = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		dev.Close()
+		os.RemoveAll(dir)
+	}
+	return dev, addr, cleanup, nil
+}
 
+// streamResult is one stream-vs-single-read measurement: best-of-iters wall
+// time for a whole-partition read and for the windowed ReadStream of the same
+// bytes (both verified against the written data on their first iteration).
+type streamResult struct {
+	Bytes      int64
+	Iters      int
+	SingleBest time.Duration
+	StreamBest time.Duration
+}
+
+const streamIters = 3
+
+// measureStream writes the 16 MiB benchmark partition over one connection and
+// times whole-partition reads against the windowed stream.
+func measureStream(addr string, o streamOpts) (streamResult, error) {
 	c, err := ndsclient.Dial(addr)
 	if err != nil {
-		fatalf("stream: %v", err)
+		return streamResult{}, err
 	}
 	defer c.Close()
 	_, view, err := c.CreateSpace(streamElem, []int64{streamRows, streamCols})
 	if err != nil {
-		fatalf("stream: %v", err)
+		return streamResult{}, err
 	}
 	total := streamRows * streamCols * streamElem
 	data := make([]byte, total)
 	rng := rand.New(rand.NewSource(42))
 	rng.Read(data)
 	if err := c.Write(view, []int64{0, 0}, []int64{streamRows, streamCols}, data); err != nil {
-		fatalf("stream: %v", err)
+		return streamResult{}, err
 	}
 
-	header("Single-connection streaming read")
-	fmt.Printf("partition %dx%d x%dB = %.1f MiB  window %d\n",
-		streamRows, streamCols, streamElem, float64(total)/(1<<20), o.Window)
-
 	coord, sub := []int64{0, 0}, []int64{streamRows, streamCols}
-	const iters = 3
-	var singleBest, streamBest time.Duration
-	for i := 0; i < iters; i++ {
+	res := streamResult{Bytes: int64(total), Iters: streamIters}
+	for i := 0; i < streamIters; i++ {
 		t0 := time.Now()
 		got, err := c.Read(view, coord, sub)
 		d := time.Since(t0)
 		if err != nil {
-			fatalf("stream: single read: %v", err)
+			return streamResult{}, fmt.Errorf("single read: %w", err)
 		}
 		if i == 0 && !bytes.Equal(got, data) {
-			fatalf("stream: single read returned wrong bytes")
+			return streamResult{}, fmt.Errorf("single read returned wrong bytes")
 		}
-		if singleBest == 0 || d < singleBest {
-			singleBest = d
+		if res.SingleBest == 0 || d < res.SingleBest {
+			res.SingleBest = d
 		}
 	}
 	var streamed bytes.Buffer
-	for i := 0; i < iters; i++ {
+	for i := 0; i < streamIters; i++ {
 		streamed.Reset()
 		verify := i == 0
 		t0 := time.Now()
@@ -304,23 +360,79 @@ func runStream(addr string, o streamOpts) {
 			})
 		d := time.Since(t0)
 		if err != nil {
-			fatalf("stream: %v", err)
+			return streamResult{}, err
 		}
 		if n != int64(total) {
-			fatalf("stream: delivered %d bytes, want %d", n, total)
+			return streamResult{}, fmt.Errorf("delivered %d bytes, want %d", n, total)
 		}
 		if verify && !bytes.Equal(streamed.Bytes(), data) {
-			fatalf("stream: streamed bytes differ from written data")
+			return streamResult{}, fmt.Errorf("streamed bytes differ from written data")
 		}
-		if streamBest == 0 || d < streamBest {
-			streamBest = d
+		if res.StreamBest == 0 || d < res.StreamBest {
+			res.StreamBest = d
 		}
 	}
-	mbps := func(d time.Duration) float64 { return float64(total) / d.Seconds() / 1e6 }
-	fmt.Printf("whole-partition read: %8v  %7.1f MB/s\n", singleBest.Round(time.Microsecond), mbps(singleBest))
+	return res, nil
+}
+
+// runStream is the -stream CLI mode: measure how much a single connection
+// gains from the windowed ReadStream pipeline over one whole-partition read.
+// With -net it targets an external server; otherwise it self-hosts one on a
+// private unix socket.
+func runStream(addr string, o streamOpts) {
+	cleanup := func() {}
+	if addr == "" {
+		var err error
+		_, addr, cleanup, err = selfHostedServer(
+			nds.Options{Mode: nds.ModeHardware, CapacityHint: 64 << 20},
+			ndsserver.Config{}, "ndsbench-stream")
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+	}
+	defer cleanup()
+
+	header("Single-connection streaming read")
+	fmt.Printf("partition %dx%d x%dB = %.1f MiB  window %d\n",
+		streamRows, streamCols, streamElem,
+		float64(streamRows*streamCols*streamElem)/(1<<20), o.Window)
+	res, err := measureStream(addr, o)
+	if err != nil {
+		fatalf("stream: %v", err)
+	}
+	mbps := func(d time.Duration) float64 { return float64(res.Bytes) / d.Seconds() / 1e6 }
+	fmt.Printf("whole-partition read: %8v  %7.1f MB/s\n", res.SingleBest.Round(time.Microsecond), mbps(res.SingleBest))
 	fmt.Printf("windowed ReadStream:  %8v  %7.1f MB/s  (%.2fx)\n",
-		streamBest.Round(time.Microsecond), mbps(streamBest),
-		float64(singleBest)/float64(streamBest))
+		res.StreamBest.Round(time.Microsecond), mbps(res.StreamBest),
+		float64(res.SingleBest)/float64(res.StreamBest))
+}
+
+// measureStreamPoint self-hosts a server and measures the windowed streaming
+// read, so BENCH_<rev>.json carries the streaming path as a wall-clock point
+// and -benchcompare gates it instead of the result evaporating into stdout.
+// WallNsOp is the best stream wall time for the whole 16 MiB partition.
+func measureStreamPoint(cacheBytes int64, prefetch int) (benchPoint, error) {
+	debug.FreeOSMemory()
+	_, addr, cleanup, err := selfHostedServer(nds.Options{
+		Mode:          nds.ModeHardware,
+		CapacityHint:  64 << 20,
+		CacheBytes:    cacheBytes,
+		PrefetchDepth: prefetch,
+	}, ndsserver.Config{}, "ndsbench-stream")
+	if err != nil {
+		return benchPoint{}, err
+	}
+	defer cleanup()
+	res, err := measureStream(addr, streamOpts{Window: ndsclient.DefaultStreamWindow})
+	if err != nil {
+		return benchPoint{}, err
+	}
+	return benchPoint{
+		Workload:   "stream",
+		Clients:    1,
+		Iterations: res.Iters,
+		WallNsOp:   float64(res.StreamBest.Nanoseconds()),
+	}, nil
 }
 
 // measureNetPoint self-hosts an ndsserver on a private unix socket and runs
@@ -332,33 +444,16 @@ func measureNetPoint(workload string, conns int, cacheBytes int64, prefetch int)
 	// open-loop scheduler and the tail latencies measure the Go runtime, not
 	// the server.
 	debug.FreeOSMemory()
-	dev, err := nds.Open(nds.Options{
+	_, addr, cleanup, err := selfHostedServer(nds.Options{
 		Mode:          nds.ModeHardware,
 		CapacityHint:  16 << 20,
 		CacheBytes:    cacheBytes,
 		PrefetchDepth: prefetch,
-	})
+	}, ndsserver.Config{MaxConns: conns + 8}, "ndsbench-net")
 	if err != nil {
 		return benchPoint{}, err
 	}
-	defer dev.Close()
-	srv := ndsserver.New(dev, ndsserver.Config{MaxConns: conns + 8})
-	dir, err := os.MkdirTemp("", "ndsbench-net")
-	if err != nil {
-		return benchPoint{}, err
-	}
-	defer os.RemoveAll(dir)
-	l, err := net.Listen("unix", filepath.Join(dir, "nds.sock"))
-	if err != nil {
-		return benchPoint{}, err
-	}
-	addr := "unix:" + l.Addr().String()
-	go srv.Serve(l)
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
-	}()
+	defer cleanup()
 
 	// 1000 ops/s sits well below loopback saturation on small CI machines:
 	// the p99 the snapshot gates is service latency plus scheduler jitter,

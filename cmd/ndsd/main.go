@@ -43,12 +43,52 @@ func main() {
 	writeTimeout := flag.Duration("writetimeout", ndsserver.DefaultWriteTimeout, "per-response write deadline")
 	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "graceful drain bound on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress connection-level logging")
+	qosWeight := flag.Float64("qos-weight-default", 0, "default tenant QoS weight; > 0 enables per-space weighted fair scheduling")
+	qosRate := flag.Float64("qos-rate", 0, "default per-tenant token-bucket rate in bytes/s (0 = uncapped; implies QoS on)")
+	qosBurst := flag.Int64("qos-burst", 0, "per-tenant token-bucket burst bytes (0 = default sizing; needs QoS on)")
 	flag.Parse()
 
-	if *tcpAddr == "" && *unixPath == "" {
-		fmt.Fprintln(os.Stderr, "ndsd: at least one of -tcp or -unix is required")
+	// Validate up front: a daemon that accepts nonsense flags fails late (a
+	// zero-capacity device, a server that rejects every connection) or
+	// silently misbehaves. Usage errors exit 2 before any resource exists.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ndsd: "+format+"\n", args...)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *tcpAddr == "" && *unixPath == "" {
+		usageErr("at least one of -tcp or -unix is required")
+	}
+	if *capacity <= 0 {
+		usageErr("-capacity %d: the flash array needs a positive byte size", *capacity)
+	}
+	if *cache < 0 {
+		usageErr("-cache %d: cache bytes cannot be negative (0 disables)", *cache)
+	}
+	if *prefetch < 0 {
+		usageErr("-prefetch %d: prefetch depth cannot be negative (0 disables)", *prefetch)
+	}
+	if *prefetch > 0 && *cache == 0 {
+		usageErr("-prefetch %d needs -cache > 0 (prefetch warms the block cache)", *prefetch)
+	}
+	if *maxConns <= 0 {
+		usageErr("-maxconns %d: the server needs at least one connection slot", *maxConns)
+	}
+	if *inflight <= 0 {
+		usageErr("-inflight %d: each connection needs at least one in-flight request", *inflight)
+	}
+	if *readTimeout <= 0 || *writeTimeout <= 0 {
+		usageErr("-readtimeout %v / -writetimeout %v: deadlines must be positive", *readTimeout, *writeTimeout)
+	}
+	if *drainTimeout <= 0 {
+		usageErr("-draintimeout %v: the drain bound must be positive", *drainTimeout)
+	}
+	if *qosWeight < 0 || *qosRate < 0 || *qosBurst < 0 {
+		usageErr("-qos-weight-default %v / -qos-rate %v / -qos-burst %d: QoS parameters cannot be negative",
+			*qosWeight, *qosRate, *qosBurst)
+	}
+	if *qosBurst > 0 && *qosWeight == 0 && *qosRate == 0 {
+		usageErr("-qos-burst %d needs QoS enabled (-qos-weight-default or -qos-rate)", *qosBurst)
 	}
 	m := nds.ModeHardware
 	switch *mode {
@@ -56,15 +96,23 @@ func main() {
 	case "software", "sw":
 		m = nds.ModeSoftware
 	default:
-		log.Fatalf("ndsd: unknown -mode %q (hardware or software)", *mode)
+		usageErr("unknown -mode %q (hardware or software)", *mode)
 	}
 
-	dev, err := nds.Open(nds.Options{
+	opts := nds.Options{
 		Mode:          m,
 		CapacityHint:  *capacity,
 		CacheBytes:    *cache,
 		PrefetchDepth: *prefetch,
-	})
+	}
+	if *qosWeight > 0 || *qosRate > 0 {
+		opts.TenantQoS = &nds.TenantQoS{
+			Weight:          *qosWeight,
+			RateBytesPerSec: *qosRate,
+			Burst:           *qosBurst,
+		}
+	}
+	dev, err := nds.Open(opts)
 	if err != nil {
 		log.Fatalf("ndsd: open device: %v", err)
 	}

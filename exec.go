@@ -144,6 +144,32 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
 		}
 		return page, proto.Completion{Status: proto.StatusOK, Result0: uint64(c.Hits)}, Stats{}, nil
+	case proto.OpTenantStats:
+		ts := d.TenantStats()
+		p := proto.TenantStatsPayload{Total: int64(len(ts))}
+		for _, t := range ts {
+			if len(p.Entries) == proto.MaxTenantStatsEntries {
+				break // page full; Result0 still reports the true total
+			}
+			e := proto.TenantStatsEntry{
+				Tenant:      uint64(t.Space),
+				WeightMilli: int64(t.Weight * 1000),
+				Ops:         t.Ops,
+				Bytes:       t.Bytes,
+				SimBusyNs:   int64(t.SimBusy),
+				QueueWaitNs: int64(t.QueueWait),
+				ThrottleNs:  int64(t.Throttle),
+			}
+			if t.IsGroup {
+				e.Tenant = proto.TenantGroupBit | uint64(t.Group)
+			}
+			p.Entries = append(p.Entries, e)
+		}
+		page, err := p.Marshal()
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
+		}
+		return page, proto.Completion{Status: proto.StatusOK, Result0: uint64(len(ts))}, Stats{}, nil
 	}
 	// Unreachable while Unmarshal rejects unknown opcodes, but kept so a
 	// future opcode added to proto without a handler here still answers

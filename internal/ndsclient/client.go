@@ -265,3 +265,15 @@ func (c *Client) CacheStats() (proto.CacheStatsPayload, error) {
 	}
 	return proto.UnmarshalCacheStatsPayload(resp.Data)
 }
+
+// TenantStats fetches the device's per-tenant QoS accounting: one record per
+// space (or space group) that has issued requests, truncated to a page if the
+// device has more tenants than fit (Total carries the untruncated count).
+// Empty when the server runs without tenant QoS.
+func (c *Client) TenantStats() (proto.TenantStatsPayload, error) {
+	resp, err := c.do("get_tenant_stats", proto.NewTenantStats(0).Marshal(), nil, nil)
+	if err != nil {
+		return proto.TenantStatsPayload{}, err
+	}
+	return proto.UnmarshalTenantStatsPayload(resp.Data)
+}

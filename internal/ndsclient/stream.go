@@ -10,10 +10,12 @@ type StreamOpts struct {
 	// Window is the number of chunk requests kept in flight on the
 	// connection. Zero selects DefaultStreamWindow.
 	Window int
-	// ChunkRows is each chunk's extent along the partition's first
-	// dimension; it must divide the partition's sub[0]. Zero picks the
-	// largest divisor of sub[0] that still yields at least 4x Window chunks
-	// (falling back to sub[0] when the partition is too small to split).
+	// ChunkRows caps each chunk's extent along the partition's first
+	// dimension. It need not divide sub[0]: the stream tiles the row range
+	// with aligned chunks of at most ChunkRows rows (see streamChunks), so
+	// prime or otherwise awkward row counts still stream in large frames.
+	// Zero picks sub[0]/(4*Window) so the pipeline always has work queued
+	// behind the in-flight set (whole-partition when too small to split).
 	ChunkRows int64
 }
 
@@ -30,12 +32,11 @@ const DefaultStreamWindow = 8
 // offset in the partition's row-major layout, and chunk is valid only for
 // the duration of the call. Returns the total bytes delivered.
 //
-// The chunk coordinates address the same view at finer granularity, so the
-// split is exact only when the chunks tile whole partitions of the view:
-// sub[0] must be divisible by ChunkRows (checked) and the view's first
-// dimension divisible by sub[0] (an interior, unclamped partition — the
-// layout guarantee the caller already relies on for partition reads). An
-// error from fn, the device, or the connection aborts the stream once the
+// Each chunk addresses the same view at finer granularity: a chunk of k rows
+// starting at absolute row A is the partition A/k of the grid sub' =
+// {k, sub[1:]}, which requires A to be a multiple of k — streamChunks picks
+// aligned chunk heights, so any row count (including primes) tiles exactly.
+// An error from fn, the device, or the connection aborts the stream once the
 // in-flight window drains.
 func (c *Client) ReadStream(view uint32, coord, sub []int64, opts StreamOpts, fn func(off int64, chunk []byte) error) (int64, error) {
 	if len(sub) == 0 || len(coord) != len(sub) {
@@ -53,10 +54,11 @@ func (c *Client) ReadStream(view uint32, coord, sub []int64, opts StreamOpts, fn
 	if h == 0 {
 		h = defaultChunkRows(rows, window)
 	}
-	if h <= 0 || rows%h != 0 {
-		return 0, fmt.Errorf("ndsclient: ReadStream chunk rows %d must divide sub[0] = %d", h, rows)
+	if h < 0 {
+		return 0, fmt.Errorf("ndsclient: ReadStream chunk rows %d, want >= 0", h)
 	}
-	chunks := int(rows / h)
+	tiles := streamChunks(coord[0]*rows, rows, h)
+	chunks := len(tiles)
 	if chunks == 1 {
 		// Degenerate stream: one frame, no pipeline to manage.
 		data, err := c.Read(view, coord, sub)
@@ -70,13 +72,6 @@ func (c *Client) ReadStream(view uint32, coord, sub []int64, opts StreamOpts, fn
 		}
 		return int64(len(data)), nil
 	}
-
-	// Each chunk is the partition (base0+j, coord[1:]) of the same view under
-	// sub' = {h, sub[1:]}: (coord[0]*sub[0])/h + j addresses rows
-	// [j*h, (j+1)*h) of this partition in the finer partition grid.
-	base0 := coord[0] * rows / h
-	subJ := append([]int64(nil), sub...)
-	subJ[0] = h
 
 	type result struct {
 		data []byte
@@ -101,7 +96,9 @@ func (c *Client) ReadStream(view uint32, coord, sub []int64, opts StreamOpts, fn
 		go func() {
 			defer wg.Done()
 			coordJ := append([]int64(nil), coord...)
-			coordJ[0] = base0 + int64(j)
+			subJ := append([]int64(nil), sub...)
+			coordJ[0] = tiles[j].row / tiles[j].height
+			subJ[0] = tiles[j].height
 			data, err := c.Read(view, coordJ, subJ)
 			mu.Lock()
 			results[j] = result{data: data, err: err}
@@ -145,15 +142,49 @@ func (c *Client) ReadStream(view uint32, coord, sub []int64, opts StreamOpts, fn
 	return total, nil
 }
 
-// defaultChunkRows picks the largest divisor of rows giving at least
-// 4x window chunks, so the pipeline always has work queued behind the
-// in-flight set; partitions too small to split stream as one chunk.
+// defaultChunkRows picks a chunk height giving at least 4x window chunks, so
+// the pipeline always has work queued behind the in-flight set; partitions
+// too small to split stream as one chunk. The height need not divide rows —
+// streamChunks aligns the tail — so awkward row counts (primes) no longer
+// collapse to one-row chunks.
 func defaultChunkRows(rows int64, window int) int64 {
 	target := rows / int64(4*window)
-	for h := target; h >= 1; h-- {
-		if rows%h == 0 {
-			return h
-		}
+	if target < 1 {
+		return rows
 	}
-	return rows
+	return target
+}
+
+// streamChunk is one tile of a streamed partition: height rows starting at
+// absolute row `row` of the view's first dimension.
+type streamChunk struct {
+	row    int64 // absolute first row (multiple of height)
+	height int64
+}
+
+// streamChunks tiles rows rows starting at absolute row first into chunks of
+// at most h rows, each aligned so the chunk is addressable as a partition:
+// a chunk of k rows at absolute row A needs A % k == 0 (its coordinate in
+// the {k, sub[1:]} grid is A/k). The greedy walk shrinks a chunk only when
+// alignment demands it, so a divisor-friendly h yields rows/h full chunks
+// and e.g. 4099 rows at h=128 tile as 32x128 + 2 + 1 instead of 4099x1.
+// h <= 0 selects a single whole-range chunk.
+func streamChunks(first, rows, h int64) []streamChunk {
+	if h <= 0 || h > rows {
+		h = rows
+	}
+	out := make([]streamChunk, 0, rows/h+2)
+	for off := int64(0); off < rows; {
+		a := first + off
+		k := h
+		if rem := rows - off; k > rem {
+			k = rem
+		}
+		for a%k != 0 {
+			k--
+		}
+		out = append(out, streamChunk{row: a, height: k})
+		off += k
+	}
+	return out
 }

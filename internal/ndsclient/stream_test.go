@@ -1,0 +1,82 @@
+package ndsclient
+
+import "testing"
+
+// TestStreamChunks checks the aligned tiling ReadStream splits a partition
+// with: chunks cover the row range exactly, every chunk is addressable as a
+// partition (row % height == 0), and no chunk exceeds the requested height.
+func TestStreamChunks(t *testing.T) {
+	cases := []struct {
+		name       string
+		first      int64
+		rows       int64
+		h          int64
+		wantChunks int // 0 = don't check the count
+	}{
+		{name: "power-of-two", first: 0, rows: 4096, h: 128, wantChunks: 32},
+		{name: "prime", first: 0, rows: 4099, h: 128, wantChunks: 34}, // 32x128 + 2 + 1
+		{name: "prime-default-h", first: 0, rows: 4099, h: 4099 / 32}, // what defaultChunkRows(4099, 8) picks
+		{name: "rows-below-window", first: 0, rows: 16, h: 16, wantChunks: 1},
+		{name: "single-row", first: 0, rows: 1, h: 128, wantChunks: 1},
+		{name: "nonzero-first", first: 4099, rows: 4099, h: 128}, // coord[0] > 0: first row not chunk-aligned
+		{name: "nonzero-first-aligned", first: 8192, rows: 4096, h: 128, wantChunks: 32},
+		{name: "h-larger-than-rows", first: 0, rows: 100, h: 1 << 20, wantChunks: 1},
+		{name: "h-zero-whole-range", first: 0, rows: 4099, h: 0, wantChunks: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chunks := streamChunks(tc.first, tc.rows, tc.h)
+			if tc.wantChunks > 0 && len(chunks) != tc.wantChunks {
+				t.Errorf("got %d chunks, want %d", len(chunks), tc.wantChunks)
+			}
+			next := tc.first
+			var total int64
+			for i, c := range chunks {
+				if c.row != next {
+					t.Fatalf("chunk %d starts at row %d, want %d (gap or overlap)", i, c.row, next)
+				}
+				if c.height <= 0 {
+					t.Fatalf("chunk %d has height %d", i, c.height)
+				}
+				if tc.h > 0 && c.height > tc.h {
+					t.Errorf("chunk %d height %d exceeds cap %d", i, c.height, tc.h)
+				}
+				if c.row%c.height != 0 {
+					t.Errorf("chunk %d at row %d height %d is not partition-aligned", i, c.row, c.height)
+				}
+				next += c.height
+				total += c.height
+			}
+			if total != tc.rows {
+				t.Fatalf("chunks cover %d rows, want %d", total, tc.rows)
+			}
+			// The point of the fix: a near-divisor height must not degenerate
+			// into per-row chunks.
+			if tc.h > 1 && tc.rows > 4*tc.h && len(chunks) > int(tc.rows/tc.h)+64 {
+				t.Errorf("tiling degenerated: %d chunks for %d rows at h=%d", len(chunks), tc.rows, tc.h)
+			}
+		})
+	}
+}
+
+// TestDefaultChunkRows pins the fixed heuristic: no divisor scan, so prime
+// row counts get the same large chunks as round ones.
+func TestDefaultChunkRows(t *testing.T) {
+	cases := []struct {
+		rows   int64
+		window int
+		want   int64
+	}{
+		{rows: 4096, window: 8, want: 128},
+		{rows: 4099, window: 8, want: 128}, // prime: used to fall through to 1
+		{rows: 16, window: 8, want: 16},    // rows < 4*window: stream whole
+		{rows: 1, window: 8, want: 1},
+		{rows: 127, window: 8, want: 3}, // prime: small but real chunks, not 1
+		{rows: 1 << 20, window: 8, want: 1 << 15},
+	}
+	for _, tc := range cases {
+		if got := defaultChunkRows(tc.rows, tc.window); got != tc.want {
+			t.Errorf("defaultChunkRows(%d, %d) = %d, want %d", tc.rows, tc.window, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package ndsserver_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nds"
+	"nds/internal/ndsclient"
+	"nds/internal/ndsserver"
+)
+
+// TestServerQoSAntagonistVictim is the -race stress for the tenant QoS path
+// under the server: a victim tenant and a rate-capped antagonist tenant hammer
+// one QoS-enabled device from concurrent connections. Every request must
+// complete, the token bucket must have throttled the antagonist (ThrottleNs
+// accumulates), and per-tenant accounting must add up — all while the race
+// detector watches the scheduler's heap, the bucket, and the atomic counters.
+func TestServerQoSAntagonistVictim(t *testing.T) {
+	dev, err := nds.Open(nds.Options{
+		Mode:         nds.ModeHardware,
+		CapacityHint: 16 << 20,
+		TenantQoS:    &nds.TenantQoS{Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ndsserver.New(dev, ndsserver.Config{})
+	path := filepath.Join(t.TempDir(), "nds.sock")
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveDone; !errors.Is(err, ndsserver.ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		dev.Close()
+	})
+	addr := "unix:" + path
+
+	const (
+		conns   = 3  // per tenant
+		perConn = 40 // 64x64 float32 tile reads each
+		tileB   = 64 * 64 * 4
+	)
+	// One space per tenant; the antagonist's is capped at 1 MiB/s with a
+	// small bucket so most of its reads hit the throttle path.
+	setup := func(rate float64) (uint32, []*ndsclient.Client, []uint32) {
+		clients := make([]*ndsclient.Client, conns)
+		views := make([]uint32, conns)
+		var space uint32
+		for i := range clients {
+			clients[i] = dial(t, addr)
+			if i == 0 {
+				var err error
+				if space, views[0], err = clients[0].CreateSpace(4, []int64{256, 256}); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			var err error
+			if views[i], err = clients[i].OpenView(space, 4, []int64{256, 256}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rate > 0 {
+			if err := dev.SetTenantQoS(nds.SpaceID(space), nds.TenantQoS{
+				Weight:          1,
+				RateBytesPerSec: rate,
+				Burst:           64 << 10,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return space, clients, views
+	}
+	_, vicClients, vicViews := setup(0)
+	antSpace, antClients, antViews := setup(1 << 20)
+
+	drive := func(clients []*ndsclient.Client, views []uint32, errs chan<- error) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		for i := range clients {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				for k := 0; k < perConn; k++ {
+					tile := int64((ci*perConn + k) % 16)
+					_, err := clients[ci].Read(views[ci], []int64{tile / 4, tile % 4}, []int64{64, 64})
+					if err != nil {
+						errs <- fmt.Errorf("conn %d op %d: %w", ci, k, err)
+						return
+					}
+				}
+			}(i)
+		}
+		return &wg
+	}
+	errs := make(chan error, 2*conns)
+	vicWG := drive(vicClients, vicViews, errs)
+	antWG := drive(antClients, antViews, errs)
+	vicWG.Wait()
+	antWG.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+
+	var antThrottle time.Duration
+	var totalOps int64
+	for _, ts := range dev.TenantStats() {
+		totalOps += ts.Ops
+		if !ts.IsGroup && ts.Space == nds.SpaceID(antSpace) {
+			antThrottle = ts.Throttle
+			if ts.Ops != conns*perConn || ts.Bytes != int64(conns*perConn*tileB) {
+				t.Fatalf("antagonist accounting = %+v, want %d ops / %d bytes",
+					ts, conns*perConn, conns*perConn*tileB)
+			}
+		}
+	}
+	if totalOps != 2*conns*perConn {
+		t.Fatalf("tenants account %d ops, want %d", totalOps, 2*conns*perConn)
+	}
+	if antThrottle <= 0 {
+		t.Fatal("token bucket never throttled the antagonist (1 MiB/s cap, ~1.9 MiB demanded)")
+	}
+}

@@ -93,7 +93,60 @@ func TestReadStreamErrors(t *testing.T) {
 	}
 
 	if _, err := c.ReadStream(view, []int64{0, 0}, []int64{64, 32},
-		ndsclient.StreamOpts{ChunkRows: 7}, nil); err == nil {
-		t.Fatal("ReadStream accepted chunk rows that do not divide sub[0]")
+		ndsclient.StreamOpts{ChunkRows: -1}, nil); err == nil {
+		t.Fatal("ReadStream accepted negative chunk rows")
+	}
+}
+
+// TestReadStreamNonDivisorChunks: chunk heights that do not divide the row
+// count tile with aligned chunks plus a short tail instead of being rejected
+// (or, as defaultChunkRows once did for primes, degenerating to one-row
+// frames). Prime row counts must stream correctly and in few frames.
+func TestReadStreamNonDivisorChunks(t *testing.T) {
+	_, _, addr := startServer(t, ndsserver.Config{})
+	c := dial(t, addr)
+
+	const rows = 4099 // prime
+	_, view, err := c.CreateSpace(4, []int64{rows, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 512*8*4)
+	for i := range payload {
+		payload[i] = byte(i*13 + 5)
+	}
+	// Rows 3584..4095: the written region crosses into the unaligned tail.
+	if err := c.Write(view, []int64{7, 0}, []int64{512, 8}, payload); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Read(view, []int64{0, 0}, []int64{rows, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunkRows := range []int64{0, 128, 7} { // 0 = defaultChunkRows heuristic
+		var got bytes.Buffer
+		frames := 0
+		next := int64(0)
+		total, err := c.ReadStream(view, []int64{0, 0}, []int64{rows, 8},
+			ndsclient.StreamOpts{Window: 4, ChunkRows: chunkRows},
+			func(off int64, chunk []byte) error {
+				if off != next {
+					t.Fatalf("chunkRows=%d: chunk at offset %d, want %d", chunkRows, off, next)
+				}
+				next = off + int64(len(chunk))
+				frames++
+				got.Write(chunk)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("chunkRows=%d: %v", chunkRows, err)
+		}
+		if total != int64(len(want)) || !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("chunkRows=%d: streamed %d bytes differing from single read (%d bytes)", chunkRows, total, len(want))
+		}
+		if frames > 1024 {
+			t.Fatalf("chunkRows=%d: tiling degenerated into %d frames for %d rows", chunkRows, frames, rows)
+		}
 	}
 }

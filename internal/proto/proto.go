@@ -38,6 +38,7 @@ const (
 	OpDeleteSpace Opcode = 0xCA
 	OpReliability Opcode = 0xCB
 	OpCacheStats  Opcode = 0xCC
+	OpTenantStats Opcode = 0xCD
 )
 
 func (o Opcode) String() string {
@@ -56,6 +57,8 @@ func (o Opcode) String() string {
 		return "get_reliability"
 	case OpCacheStats:
 		return "get_cache_stats"
+	case OpTenantStats:
+		return "get_tenant_stats"
 	default:
 		return fmt.Sprintf("opcode(%#x)", uint8(o))
 	}
@@ -126,7 +129,7 @@ func Unmarshal(raw [CommandSize]byte) (Command, error) {
 		return Command{}, fmt.Errorf("proto: not an extended command (reserved bit clear)")
 	}
 	switch c.Opcode() {
-	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability, OpCacheStats:
+	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability, OpCacheStats, OpTenantStats:
 	default:
 		return Command{}, fmt.Errorf("%w %#x", ErrUnknownOpcode, uint8(c.Opcode()))
 	}
@@ -181,6 +184,14 @@ func NewReliability(payloadAddr uint64) Command {
 // and occupancy counters.
 func NewCacheStats(payloadAddr uint64) Command {
 	return newCommand(OpCacheStats, 0, payloadAddr, false)
+}
+
+// NewTenantStats builds a get_tenant_stats command. The device answers with
+// a TenantStatsPayload page: one record per QoS tenant (space or space
+// group), truncated to the page if the device has more tenants than fit —
+// Completion.Result0 carries the untruncated tenant count.
+func NewTenantStats(payloadAddr uint64) Command {
+	return newCommand(OpTenantStats, 0, payloadAddr, false)
 }
 
 // CoordPayload is the 4 KB page named by a read/write command: the
@@ -420,6 +431,102 @@ func UnmarshalCacheStatsPayload(page []byte) (CacheStatsPayload, error) {
 		PrefetchIssued: w[3], PrefetchUsed: w[4], PrefetchWasted: w[5],
 		Evictions: w[6], Invalidations: w[7], ResidentBytes: w[8], CapacityBytes: w[9],
 	}, nil
+}
+
+// TenantStatsEntry is one tenant's record in a get_tenant_stats page.
+type TenantStatsEntry struct {
+	// Tenant is the tenant identity: the space ID, or a space-group ID with
+	// TenantGroupBit set.
+	Tenant uint64
+	// WeightMilli is the scheduling weight in thousandths (weight 1.0 =
+	// 1000), keeping the page integer-only.
+	WeightMilli int64
+	Ops         int64 // admitted partition requests
+	Bytes       int64 // payload bytes of successful requests
+	SimBusyNs   int64 // simulated device occupancy of those requests
+	QueueWaitNs int64 // wall ns spent queued for a dispatch slot
+	ThrottleNs  int64 // wall ns spent blocked on the token bucket
+}
+
+// TenantGroupBit marks a TenantStatsEntry.Tenant as a space-group tenant.
+const TenantGroupBit = uint64(1) << 63
+
+// tenantStatsEntryWords is the number of 64-bit words per entry (Tenant plus
+// six counters).
+const tenantStatsEntryWords = 7
+
+// MaxTenantStatsEntries is how many tenant records fit in one 4 KB page
+// after the 8-byte header.
+const MaxTenantStatsEntries = (PageSize - 8) / (8 * tenantStatsEntryWords)
+
+// TenantStatsPayload is the page a get_tenant_stats command returns. Total
+// is the device's tenant count; Entries holds the first
+// min(Total, MaxTenantStatsEntries) of them in ascending tenant order
+// (spaces before groups).
+type TenantStatsPayload struct {
+	Total   int64
+	Entries []TenantStatsEntry
+}
+
+// Marshal encodes the payload into a 4 KB page: a little-endian uint32 entry
+// count and uint32 total, then tenantStatsEntryWords uint64 words per entry.
+func (p TenantStatsPayload) Marshal() ([]byte, error) {
+	if len(p.Entries) > MaxTenantStatsEntries {
+		return nil, fmt.Errorf("proto: %d tenant entries exceed page capacity %d", len(p.Entries), MaxTenantStatsEntries)
+	}
+	if p.Total < int64(len(p.Entries)) {
+		return nil, fmt.Errorf("proto: tenant total %d below entry count %d", p.Total, len(p.Entries))
+	}
+	out := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(out, uint32(len(p.Entries)))
+	binary.LittleEndian.PutUint32(out[4:], uint32(p.Total))
+	for i, e := range p.Entries {
+		for j, v := range [...]int64{e.WeightMilli, e.Ops, e.Bytes, e.SimBusyNs, e.QueueWaitNs, e.ThrottleNs} {
+			if v < 0 {
+				return nil, fmt.Errorf("proto: tenant entry %d counter %d is negative (%d)", i, j, v)
+			}
+		}
+		base := 8 + i*8*tenantStatsEntryWords
+		binary.LittleEndian.PutUint64(out[base:], e.Tenant)
+		for j, v := range [...]int64{e.WeightMilli, e.Ops, e.Bytes, e.SimBusyNs, e.QueueWaitNs, e.ThrottleNs} {
+			binary.LittleEndian.PutUint64(out[base+8+8*j:], uint64(v))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalTenantStatsPayload decodes a tenant-statistics page.
+func UnmarshalTenantStatsPayload(page []byte) (TenantStatsPayload, error) {
+	if len(page) < 8 {
+		return TenantStatsPayload{}, fmt.Errorf("proto: tenant-stats page too short")
+	}
+	count := int(binary.LittleEndian.Uint32(page))
+	total := int64(binary.LittleEndian.Uint32(page[4:]))
+	if count > MaxTenantStatsEntries {
+		return TenantStatsPayload{}, fmt.Errorf("proto: tenant entry count %d exceeds page capacity %d", count, MaxTenantStatsEntries)
+	}
+	if total < int64(count) {
+		return TenantStatsPayload{}, fmt.Errorf("proto: tenant total %d below entry count %d", total, count)
+	}
+	if len(page) < 8+count*8*tenantStatsEntryWords {
+		return TenantStatsPayload{}, fmt.Errorf("proto: tenant-stats page truncated (%d entries, %d bytes)", count, len(page))
+	}
+	p := TenantStatsPayload{Total: total}
+	for i := 0; i < count; i++ {
+		base := 8 + i*8*tenantStatsEntryWords
+		var e TenantStatsEntry
+		e.Tenant = binary.LittleEndian.Uint64(page[base:])
+		dst := [...]*int64{&e.WeightMilli, &e.Ops, &e.Bytes, &e.SimBusyNs, &e.QueueWaitNs, &e.ThrottleNs}
+		for j, d := range dst {
+			v := binary.LittleEndian.Uint64(page[base+8+8*j:])
+			if v > 1<<62 {
+				return TenantStatsPayload{}, fmt.Errorf("proto: tenant entry %d counter %d overflows (%d)", i, j, v)
+			}
+			*d = int64(v)
+		}
+		p.Entries = append(p.Entries, e)
+	}
+	return p, nil
 }
 
 // Completion is a device response: a status code plus two result words

@@ -1,0 +1,115 @@
+package proto
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func TestTenantStatsCommandRoundTrip(t *testing.T) {
+	c := NewTenantStats(0x6000)
+	got, err := Unmarshal(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("get_tenant_stats round-trip mismatch")
+	}
+	if got.Opcode() != OpTenantStats {
+		t.Fatalf("opcode = %v", got.Opcode())
+	}
+	if got.Opcode().String() != "get_tenant_stats" {
+		t.Fatalf("opcode string = %q", got.Opcode().String())
+	}
+	if got.PayloadAddr() != 0x6000 {
+		t.Fatalf("payload addr = %#x", got.PayloadAddr())
+	}
+}
+
+func TestTenantStatsPayloadRoundTrip(t *testing.T) {
+	p := TenantStatsPayload{
+		Total: 3,
+		Entries: []TenantStatsEntry{
+			{Tenant: 1, WeightMilli: 1000, Ops: 10, Bytes: 4096, SimBusyNs: 777, QueueWaitNs: 5, ThrottleNs: 0},
+			{Tenant: 2, WeightMilli: 2000, Ops: 20, Bytes: 8192, SimBusyNs: 1554, QueueWaitNs: 0, ThrottleNs: 31},
+			{Tenant: TenantGroupBit | 9, WeightMilli: 500, Ops: 7, Bytes: 128, SimBusyNs: 3, QueueWaitNs: 1, ThrottleNs: 2},
+		},
+	}
+	page, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != PageSize {
+		t.Fatalf("page is %d bytes", len(page))
+	}
+	got, err := UnmarshalTenantStatsPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+	if got.Entries[2].Tenant&TenantGroupBit == 0 {
+		t.Fatal("group bit lost")
+	}
+}
+
+func TestTenantStatsPayloadEmpty(t *testing.T) {
+	page, err := TenantStatsPayload{}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalTenantStatsPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != 0 || len(got.Entries) != 0 {
+		t.Fatalf("empty payload round trip: %+v", got)
+	}
+}
+
+func TestTenantStatsPayloadValidation(t *testing.T) {
+	over := TenantStatsPayload{Total: int64(MaxTenantStatsEntries + 1), Entries: make([]TenantStatsEntry, MaxTenantStatsEntries+1)}
+	if _, err := over.Marshal(); err == nil {
+		t.Fatal("oversized entry list marshalled")
+	}
+	neg := TenantStatsPayload{Total: 1, Entries: []TenantStatsEntry{{Ops: -1}}}
+	if _, err := neg.Marshal(); err == nil {
+		t.Fatal("negative counter marshalled")
+	}
+	bad := TenantStatsPayload{Total: 0, Entries: []TenantStatsEntry{{Tenant: 1}}}
+	if _, err := bad.Marshal(); err == nil {
+		t.Fatal("total below entry count marshalled")
+	}
+	if _, err := UnmarshalTenantStatsPayload(make([]byte, 4)); err == nil {
+		t.Fatal("short page unmarshalled")
+	}
+	// A count claiming more entries than the page holds must be rejected.
+	page := make([]byte, 16)
+	binary.LittleEndian.PutUint32(page, 2)
+	binary.LittleEndian.PutUint32(page[4:], 2)
+	if _, err := UnmarshalTenantStatsPayload(page); err == nil {
+		t.Fatal("truncated entry list unmarshalled")
+	}
+	// An overflowing counter must be rejected.
+	page = make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(page, 1)
+	binary.LittleEndian.PutUint32(page[4:], 1)
+	binary.LittleEndian.PutUint64(page[16:], 1<<63) // WeightMilli word
+	if _, err := UnmarshalTenantStatsPayload(page); err == nil {
+		t.Fatal("overflowing counter unmarshalled")
+	}
+	// Truncation is legal the other way: Total may exceed the entry count.
+	ok := TenantStatsPayload{Total: 100, Entries: []TenantStatsEntry{{Tenant: 1, WeightMilli: 1000}}}
+	pg, err := ok.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalTenantStatsPayload(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != 100 || len(got.Entries) != 1 {
+		t.Fatalf("truncated payload round trip: %+v", got)
+	}
+}

@@ -37,6 +37,11 @@ func (t *STL) ReadPartition(at sim.Time, v *View, coord, sub []int64) ([]byte, s
 		err   error
 	)
 	s := v.space
+	// Tenant QoS admission runs before the space lock so a queued or
+	// throttled request never blocks the space's writers.
+	if tk := t.qosAdmit(s.id, qosBytes(s, sub)); tk != nil {
+		defer func() { tk.finish(at, done, err == nil) }()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if t.cfg.ScalarPath {
@@ -65,6 +70,9 @@ func (t *STL) ReadPartitionInto(at sim.Time, v *View, coord, sub []int64, dst []
 		err   error
 	)
 	s := v.space
+	if tk := t.qosAdmit(s.id, qosBytes(s, sub)); tk != nil {
+		defer func() { tk.finish(at, done, err == nil) }()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if t.cfg.ScalarPath {
@@ -92,14 +100,17 @@ func (t *STL) ReadPartitionInto(at sim.Time, v *View, coord, sub []int64, dst []
 // units per the §4.2 policy, read-modify-writes partially covered pages, and
 // replaces overwritten units within their channel/bank (§4.2, §4.4).
 func (t *STL) WritePartition(at sim.Time, v *View, coord, sub []int64, data []byte) (sim.Time, RequestStats, error) {
-	s := v.space
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var (
 		done  sim.Time
 		stats RequestStats
 		err   error
 	)
+	s := v.space
+	if tk := t.qosAdmit(s.id, qosBytes(s, sub)); tk != nil {
+		defer func() { tk.finish(at, done, err == nil) }()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch {
 	case t.cfg.Compress:
 		if data == nil {

@@ -38,6 +38,9 @@ func (t *STL) ReadPartitionSegments(at sim.Time, v *View, coord, sub []int64, fn
 		err   error
 	)
 	s := v.space
+	if tk := t.qosAdmit(s.id, qosBytes(s, sub)); tk != nil {
+		defer func() { tk.finish(at, done, err == nil) }()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if t.cfg.ScalarPath {

@@ -75,6 +75,11 @@ type Config struct {
 	// instantaneous. The system layer defaults it per configuration (host
 	// DRAM for SoftwareNDS, controller DRAM for HardwareNDS).
 	CacheDRAMBandwidth float64
+	// TenantQoS enables per-tenant weighted fair admission and token-bucket
+	// rate limiting in front of the data path (qos.go). Nil disables the
+	// feature entirely — the device is then bit- and simulated-time-identical
+	// to one without it, the same contract the cache's nil gating makes.
+	TenantQoS *TenantQoSConfig
 }
 
 // DefaultConfig mirrors the paper's prototype settings.
@@ -162,6 +167,10 @@ type STL struct {
 	// device identical to one built before the feature existed.
 	cache *blockCache
 	pf    *prefetcher
+
+	// qos is nil when Config.TenantQoS is nil, under the same contract: the
+	// admission gate in the data path is a single nil check when disabled.
+	qos *qosState
 }
 
 // New builds an STL over dev.
@@ -209,6 +218,9 @@ func New(dev *nvm.Device, cfg Config) (*STL, error) {
 		if cfg.PrefetchDepth > 0 {
 			t.pf = newPrefetcher(cfg.PrefetchDepth)
 		}
+	}
+	if cfg.TenantQoS != nil {
+		t.qos = newQosState(*cfg.TenantQoS, geo.Channels)
 	}
 	if cfg.BackgroundGC {
 		t.gcKick = make(chan struct{}, 1)
@@ -366,6 +378,7 @@ func (t *STL) DeleteSpace(id SpaceID) error {
 		t.cache.invalidateSpace(id)
 	}
 	delete(t.spaces, id)
+	t.qosForgetSpace(id)
 	return nil
 }
 

@@ -45,6 +45,10 @@ type Report struct {
 	// Cache is the STL's building-block cache snapshot (zero-valued on
 	// Baseline systems and when the cache is disabled).
 	Cache stl.CacheStats
+
+	// Tenants is the per-tenant QoS accounting breakdown (nil on Baseline
+	// systems and when tenant QoS is disabled).
+	Tenants []stl.TenantStats
 }
 
 // Report snapshots the system's resource accounting over the horizon
@@ -78,6 +82,7 @@ func (s *System) Report(horizon sim.Time) Report {
 		r.UsedPages = s.STL.UsedPages()
 		r.Reliability = s.STL.Reliability()
 		r.Cache = s.STL.CacheStats()
+		r.Tenants = s.STL.TenantStats()
 	}
 	return r
 }
@@ -119,6 +124,14 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "\n  cache: %d hits / %d misses, prefetch %d issued / %d used / %d wasted, %d evictions, %d/%d bytes resident",
 			c.Hits, c.Misses, c.PrefetchIssued, c.PrefetchUsed, c.PrefetchWasted,
 			c.Evictions, c.ResidentBytes, c.CapacityBytes)
+	}
+	for _, ts := range r.Tenants {
+		name := fmt.Sprintf("space %d", ts.Tenant.Space())
+		if ts.Tenant.IsGroup() {
+			name = fmt.Sprintf("group %d", ts.Tenant.Group())
+		}
+		fmt.Fprintf(&b, "\n  tenant %s: weight %.3g, %d ops, %d bytes, busy %v, queued %dns, throttled %dns",
+			name, ts.Weight, ts.Ops, ts.Bytes, ts.SimBusy, ts.QueueWaitNs, ts.ThrottleNs)
 	}
 	return b.String()
 }

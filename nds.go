@@ -155,6 +155,30 @@ type Options struct {
 	// failed programs). Observe the outcome through Reliability(). With no
 	// plan the device behaves bit-identically to one without the feature.
 	Faults *FaultPlan
+	// TenantQoS, when non-nil, installs per-tenant weighted fair scheduling
+	// in front of the data path: each space (or space group, see
+	// BindSpaceGroup) is a tenant with a weight and an optional token-bucket
+	// rate limit, enforced before a request books any channel/bank timeline —
+	// a flooding tenant queues in wall-clock time instead of monopolizing the
+	// simulated device. The gate never touches simulated timestamps, and with
+	// TenantQoS nil the device is bit- and simulated-time-identical to one
+	// without the feature. Observe the outcome through TenantStats().
+	TenantQoS *TenantQoS
+}
+
+// TenantQoS sets the default per-tenant scheduling parameters
+// (Options.TenantQoS); override individual tenants with Device.SetTenantQoS
+// and Device.SetGroupQoS.
+type TenantQoS struct {
+	// Weight is the default relative share of device dispatch slots under
+	// contention (<= 0 selects 1).
+	Weight float64
+	// RateBytesPerSec caps each tenant's admitted payload bandwidth via a
+	// token bucket charged before dispatch; <= 0 leaves tenants uncapped.
+	RateBytesPerSec float64
+	// Burst is the token-bucket depth in bytes (<= 0 selects the larger of
+	// 1 MiB and 100 ms of RateBytesPerSec).
+	Burst int64
 }
 
 // FaultPlan configures deterministic flash fault injection (Options.Faults).
@@ -309,6 +333,13 @@ func Open(opts Options) (*Device, error) {
 	cfg.STL.CacheBytes = opts.CacheBytes
 	cfg.STL.PrefetchDepth = opts.PrefetchDepth
 	cfg.STL.BackgroundGC = !opts.SynchronousGC
+	if opts.TenantQoS != nil {
+		cfg.STL.TenantQoS = &stl.TenantQoSConfig{
+			Weight:          opts.TenantQoS.Weight,
+			RateBytesPerSec: opts.TenantQoS.RateBytesPerSec,
+			BurstBytes:      opts.TenantQoS.Burst,
+		}
+	}
 	if opts.Faults != nil {
 		cfg.Faults = nvm.FaultPlan{
 			Seed:             opts.Faults.Seed,
@@ -417,6 +448,78 @@ func (d *Device) CacheStats() CacheStats {
 		ResidentBytes:  c.ResidentBytes,
 		CapacityBytes:  c.CapacityBytes,
 	}
+}
+
+// TenantStats is one tenant's accumulated QoS accounting (get_tenant_stats
+// on the wire). A tenant is a space, or — when IsGroup is set — a space
+// group that one or more spaces are bound to.
+type TenantStats struct {
+	Space     SpaceID       // the space, when not a group tenant
+	Group     uint32        // the group id, when IsGroup
+	IsGroup   bool          // group tenant vs single-space tenant
+	Weight    float64       // weight currently scheduled under
+	Ops       int64         // admitted partition requests
+	Bytes     int64         // payload bytes of successful requests
+	SimBusy   time.Duration // simulated device time those requests occupied
+	QueueWait time.Duration // wall time spent queued for a dispatch slot
+	Throttle  time.Duration // wall time spent blocked on the token bucket
+}
+
+// TenantStats snapshots per-tenant QoS accounting for every tenant that has
+// issued requests, ordered spaces first then groups, ascending. Nil when the
+// device was opened without Options.TenantQoS.
+func (d *Device) TenantStats() []TenantStats {
+	d.io.RLock()
+	defer d.io.RUnlock()
+	raw := d.sys.STL.TenantStats()
+	if raw == nil {
+		return nil
+	}
+	out := make([]TenantStats, len(raw))
+	for i, ts := range raw {
+		out[i] = TenantStats{
+			IsGroup:   ts.Tenant.IsGroup(),
+			Weight:    ts.Weight,
+			Ops:       ts.Ops,
+			Bytes:     ts.Bytes,
+			SimBusy:   time.Duration(ts.SimBusy),
+			QueueWait: time.Duration(ts.QueueWaitNs),
+			Throttle:  time.Duration(ts.ThrottleNs),
+		}
+		if ts.Tenant.IsGroup() {
+			out[i].Group = ts.Tenant.Group()
+		} else {
+			out[i].Space = SpaceID(ts.Tenant.Space())
+		}
+	}
+	return out
+}
+
+// SetTenantQoS overrides one space tenant's scheduling parameters. Requests
+// already queued keep their place; new requests schedule under the new
+// weight and rate. Fails when the device was opened without
+// Options.TenantQoS.
+func (d *Device) SetTenantQoS(id SpaceID, q TenantQoS) error {
+	d.io.RLock()
+	defer d.io.RUnlock()
+	return d.sys.STL.SetTenantQoS(stl.SpaceTenant(stl.SpaceID(id)), q.Weight, q.RateBytesPerSec, q.Burst)
+}
+
+// SetGroupQoS overrides a space group's scheduling parameters (see
+// BindSpaceGroup).
+func (d *Device) SetGroupQoS(group uint32, q TenantQoS) error {
+	d.io.RLock()
+	defer d.io.RUnlock()
+	return d.sys.STL.SetTenantQoS(stl.GroupTenant(group), q.Weight, q.RateBytesPerSec, q.Burst)
+}
+
+// BindSpaceGroup binds a space to group tenant g, so all spaces bound to g
+// share one weight and one token bucket; g = 0 unbinds the space back to its
+// own tenant. Takes effect for requests admitted after the call.
+func (d *Device) BindSpaceGroup(id SpaceID, g uint32) error {
+	d.io.RLock()
+	defer d.io.RUnlock()
+	return d.sys.STL.BindSpaceGroup(stl.SpaceID(id), g)
 }
 
 // CreateSpace creates a multi-dimensional address space of the given element

@@ -53,7 +53,11 @@ type benchPoint struct {
 	// tail latency percentiles measured from scheduled arrival. For these
 	// points WallNsOp is the mean latency and SimMBps is 0 (open-loop wall
 	// timing has no deterministic simulated counterpart).
-	RateRps     float64 `json:"rate_rps,omitempty"`
+	// SavingsX is the pushdown workload's deterministic interconnect
+	// reduction: the payload bytes a read-then-filter would have moved
+	// divided by the bytes the in-storage scans actually moved.
+	SavingsX float64 `json:"pushdown_savings_x,omitempty"`
+	RateRps  float64 `json:"rate_rps,omitempty"`
 	AchievedRps float64 `json:"achieved_rps,omitempty"`
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
@@ -135,6 +139,7 @@ func measureSnapshot(cacheBytes int64, prefetch int) benchSnapshot {
 		{"net", 16}, {"net-burst", 16},
 		{"stream", 1},
 		{"net-antagonist", antConns},
+		{"pushdown", 16},
 	}
 	for _, p := range points {
 		pt, err := measurePoint(p.workload, p.clients, cacheBytes, prefetch)
@@ -162,6 +167,8 @@ func measurePoint(workload string, clients int, cacheBytes int64, prefetch int) 
 		return measureStreamPoint(cacheBytes, prefetch)
 	case "net-antagonist":
 		return measureAntagonistPoint(cacheBytes, prefetch)
+	case "pushdown":
+		return measurePushdown(clients, cacheBytes, prefetch)
 	}
 	return benchPoint{}, fmt.Errorf("unknown workload %q", workload)
 }
@@ -174,6 +181,11 @@ func printSnapshot(snap benchSnapshot) {
 			fmt.Printf("%-9s %-8d %12.0f %14s   %.0f/%.0f ops/s  p50=%0.fus p99=%0.fus p999=%0.fus\n",
 				normWorkload(p.Workload), p.Clients, p.WallNsOp, "-",
 				p.RateRps, p.AchievedRps, p.P50Ns/1e3, p.P99Ns/1e3, p.P999Ns/1e3)
+			continue
+		}
+		if p.SavingsX > 0 {
+			fmt.Printf("%-9s %-8d %12.0f %14.1f   %.0fx fewer interconnect bytes than read+filter\n",
+				normWorkload(p.Workload), p.Clients, p.WallNsOp, p.SimMBps, p.SavingsX)
 			continue
 		}
 		hitPct := "-"
@@ -248,6 +260,17 @@ func benchCompare(path string, simTol, wallTol float64) {
 		if wallRatio > wallTol {
 			fmt.Printf("%s: FAIL wall-clock cost regressed beyond %.1fx\n", label, wallTol)
 			failed = true
+		}
+		if bp.SavingsX > 0 {
+			// The savings ratio is deterministic (same tiles, same matches),
+			// so it is held to the simulated tolerance, not the wall one.
+			savRatio := cp.SavingsX / bp.SavingsX
+			fmt.Printf("%s: interconnect savings %0.1fx -> %0.1fx (%.2fx)\n",
+				label, bp.SavingsX, cp.SavingsX, savRatio)
+			if savRatio < 1-simTol {
+				fmt.Printf("%s: FAIL interconnect savings regressed beyond %.0f%%\n", label, simTol*100)
+				failed = true
+			}
 		}
 		if bp.P99Ns > 0 {
 			p99Ratio := cp.P99Ns / bp.P99Ns

@@ -4,11 +4,18 @@
 // extent and page counts, showing what a request would cost before running
 // a full experiment.
 //
+// The scan and reduce subcommands instead talk to a live ndsd: they open a
+// view of an existing space over the wire and execute a pushdown operator,
+// so an operator can run an in-storage query against a running daemon the
+// same way the library does.
+//
 // Usage:
 //
 //	ndsctl size -elem 8 -dims 32768,32768
 //	ndsctl size -elem 4 -dims 2048,2048,2048 -order 3
 //	ndsctl plan -elem 8 -dims 32768,32768 -coord 1,0 -sub 8192,8192
+//	ndsctl scan -addr unix:/tmp/nds.sock -space 1 -dims 1024,1024 -coord 0,0 -sub 256,256 -lo 0 -hi 9
+//	ndsctl reduce -addr unix:/tmp/nds.sock -space 1 -dims 1024,1024 -coord 0,0 -sub 256,256 -op topk -k 4
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"strconv"
 	"strings"
 
+	"nds/internal/ndsclient"
 	"nds/internal/nvm"
+	"nds/internal/proto"
 	"nds/internal/stl"
 	"nds/internal/system"
 )
@@ -51,6 +60,14 @@ func main() {
 	channels := fs.Int("channels", 32, "device channels")
 	banks := fs.Int("banks", 8, "banks per channel")
 	page := fs.Int("page", 4096, "page size in bytes")
+	addr := fs.String("addr", "", "ndsd address: unix:/path, tcp:host:port, or host:port (scan/reduce)")
+	space := fs.Uint("space", 0, "space ID on the ndsd server (scan/reduce)")
+	lo := fs.Uint64("lo", 0, "predicate lower bound, inclusive (scan/reduce)")
+	hi := fs.Uint64("hi", ^uint64(0), "predicate upper bound, inclusive (scan/reduce)")
+	op := fs.String("op", "sum", "reduction: sum, min, max, count, topk (reduce)")
+	k := fs.Uint("k", 0, "top-k depth (reduce -op topk)")
+	pred := fs.Bool("pred", false, "apply the -lo/-hi predicate to the reduction (reduce)")
+	limit := fs.Int("limit", 32, "matches to print; 0 prints every match (scan)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -132,6 +149,103 @@ func main() {
 			len(exts), bytes, len(blocks), minLen, maxLen)
 		fmt.Printf("one NDS command replaces a %d-request row-store gather\n", shape[0])
 
+	case "scan", "reduce":
+		if *addr == "" {
+			fmt.Fprintf(os.Stderr, "ndsctl %s: -addr required (a live ndsd)\n", cmd)
+			os.Exit(2)
+		}
+		if *coordStr == "" || *subStr == "" {
+			fmt.Fprintf(os.Stderr, "ndsctl %s: -coord and -sub required\n", cmd)
+			os.Exit(2)
+		}
+		coord, err := parseDims(*coordStr)
+		check(err)
+		sub, err := parseDims(*subStr)
+		check(err)
+		c, err := ndsclient.Dial(*addr)
+		check(err)
+		defer c.Close()
+		view, err := c.OpenView(uint32(*space), 0, dims)
+		check(err)
+		defer c.CloseView(view)
+
+		if cmd == "scan" {
+			fmt.Printf("scan space %d view %v, partition coord=%v sub=%v, pred [%d, %d]\n",
+				*space, dims, coord, sub, *lo, *hi)
+			printed, pages := 0, 0
+			cursor := int64(0)
+			for {
+				res, err := c.Scan(view, coord, sub, *lo, *hi, cursor, 0)
+				check(err)
+				pages++
+				if pages == 1 {
+					fmt.Printf("%d matches\n", res.Total)
+				}
+				for _, m := range res.Matches {
+					if *limit > 0 && printed >= *limit {
+						break
+					}
+					fmt.Printf("  [%d] = %d\n", m.Index, m.Value)
+					printed++
+				}
+				if res.NextCursor < 0 || (*limit > 0 && printed >= *limit) {
+					if res.NextCursor >= 0 {
+						fmt.Printf("  ... (-limit %d; rerun with -limit 0 for all)\n", *limit)
+					}
+					break
+				}
+				cursor = res.NextCursor
+			}
+			fmt.Printf("printed %d across %d result page(s); a read would have moved the whole partition\n",
+				printed, pages)
+			return
+		}
+
+		var opCode uint8
+		switch *op {
+		case "sum":
+			opCode = proto.ReduceOpSum
+		case "min":
+			opCode = proto.ReduceOpMin
+		case "max":
+			opCode = proto.ReduceOpMax
+		case "count":
+			opCode = proto.ReduceOpCount
+		case "topk":
+			opCode = proto.ReduceOpTopK
+		default:
+			fmt.Fprintf(os.Stderr, "ndsctl reduce: unknown -op %q (sum, min, max, count, topk)\n", *op)
+			os.Exit(2)
+		}
+		var predRange *[2]uint64
+		if *pred {
+			predRange = &[2]uint64{*lo, *hi}
+		}
+		res, err := c.Reduce(view, coord, sub, opCode, uint32(*k), predRange)
+		check(err)
+		fmt.Printf("reduce %s space %d, partition coord=%v sub=%v", *op, *space, coord, sub)
+		if predRange != nil {
+			fmt.Printf(", pred [%d, %d]", *lo, *hi)
+		}
+		fmt.Println()
+		switch opCode {
+		case proto.ReduceOpSum:
+			fmt.Printf("sum = %d over %d elements\n", res.Value, res.Count)
+		case proto.ReduceOpCount:
+			fmt.Printf("count = %d\n", res.Count)
+		case proto.ReduceOpMin, proto.ReduceOpMax:
+			if res.Count == 0 {
+				fmt.Println("no elements matched")
+			} else {
+				fmt.Printf("%s = %d at index %d (%d considered)\n", *op, res.Value, res.Index, res.Count)
+			}
+		case proto.ReduceOpTopK:
+			fmt.Printf("top %d of %d considered:\n", len(res.TopK), res.Count)
+			for _, m := range res.TopK {
+				fmt.Printf("  [%d] = %d\n", m.Index, m.Value)
+			}
+		}
+
 	default:
 		usage()
 	}
@@ -145,6 +259,6 @@ func check(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ndsctl {size|plan} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ndsctl {size|plan|scan|reduce} [flags]")
 	os.Exit(2)
 }

@@ -43,6 +43,7 @@ func main() {
 	writeTimeout := flag.Duration("writetimeout", ndsserver.DefaultWriteTimeout, "per-response write deadline")
 	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "graceful drain bound on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress connection-level logging")
+	pushdown := flag.Bool("pushdown", true, "serve the pushdown_scan/pushdown_reduce opcodes (false answers unsupported_opcode)")
 	qosWeight := flag.Float64("qos-weight-default", 0, "default tenant QoS weight; > 0 enables per-space weighted fair scheduling")
 	qosRate := flag.Float64("qos-rate", 0, "default per-tenant token-bucket rate in bytes/s (0 = uncapped; implies QoS on)")
 	qosBurst := flag.Int64("qos-burst", 0, "per-tenant token-bucket burst bytes (0 = default sizing; needs QoS on)")
@@ -100,10 +101,11 @@ func main() {
 	}
 
 	opts := nds.Options{
-		Mode:          m,
-		CapacityHint:  *capacity,
-		CacheBytes:    *cache,
-		PrefetchDepth: *prefetch,
+		Mode:            m,
+		CapacityHint:    *capacity,
+		CacheBytes:      *cache,
+		PrefetchDepth:   *prefetch,
+		DisablePushdown: !*pushdown,
 	}
 	if *qosWeight > 0 || *qosRate > 0 {
 		opts.TenantQoS = &nds.TenantQoS{

@@ -71,3 +71,34 @@ func ExampleSpace_Read() {
 	// 42
 	// 43
 }
+
+// ExampleSpace_Scan shows in-storage compute pushdown: the device scans the
+// partition next to the flash and only the matching elements cross the
+// interconnect, where a Read would have moved the whole partition.
+func ExampleSpace_Scan() {
+	dev, _ := nds.Open(nds.Options{Mode: nds.ModeHardware, CapacityHint: 8 << 20})
+	id, _ := dev.CreateSpace(8, []int64{64, 64})
+	prod, _ := dev.OpenSpace(id, []int64{64, 64})
+	data := make([]byte, 64*64*8)
+	for i := 0; i < 64*64; i++ {
+		binary.LittleEndian.PutUint64(data[i*8:], uint64(i%100))
+	}
+	prod.Write([]int64{0, 0}, []int64{64, 64}, data)
+
+	// Read-then-filter moves the raw partition; pushdown moves the matches.
+	_, rstats, _ := prod.Read([]int64{0, 0}, []int64{64, 64})
+	res, sstats, _ := prod.Scan([]int64{0, 0}, []int64{64, 64},
+		nds.ScanQuery{Pred: nds.Predicate{Lo: 98, Hi: 99}})
+	fmt.Println("matches         =", res.Total)
+	fmt.Println("read link bytes =", rstats.RawBytes)
+	fmt.Println("scan link bytes =", sstats.RawBytes)
+
+	top, _, _ := prod.Reduce([]int64{0, 0}, []int64{64, 64},
+		nds.ReduceQuery{Kind: nds.ReduceMax})
+	fmt.Println("max value       =", top.Value)
+	// Output:
+	// matches         = 80
+	// read link bytes = 32768
+	// scan link bytes = 1296
+	// max value       = 99
+}

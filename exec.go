@@ -107,6 +107,80 @@ func (d *Device) Exec(raw [proto.CommandSize]byte, payload, data []byte) ([]byte
 		}
 		return nil, proto.Completion{Status: proto.StatusOK, Result0: uint64(st.Bytes)}, st, nil
 
+	case proto.OpScan:
+		// A pushdown-disabled device answers like a drive without the
+		// capability — before decoding, exactly as real firmware rejects an
+		// unimplemented opcode without parsing its payload.
+		if d.noPushdown {
+			return nil, proto.Completion{Status: proto.StatusUnsupportedOp}, Stats{}, nil
+		}
+		view, ok := d.lookupView(cmd.Target())
+		if !ok {
+			return nil, proto.Completion{Status: proto.StatusUnknownView}, Stats{}, nil
+		}
+		pl, err := proto.UnmarshalScanPayload(payload)
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+		}
+		// The result page bounds a wire scan: max 0 means "fill the page",
+		// and anything larger is clamped to what the page can carry. Hosts
+		// resume past a truncated page with the returned cursor.
+		max := int(pl.Max)
+		if max <= 0 || max > proto.MaxScanMatches {
+			max = proto.MaxScanMatches
+		}
+		res, st, err := view.Scan(pl.Coord, pl.Sub, ScanQuery{
+			Pred:   Predicate{Lo: pl.Lo, Hi: pl.Hi},
+			Cursor: pl.Cursor,
+			Max:    max,
+		})
+		if err != nil {
+			return nil, completionFor(err), Stats{}, nil
+		}
+		rp := proto.ScanResultPayload{Total: res.Total, NextCursor: res.NextCursor}
+		for _, m := range res.Matches {
+			rp.Matches = append(rp.Matches, proto.ScanMatch{Index: m.Index, Value: m.Value})
+		}
+		page, err := rp.Marshal()
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
+		}
+		next := proto.ScanCursorNone
+		if res.NextCursor >= 0 {
+			next = uint64(res.NextCursor)
+		}
+		return page, proto.Completion{Status: proto.StatusOK, Result0: uint64(res.Total), Result1: next}, st, nil
+
+	case proto.OpReduce:
+		if d.noPushdown {
+			return nil, proto.Completion{Status: proto.StatusUnsupportedOp}, Stats{}, nil
+		}
+		view, ok := d.lookupView(cmd.Target())
+		if !ok {
+			return nil, proto.Completion{Status: proto.StatusUnknownView}, Stats{}, nil
+		}
+		pl, err := proto.UnmarshalReducePayload(payload)
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInvalidField}, Stats{}, nil
+		}
+		q := ReduceQuery{Kind: ReduceKind(pl.Op), K: int(pl.K)}
+		if pl.HasPred {
+			q.Pred = &Predicate{Lo: pl.Lo, Hi: pl.Hi}
+		}
+		res, st, err := view.Reduce(pl.Coord, pl.Sub, q)
+		if err != nil {
+			return nil, completionFor(err), Stats{}, nil
+		}
+		rp := proto.ReduceResultPayload{Value: res.Value, Index: res.Index, Count: res.Count}
+		for _, m := range res.TopK {
+			rp.TopK = append(rp.TopK, proto.ScanMatch{Index: m.Index, Value: m.Value})
+		}
+		page, err := rp.Marshal()
+		if err != nil {
+			return nil, proto.Completion{Status: proto.StatusInternal}, Stats{}, nil
+		}
+		return page, proto.Completion{Status: proto.StatusOK, Result0: res.Value, Result1: uint64(res.Count)}, st, nil
+
 	case proto.OpReliability:
 		r := d.Reliability()
 		page, err := proto.ReliabilityPayload{
@@ -252,6 +326,8 @@ func completionFor(err error) proto.Completion {
 		return proto.Completion{Status: proto.StatusMediaError}
 	case errors.Is(err, stl.ErrBounds), errors.Is(err, stl.ErrInvalid):
 		return proto.Completion{Status: proto.StatusInvalidField}
+	case errors.Is(err, ErrPushdownDisabled):
+		return proto.Completion{Status: proto.StatusUnsupportedOp}
 	default:
 		return proto.Completion{Status: proto.StatusInternal}
 	}

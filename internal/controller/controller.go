@@ -114,6 +114,15 @@ func (c *Controller) AssembleDuration(n int64, chunks int) sim.Time {
 	return sim.Time(chunks)*c.AssembleChunk + sim.TransferTime(n, c.AssembleBW)
 }
 
+// Pushdown charges the data assembler's core for d of in-device operator
+// time: scan/filter/reduce executed next to the building-block cache instead
+// of shipping raw pages to the host. The ARM core is markedly slower than a
+// host CPU at the same kernel — the compute half of the pushdown tradeoff —
+// but only the operator's result crosses the link.
+func (c *Controller) Pushdown(at sim.Time, d sim.Time) (start, end sim.Time) {
+	return c.assemble.Acquire(at, d)
+}
+
 // Disassemble charges the assembler for the write direction: breaking n
 // inbound bytes into chunks building-block pieces.
 func (c *Controller) Disassemble(at sim.Time, n int64, chunks int) (start, end sim.Time) {

@@ -83,6 +83,14 @@ func (h *Host) Scatter(at sim.Time, n int64, chunks int) (start, end sim.Time) {
 	return h.worker.Acquire(at, d)
 }
 
+// Compute charges the worker thread for d of kernel time: the host half of a
+// pushdown operator in the software-NDS configuration, where raw pages cross
+// the link and the host CPU scans them (the filter runs at host rate, but the
+// interconnect still carried every byte).
+func (h *Host) Compute(at sim.Time, d sim.Time) (start, end sim.Time) {
+	return h.worker.Acquire(at, d)
+}
+
 // Translate charges one software-NDS space translation (B-tree walk) on the
 // I/O thread: translation must complete before the page reads can be issued.
 func (h *Host) Translate(at sim.Time) (start, end sim.Time) {

@@ -235,6 +235,46 @@ func (c *Client) Write(view uint32, coord, sub []int64, data []byte) error {
 	return err
 }
 
+// Scan executes a pushdown predicate scan over the partition at coord/sub
+// through an open view: only matching (index, value) pairs cross the wire.
+// The result is one page deep; a scan with more matches than fit reports the
+// true total and a resume cursor (pass it as cursor to continue, 0 starts).
+// max 0 fills the page. A server running with pushdown disabled answers
+// StatusUnsupportedOp.
+func (c *Client) Scan(view uint32, coord, sub []int64, lo, hi uint64, cursor int64, max uint32) (proto.ScanResultPayload, error) {
+	page, err := proto.ScanPayload{Coord: coord, Sub: sub, Lo: lo, Hi: hi, Cursor: cursor, Max: max}.Marshal()
+	if err != nil {
+		return proto.ScanResultPayload{}, err
+	}
+	resp, err := c.do("pushdown_scan", proto.NewScan(view, 0).Marshal(), page, nil)
+	if err != nil {
+		return proto.ScanResultPayload{}, err
+	}
+	return proto.UnmarshalScanResultPayload(resp.Data)
+}
+
+// Reduce executes a pushdown reduction over the partition at coord/sub
+// through an open view: only the scalar result (plus top-k entries for
+// ReduceOpTopK) crosses the wire. pred non-nil restricts the reduction to
+// elements in the inclusive range [pred[0], pred[1]]; for ReduceOpCount a
+// nil pred counts nonzero elements. k names the top-k depth and must be zero
+// for other ops.
+func (c *Client) Reduce(view uint32, coord, sub []int64, op uint8, k uint32, pred *[2]uint64) (proto.ReduceResultPayload, error) {
+	pl := proto.ReducePayload{Coord: coord, Sub: sub, Op: op, K: k}
+	if pred != nil {
+		pl.HasPred, pl.Lo, pl.Hi = true, pred[0], pred[1]
+	}
+	page, err := pl.Marshal()
+	if err != nil {
+		return proto.ReduceResultPayload{}, err
+	}
+	resp, err := c.do("pushdown_reduce", proto.NewReduce(view, 0).Marshal(), page, nil)
+	if err != nil {
+		return proto.ReduceResultPayload{}, err
+	}
+	return proto.UnmarshalReduceResultPayload(resp.Data)
+}
+
 // CloseView retires a dynamic view ID.
 func (c *Client) CloseView(view uint32) error {
 	_, err := c.do("close_space", proto.NewCloseSpace(view).Marshal(), nil, nil)

@@ -39,6 +39,8 @@ const (
 	OpReliability Opcode = 0xCB
 	OpCacheStats  Opcode = 0xCC
 	OpTenantStats Opcode = 0xCD
+	OpScan        Opcode = 0xCE
+	OpReduce      Opcode = 0xCF
 )
 
 func (o Opcode) String() string {
@@ -59,6 +61,10 @@ func (o Opcode) String() string {
 		return "get_cache_stats"
 	case OpTenantStats:
 		return "get_tenant_stats"
+	case OpScan:
+		return "pushdown_scan"
+	case OpReduce:
+		return "pushdown_reduce"
 	default:
 		return fmt.Sprintf("opcode(%#x)", uint8(o))
 	}
@@ -129,7 +135,7 @@ func Unmarshal(raw [CommandSize]byte) (Command, error) {
 		return Command{}, fmt.Errorf("proto: not an extended command (reserved bit clear)")
 	}
 	switch c.Opcode() {
-	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability, OpCacheStats, OpTenantStats:
+	case OpRead, OpWrite, OpOpenSpace, OpCloseSpace, OpDeleteSpace, OpReliability, OpCacheStats, OpTenantStats, OpScan, OpReduce:
 	default:
 		return Command{}, fmt.Errorf("%w %#x", ErrUnknownOpcode, uint8(c.Opcode()))
 	}
@@ -192,6 +198,20 @@ func NewCacheStats(payloadAddr uint64) Command {
 // Completion.Result0 carries the untruncated tenant count.
 func NewTenantStats(payloadAddr uint64) Command {
 	return newCommand(OpTenantStats, 0, payloadAddr, false)
+}
+
+// NewScan builds a pushdown_scan command against an open view. The payload
+// page is a ScanPayload: the partition coordinates plus the predicate range
+// and result cursor.
+func NewScan(viewID uint32, payloadAddr uint64) Command {
+	return newCommand(OpScan, viewID, payloadAddr, false)
+}
+
+// NewReduce builds a pushdown_reduce command against an open view. The
+// payload page is a ReducePayload: the partition coordinates plus the
+// reduction operator.
+func NewReduce(viewID uint32, payloadAddr uint64) Command {
+	return newCommand(OpReduce, viewID, payloadAddr, false)
 }
 
 // CoordPayload is the 4 KB page named by a read/write command: the

@@ -1,0 +1,354 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func TestPushdownCommandRoundTrip(t *testing.T) {
+	cases := []struct {
+		cmd  Command
+		op   Opcode
+		name string
+	}{
+		{NewScan(7, 0x9000), OpScan, "pushdown_scan"},
+		{NewReduce(9, 0xA000), OpReduce, "pushdown_reduce"},
+	}
+	for _, tc := range cases {
+		got, err := Unmarshal(tc.cmd.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.cmd {
+			t.Fatalf("%s round-trip mismatch", tc.name)
+		}
+		if got.Opcode() != tc.op {
+			t.Fatalf("opcode = %v", got.Opcode())
+		}
+		if got.Opcode().String() != tc.name {
+			t.Fatalf("opcode string = %q", got.Opcode().String())
+		}
+	}
+}
+
+func TestScanPayloadRoundTrip(t *testing.T) {
+	p := ScanPayload{
+		Coord:  []int64{1, 2, 3},
+		Sub:    []int64{4, 5, 6},
+		Lo:     100,
+		Hi:     ^uint64(0),
+		Cursor: 4096,
+		Max:    17,
+	}
+	page, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != PageSize {
+		t.Fatalf("page is %d bytes", len(page))
+	}
+	got, err := UnmarshalScanPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+}
+
+func TestScanPayloadValidation(t *testing.T) {
+	base := ScanPayload{Coord: []int64{0}, Sub: []int64{1}, Lo: 5, Hi: 1}
+	if _, err := base.Marshal(); err == nil {
+		t.Fatal("inverted range marshalled")
+	}
+	neg := ScanPayload{Coord: []int64{0}, Sub: []int64{1}, Cursor: -1}
+	if _, err := neg.Marshal(); err == nil {
+		t.Fatal("negative cursor marshalled")
+	}
+	// An on-the-wire cursor past 2^62 must be rejected.
+	good, err := ScanPayload{Coord: []int64{0}, Sub: []int64{1}}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(good[4+8+16:], 1<<63) // cursor word for rank 1
+	if _, err := UnmarshalScanPayload(good); err == nil {
+		t.Fatal("overflowing cursor unmarshalled")
+	}
+	if _, err := UnmarshalScanPayload(make([]byte, 8)); err == nil {
+		t.Fatal("short page unmarshalled")
+	}
+}
+
+func TestScanResultPayloadRoundTrip(t *testing.T) {
+	p := ScanResultPayload{
+		Total:      1000,
+		NextCursor: 555,
+		Matches: []ScanMatch{
+			{Index: 0, Value: 1},
+			{Index: 42, Value: ^uint64(0)},
+			{Index: 554, Value: 9},
+		},
+	}
+	page, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalScanResultPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+
+	// A complete scan encodes NextCursor -1 as all-ones on the wire.
+	done := ScanResultPayload{Total: 3, NextCursor: -1, Matches: p.Matches}
+	page, err = done.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(page[16:]) != ScanCursorNone {
+		t.Fatal("complete scan did not encode cursor-none")
+	}
+	got, err = UnmarshalScanResultPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextCursor != -1 {
+		t.Fatalf("next cursor = %d", got.NextCursor)
+	}
+}
+
+func TestScanResultPayloadFullPage(t *testing.T) {
+	// Exactly MaxScanMatches entries fill the page; one more must fail.
+	full := ScanResultPayload{Total: int64(MaxScanMatches) + 50, NextCursor: 7}
+	for i := 0; i < MaxScanMatches; i++ {
+		full.Matches = append(full.Matches, ScanMatch{Index: int64(i), Value: uint64(i * 3)})
+	}
+	page, err := full.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalScanResultPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Fatal("full page round trip mismatch")
+	}
+	over := full
+	over.Matches = append(over.Matches, ScanMatch{Index: 1 << 20})
+	over.Total++
+	if _, err := over.Marshal(); err == nil {
+		t.Fatal("oversized match list marshalled")
+	}
+}
+
+func TestScanResultPayloadValidation(t *testing.T) {
+	bad := ScanResultPayload{Total: 0, Matches: []ScanMatch{{Index: 1}}}
+	if _, err := bad.Marshal(); err == nil {
+		t.Fatal("total below match count marshalled")
+	}
+	// A count claiming more matches than the page holds must be rejected.
+	page := make([]byte, scanHeaderLen)
+	binary.LittleEndian.PutUint32(page, 1)
+	binary.LittleEndian.PutUint64(page[8:], 1)
+	if _, err := UnmarshalScanResultPayload(page); err == nil {
+		t.Fatal("truncated match list unmarshalled")
+	}
+}
+
+func TestReducePayloadRoundTrip(t *testing.T) {
+	cases := []ReducePayload{
+		{Coord: []int64{0, 1}, Sub: []int64{2, 3}, Op: ReduceOpSum},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpCount, HasPred: true, Lo: 10, Hi: 20},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpMin},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpMax, HasPred: true, Lo: 0, Hi: 0},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpTopK, K: 10},
+	}
+	for i, p := range cases {
+		page, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := UnmarshalReducePayload(page)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("case %d round trip: %+v != %+v", i, got, p)
+		}
+	}
+}
+
+func TestReducePayloadValidation(t *testing.T) {
+	bad := []ReducePayload{
+		{Coord: []int64{0}, Sub: []int64{1}, Op: 0},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: 99},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpTopK, K: 0},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpTopK, K: uint32(MaxReduceTopK) + 1},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpSum, K: 5},
+		{Coord: []int64{0}, Sub: []int64{1}, Op: ReduceOpMin, HasPred: true, Lo: 9, Hi: 1},
+	}
+	for i, p := range bad {
+		if _, err := p.Marshal(); err == nil {
+			t.Fatalf("case %d marshalled: %+v", i, p)
+		}
+	}
+}
+
+func TestReduceResultPayloadRoundTrip(t *testing.T) {
+	p := ReduceResultPayload{
+		Value: 12345,
+		Index: 678,
+		Count: 90,
+		TopK: []ScanMatch{
+			{Index: 678, Value: 12345},
+			{Index: 9, Value: 12000},
+		},
+	}
+	page, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReduceResultPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+
+	// Index -1 (no element attained the result) survives the trip.
+	none := ReduceResultPayload{Value: 0, Index: -1, Count: 0}
+	page, err = none.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = UnmarshalReduceResultPayload(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != -1 || got.Count != 0 || len(got.TopK) != 0 {
+		t.Fatalf("empty result round trip: %+v", got)
+	}
+}
+
+func TestReduceResultPayloadValidation(t *testing.T) {
+	over := ReduceResultPayload{TopK: make([]ScanMatch, MaxReduceTopK+1)}
+	if _, err := over.Marshal(); err == nil {
+		t.Fatal("oversized top-k marshalled")
+	}
+	neg := ReduceResultPayload{Count: -1}
+	if _, err := neg.Marshal(); err == nil {
+		t.Fatal("negative count marshalled")
+	}
+	page := make([]byte, reduceHeaderLen)
+	binary.LittleEndian.PutUint32(page[24:], 1)
+	if _, err := UnmarshalReduceResultPayload(page); err == nil {
+		t.Fatal("truncated top-k list unmarshalled")
+	}
+}
+
+// FuzzUnmarshalScanPayload: arbitrary bytes must never panic, and any page
+// that parses must survive a marshal round-trip.
+func FuzzUnmarshalScanPayload(f *testing.F) {
+	seed, _ := ScanPayload{Coord: []int64{1}, Sub: []int64{2}, Lo: 3, Hi: 9, Max: 4}.Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, PageSize))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		p, err := UnmarshalScanPayload(page)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("parsed payload failed to re-marshal: %v", err)
+		}
+		q, err := UnmarshalScanPayload(out)
+		if err != nil {
+			t.Fatalf("re-marshalled payload failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatal("payload not stable under marshal round-trip")
+		}
+	})
+}
+
+// FuzzUnmarshalScanResultPayload: same contract for result pages.
+func FuzzUnmarshalScanResultPayload(f *testing.F) {
+	seed, _ := ScanResultPayload{Total: 2, NextCursor: -1, Matches: []ScanMatch{{Index: 1, Value: 2}}}.Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, PageSize))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		p, err := UnmarshalScanResultPayload(page)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("parsed payload failed to re-marshal: %v", err)
+		}
+		q, err := UnmarshalScanResultPayload(out)
+		if err != nil {
+			t.Fatalf("re-marshalled payload failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatal("payload not stable under marshal round-trip")
+		}
+	})
+}
+
+// FuzzUnmarshalReducePayload: same contract for reduce requests.
+func FuzzUnmarshalReducePayload(f *testing.F) {
+	seed, _ := ReducePayload{Coord: []int64{1}, Sub: []int64{2}, Op: ReduceOpTopK, K: 3}.Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x02}, PageSize))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		p, err := UnmarshalReducePayload(page)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("parsed payload failed to re-marshal: %v", err)
+		}
+		q, err := UnmarshalReducePayload(out)
+		if err != nil {
+			t.Fatalf("re-marshalled payload failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatal("payload not stable under marshal round-trip")
+		}
+	})
+}
+
+// FuzzUnmarshalReduceResultPayload: same contract for reduce results.
+func FuzzUnmarshalReduceResultPayload(f *testing.F) {
+	seed, _ := ReduceResultPayload{Value: 7, Index: 1, Count: 2, TopK: []ScanMatch{{Index: 1, Value: 7}}}.Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x03}, PageSize))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		p, err := UnmarshalReduceResultPayload(page)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("parsed payload failed to re-marshal: %v", err)
+		}
+		q, err := UnmarshalReduceResultPayload(out)
+		if err != nil {
+			t.Fatalf("re-marshalled payload failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatal("payload not stable under marshal round-trip")
+		}
+	})
+}

@@ -1,0 +1,393 @@
+package stl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nds/internal/sim"
+)
+
+// Pushdown operators: predicate scan, top-k, and block-level reductions
+// executed inside the STL, next to the building-block cache, over the same
+// segment plan the read path produces. Instead of assembling a partition and
+// shipping it to the host, the operator walks the planned page bytes in place
+// and returns only the result — the interconnect carries matches and
+// aggregates, not raw pages.
+//
+// Operators interpret elements as little-endian unsigned integers, so they
+// are defined only for element sizes 1, 2, 4, and 8 bytes (ErrInvalid
+// otherwise). Unwritten regions of a partition read as zeros on the read
+// path, and the operators see exactly those zeros: a pushdown result is
+// byte-identical to reading the partition and computing host-side, which the
+// differential suite pins across every device configuration.
+
+// Predicate selects elements whose unsigned little-endian value lies in the
+// inclusive range [Lo, Hi].
+type Predicate struct {
+	Lo, Hi uint64
+}
+
+func (p Predicate) matches(v uint64) bool { return v >= p.Lo && v <= p.Hi }
+
+// ScanQuery describes one predicate scan over a partition.
+type ScanQuery struct {
+	// Pred is the inclusive value range to match.
+	Pred Predicate
+	// Cursor is the first element index (row-major within the partition)
+	// eligible to be reported; earlier matches still count toward Total.
+	// Resuming a truncated scan passes the previous result's NextCursor here.
+	Cursor int64
+	// Max bounds the reported matches; <= 0 reports every match from Cursor.
+	Max int
+}
+
+// Match is one scan hit: the element's row-major index within the scanned
+// partition and its value.
+type Match struct {
+	Index int64
+	Value uint64
+}
+
+// ScanResult is a predicate scan's outcome. Total counts every match in the
+// partition regardless of Cursor and Max — the true total a truncated result
+// page still reports. NextCursor is the index of the first match that did not
+// fit under Max (pass it as the next query's Cursor to resume), or -1 when
+// Matches already covers every match at or past Cursor.
+type ScanResult struct {
+	Matches    []Match
+	Total      int64
+	NextCursor int64
+}
+
+// ReduceKind selects a block-level reduction operator. The values are wire
+// codes (pushdown_reduce's op field) and must stay stable.
+type ReduceKind uint8
+
+const (
+	// ReduceSum sums every element (wrapping uint64 arithmetic).
+	ReduceSum ReduceKind = 1 + iota
+	// ReduceCount counts elements matching the query predicate, or nonzero
+	// elements when the query has no predicate.
+	ReduceCount
+	// ReduceMin finds the minimum element and the first index attaining it.
+	ReduceMin
+	// ReduceMax finds the maximum element and the first index attaining it
+	// (the argmax operator).
+	ReduceMax
+	// ReduceTopK returns the K largest elements with their indices, ordered
+	// by descending value then ascending index.
+	ReduceTopK
+)
+
+func (k ReduceKind) String() string {
+	switch k {
+	case ReduceSum:
+		return "sum"
+	case ReduceCount:
+		return "count"
+	case ReduceMin:
+		return "min"
+	case ReduceMax:
+		return "max"
+	case ReduceTopK:
+		return "topk"
+	}
+	return fmt.Sprintf("reduce(%d)", uint8(k))
+}
+
+// ReduceQuery describes one reduction over a partition.
+type ReduceQuery struct {
+	Kind ReduceKind
+	// K is the result bound for ReduceTopK (required >= 1 there, ignored
+	// elsewhere).
+	K int
+	// Pred filters ReduceCount; nil counts nonzero elements. Ignored by the
+	// other kinds.
+	Pred *Predicate
+}
+
+// ReduceResult is a reduction's outcome. Value carries the scalar result
+// (sum, count, min, or max; for ReduceCount it duplicates Count so every kind
+// has its primary result in Value). Index is the first element index
+// attaining a min/max, -1 for the other kinds. Count is the number of
+// contributing elements: all of them for sum/min/max, the matching ones for
+// count, and len(TopK) for top-k.
+type ReduceResult struct {
+	Value uint64
+	Index int64
+	Count int64
+	TopK  []Match
+}
+
+// pushdownElemSize reports whether the operators are defined for an element
+// size (little-endian unsigned integer widths).
+func pushdownElemSize(es int64) bool {
+	return es == 1 || es == 2 || es == 4 || es == 8
+}
+
+// ScanPartition executes a predicate scan over the partition at coord/sub of
+// view v entirely inside the STL. It rides ReadPartitionSegments — the same
+// QoS admission (the tenant is charged the partition bytes read, not the
+// result bytes), the same plan phase, the same prefetch hook — so the device
+// sees identical operations at identical times as a read of the same
+// partition; only the host-visible payload differs. On a phantom device the
+// scan sees all zeros, exactly as a read would return.
+func (t *STL) ScanPartition(at sim.Time, v *View, coord, sub []int64, q ScanQuery) (ScanResult, sim.Time, RequestStats, error) {
+	es := int64(v.Space().ElemSize())
+	if !pushdownElemSize(es) {
+		return ScanResult{}, at, RequestStats{}, fmt.Errorf("stl: pushdown scan over %d-byte elements: %w", es, ErrInvalid)
+	}
+	if q.Cursor < 0 || q.Pred.Lo > q.Pred.Hi {
+		return ScanResult{}, at, RequestStats{}, fmt.Errorf("stl: pushdown scan query (cursor %d, range [%d,%d]): %w", q.Cursor, q.Pred.Lo, q.Pred.Hi, ErrInvalid)
+	}
+	var res ScanResult
+	done, stats, err := t.ReadPartitionSegments(at, v, coord, sub, func(want int64, segs []Segment) error {
+		res = scanSegments(want, es, segs, q)
+		return nil
+	})
+	if err != nil {
+		return ScanResult{}, done, stats, err
+	}
+	return res, done, stats, nil
+}
+
+// ReducePartition executes a block-level reduction over the partition at
+// coord/sub of view v inside the STL, with the same admission, timing, and
+// stats contract as ScanPartition.
+func (t *STL) ReducePartition(at sim.Time, v *View, coord, sub []int64, q ReduceQuery) (ReduceResult, sim.Time, RequestStats, error) {
+	es := int64(v.Space().ElemSize())
+	if !pushdownElemSize(es) {
+		return ReduceResult{}, at, RequestStats{}, fmt.Errorf("stl: pushdown reduce over %d-byte elements: %w", es, ErrInvalid)
+	}
+	switch q.Kind {
+	case ReduceSum, ReduceCount, ReduceMin, ReduceMax:
+	case ReduceTopK:
+		if q.K < 1 {
+			return ReduceResult{}, at, RequestStats{}, fmt.Errorf("stl: pushdown top-k with k=%d: %w", q.K, ErrInvalid)
+		}
+	default:
+		return ReduceResult{}, at, RequestStats{}, fmt.Errorf("stl: pushdown reduce kind %d: %w", uint8(q.Kind), ErrInvalid)
+	}
+	if q.Pred != nil && q.Pred.Lo > q.Pred.Hi {
+		return ReduceResult{}, at, RequestStats{}, fmt.Errorf("stl: pushdown reduce range [%d,%d]: %w", q.Pred.Lo, q.Pred.Hi, ErrInvalid)
+	}
+	var res ReduceResult
+	done, stats, err := t.ReadPartitionSegments(at, v, coord, sub, func(want int64, segs []Segment) error {
+		res = reduceSegments(want, es, segs, q)
+		return nil
+	})
+	if err != nil {
+		return ReduceResult{}, done, stats, err
+	}
+	return res, done, stats, nil
+}
+
+// forEachElement walks the want bytes a segment list describes as a stream of
+// es-byte little-endian elements, calling fn once per element in index order.
+// Gaps between segments read as zeros, matching the read path's assembly of
+// unwritten storage; segments whose boundaries are not element-aligned (an
+// element straddling two segments, or a segment edge) are assembled
+// byte-wise. A nil segment list (phantom devices) yields all zeros.
+func forEachElement(want, es int64, segs []Segment, fn func(i int64, v uint64)) {
+	n := want / es
+	si := 0
+	for i := int64(0); i < n; {
+		off := i * es
+		for si < len(segs) && segs[si].Dst+int64(len(segs[si].Src)) <= off {
+			si++
+		}
+		if si >= len(segs) || segs[si].Dst >= off+es {
+			// Zero run: no segment overlaps this element. Emit zeros up to
+			// the first element overlapping the next segment (or the end).
+			end := n
+			if si < len(segs) {
+				// First element index j with j*es+es > segs[si].Dst; the gap
+				// branch guarantees Dst >= off+es >= es, so the division is a
+				// true floor.
+				if j := (segs[si].Dst-es)/es + 1; j < end {
+					end = j
+				}
+			}
+			for ; i < end; i++ {
+				fn(i, 0)
+			}
+			continue
+		}
+		if s := segs[si]; s.Dst <= off && off+es <= s.Dst+int64(len(s.Src)) {
+			// In-segment run: decode as many whole elements as the segment
+			// still covers without leaving it.
+			src := s.Src[off-s.Dst:]
+			m := int64(len(src)) / es
+			switch es {
+			case 1:
+				for k := int64(0); k < m; k++ {
+					fn(i+k, uint64(src[k]))
+				}
+			case 2:
+				for k := int64(0); k < m; k++ {
+					fn(i+k, uint64(binary.LittleEndian.Uint16(src[2*k:])))
+				}
+			case 4:
+				for k := int64(0); k < m; k++ {
+					fn(i+k, uint64(binary.LittleEndian.Uint32(src[4*k:])))
+				}
+			case 8:
+				for k := int64(0); k < m; k++ {
+					fn(i+k, binary.LittleEndian.Uint64(src[8*k:]))
+				}
+			}
+			i += m
+			continue
+		}
+		// Straddle: the element crosses a segment boundary (or starts in a
+		// gap). Assemble it byte-wise; absent bytes are zeros.
+		var v uint64
+		sj := si
+		for b := int64(0); b < es; b++ {
+			bo := off + b
+			for sj < len(segs) && segs[sj].Dst+int64(len(segs[sj].Src)) <= bo {
+				sj++
+			}
+			if sj < len(segs) && segs[sj].Dst <= bo {
+				v |= uint64(segs[sj].Src[bo-segs[sj].Dst]) << (8 * b)
+			}
+		}
+		fn(i, v)
+		i++
+	}
+}
+
+// scanSegments is the pure scan kernel over a planned segment list.
+func scanSegments(want, es int64, segs []Segment, q ScanQuery) ScanResult {
+	res := ScanResult{NextCursor: -1}
+	forEachElement(want, es, segs, func(i int64, v uint64) {
+		if !q.Pred.matches(v) {
+			return
+		}
+		res.Total++
+		if i < q.Cursor {
+			return
+		}
+		if q.Max > 0 && len(res.Matches) >= q.Max {
+			if res.NextCursor < 0 {
+				res.NextCursor = i
+			}
+			return
+		}
+		res.Matches = append(res.Matches, Match{Index: i, Value: v})
+	})
+	return res
+}
+
+// reduceSegments is the pure reduction kernel over a planned segment list.
+func reduceSegments(want, es int64, segs []Segment, q ReduceQuery) ReduceResult {
+	res := ReduceResult{Index: -1}
+	var top *topK
+	if q.Kind == ReduceTopK {
+		top = newTopK(q.K)
+	}
+	forEachElement(want, es, segs, func(i int64, v uint64) {
+		// The predicate gates every kind: only matching elements participate.
+		// ReduceCount with no predicate counts nonzero elements instead.
+		if q.Pred != nil && !q.Pred.matches(v) {
+			return
+		}
+		switch q.Kind {
+		case ReduceSum:
+			res.Value += v
+			res.Count++
+		case ReduceCount:
+			if q.Pred != nil || v != 0 {
+				res.Count++
+			}
+		case ReduceMin:
+			if res.Count == 0 || v < res.Value {
+				res.Value, res.Index = v, i
+			}
+			res.Count++
+		case ReduceMax:
+			if res.Count == 0 || v > res.Value {
+				res.Value, res.Index = v, i
+			}
+			res.Count++
+		case ReduceTopK:
+			top.offer(i, v)
+		}
+	})
+	if q.Kind == ReduceCount {
+		res.Value = uint64(res.Count)
+	}
+	if top != nil {
+		res.TopK = top.sorted()
+		res.Count = int64(len(res.TopK))
+		if len(res.TopK) > 0 {
+			res.Value, res.Index = res.TopK[0].Value, res.TopK[0].Index
+		}
+	}
+	return res
+}
+
+// topK keeps the k best (value desc, index asc on ties) matches seen so far
+// in a min-heap whose root is the current worst keeper.
+type topK struct {
+	k    int
+	heap []Match
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// worse orders keepers: a is evicted before b when a's value is smaller, or
+// equal with a larger index.
+func worse(a, b Match) bool {
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.Index > b.Index
+}
+
+func (t *topK) offer(i int64, v uint64) {
+	m := Match{Index: i, Value: v}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, m)
+		for c := len(t.heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !worse(t.heap[c], t.heap[p]) {
+				break
+			}
+			t.heap[c], t.heap[p] = t.heap[p], t.heap[c]
+			c = p
+		}
+		return
+	}
+	if !worse(t.heap[0], m) {
+		return
+	}
+	t.heap[0] = m
+	for p := 0; ; {
+		c := 2*p + 1
+		if c >= len(t.heap) {
+			break
+		}
+		if c+1 < len(t.heap) && worse(t.heap[c+1], t.heap[c]) {
+			c++
+		}
+		if !worse(t.heap[c], t.heap[p]) {
+			break
+		}
+		t.heap[c], t.heap[p] = t.heap[p], t.heap[c]
+		p = c
+	}
+}
+
+// sorted drains the heap into descending-value, ascending-index order.
+func (t *topK) sorted() []Match {
+	out := append([]Match(nil), t.heap...)
+	// Insertion sort: k is small (bounded by the wire page) and the heap is
+	// nearly ordered already.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && worse(out[j-1], out[j]); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

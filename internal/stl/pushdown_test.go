@@ -1,0 +1,374 @@
+package stl
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refElems decodes an assembled partition buffer into elements the way the
+// pushdown kernels are specified to: little-endian unsigned, gaps as zeros.
+func refElems(buf []byte, want, es int64) []uint64 {
+	out := make([]uint64, want/es)
+	for i := range out {
+		var v uint64
+		for b := int64(0); b < es; b++ {
+			if off := int64(i)*es + b; off < int64(len(buf)) {
+				v |= uint64(buf[off]) << (8 * b)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func refScan(elems []uint64, q ScanQuery) ScanResult {
+	res := ScanResult{NextCursor: -1}
+	for i, v := range elems {
+		if !q.Pred.matches(v) {
+			continue
+		}
+		res.Total++
+		if int64(i) < q.Cursor {
+			continue
+		}
+		if q.Max > 0 && len(res.Matches) >= q.Max {
+			if res.NextCursor < 0 {
+				res.NextCursor = int64(i)
+			}
+			continue
+		}
+		res.Matches = append(res.Matches, Match{Index: int64(i), Value: v})
+	}
+	return res
+}
+
+func refReduce(elems []uint64, q ReduceQuery) ReduceResult {
+	// The predicate gates every kind: only matching (index, value) pairs
+	// participate in the reduction.
+	var kept []Match
+	for i, v := range elems {
+		if q.Pred != nil && !q.Pred.matches(v) {
+			continue
+		}
+		kept = append(kept, Match{Index: int64(i), Value: v})
+	}
+	res := ReduceResult{Index: -1}
+	switch q.Kind {
+	case ReduceSum:
+		for _, m := range kept {
+			res.Value += m.Value
+		}
+		res.Count = int64(len(kept))
+	case ReduceCount:
+		for _, m := range kept {
+			if q.Pred != nil || m.Value != 0 {
+				res.Count++
+			}
+		}
+		res.Value = uint64(res.Count)
+	case ReduceMin:
+		for _, m := range kept {
+			if res.Count == 0 || m.Value < res.Value {
+				res.Value, res.Index = m.Value, m.Index
+			}
+			res.Count++
+		}
+	case ReduceMax:
+		for _, m := range kept {
+			if res.Count == 0 || m.Value > res.Value {
+				res.Value, res.Index = m.Value, m.Index
+			}
+			res.Count++
+		}
+	case ReduceTopK:
+		all := kept
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Value != all[j].Value {
+				return all[i].Value > all[j].Value
+			}
+			return all[i].Index < all[j].Index
+		})
+		if len(all) > q.K {
+			all = all[:q.K]
+		}
+		res.TopK = all
+		res.Count = int64(len(all))
+		if len(all) > 0 {
+			res.Value, res.Index = all[0].Value, all[0].Index
+		}
+	}
+	return res
+}
+
+func scanEqual(a, b ScanResult) bool {
+	if a.Total != b.Total || a.NextCursor != b.NextCursor || len(a.Matches) != len(b.Matches) {
+		return false
+	}
+	for i := range a.Matches {
+		if a.Matches[i] != b.Matches[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func reduceEqual(a, b ReduceResult) bool {
+	if a.Value != b.Value || a.Index != b.Index || a.Count != b.Count || len(a.TopK) != len(b.TopK) {
+		return false
+	}
+	for i := range a.TopK {
+		if a.TopK[i] != b.TopK[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPushdownScanMatchesRead: a pushdown scan must report exactly the
+// matches a host computes over the assembled partition, for several element
+// sizes and partitions, including partitions with unwritten (zero) regions.
+func TestPushdownScanMatchesRead(t *testing.T) {
+	for _, es := range []int{1, 2, 4, 8} {
+		st := newTestSTL(t, false)
+		s := mustSpace(t, st, es, 64, 64)
+		v := mustView(t, s, 64, 64)
+		rng := rand.New(rand.NewSource(int64(42 + es)))
+		// Write only three quadrants: the fourth stays unwritten zeros.
+		data := make([]byte, 32*32*es)
+		for _, c := range [][]int64{{0, 0}, {0, 1}, {1, 0}} {
+			for i := range data {
+				data[i] = byte(rng.Intn(256))
+			}
+			if _, _, err := st.WritePartition(0, v, c, []int64{32, 32}, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, part := range [][4]int64{{0, 0, 64, 64}, {1, 0, 32, 32}, {1, 1, 16, 16}, {0, 1, 48, 32}} {
+			coord, sub := []int64{part[0], part[1]}, []int64{part[2], part[3]}
+			buf, _, rstats, err := st.ReadPartition(0, v, coord, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elems := refElems(buf, rstats.Bytes, int64(es))
+			for _, q := range []ScanQuery{
+				{Pred: Predicate{Lo: 0, Hi: 20}},
+				{Pred: Predicate{Lo: 0, Hi: 0}},
+				{Pred: Predicate{Lo: 1, Hi: ^uint64(0)}},
+				{Pred: Predicate{Lo: 100, Hi: 50000}, Cursor: 17, Max: 9},
+			} {
+				got, _, sstats, err := st.ScanPartition(0, v, coord, sub, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := refScan(elems, q); !scanEqual(got, want) {
+					t.Fatalf("es=%d part=%v q=%+v: scan mismatch\n got %+v\nwant %+v", es, part, q, got, want)
+				}
+				// Stats consistency: the scan reads the same partition the
+				// read did — same payload bytes, extents, and pages.
+				if sstats.Bytes != rstats.Bytes || sstats.Extents != rstats.Extents || sstats.PagesRead != rstats.PagesRead {
+					t.Fatalf("es=%d part=%v: scan stats %+v != read stats %+v", es, part, sstats, rstats)
+				}
+			}
+		}
+	}
+}
+
+// TestPushdownReduceMatchesRead pins every reduction kind against the
+// host-side reference over the assembled buffer.
+func TestPushdownReduceMatchesRead(t *testing.T) {
+	st := newTestSTL(t, false)
+	s := mustSpace(t, st, 2, 64, 64)
+	v := mustView(t, s, 64, 64)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 64*32*2)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	// Left half written, right half zeros.
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{64, 32}, data); err != nil {
+		t.Fatal(err)
+	}
+	coord, sub := []int64{0, 0}, []int64{64, 64}
+	buf, _, rstats, err := st.ReadPartition(0, v, coord, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := refElems(buf, rstats.Bytes, 2)
+	pred := &Predicate{Lo: 10, Hi: 1000}
+	for _, q := range []ReduceQuery{
+		{Kind: ReduceSum},
+		{Kind: ReduceSum, Pred: pred},
+		{Kind: ReduceCount},
+		{Kind: ReduceCount, Pred: pred},
+		{Kind: ReduceMin},
+		{Kind: ReduceMin, Pred: pred},
+		{Kind: ReduceMax},
+		{Kind: ReduceMax, Pred: pred},
+		{Kind: ReduceMax, Pred: &Predicate{Lo: 1 << 40, Hi: 1 << 41}}, // nothing matches
+		{Kind: ReduceTopK, K: 1},
+		{Kind: ReduceTopK, K: 8, Pred: pred},
+		{Kind: ReduceTopK, K: 16},
+		{Kind: ReduceTopK, K: 100000}, // k > n: every element comes back
+	} {
+		got, _, _, err := st.ReducePartition(0, v, coord, sub, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := refReduce(elems, q); !reduceEqual(got, want) {
+			t.Fatalf("q=%+v: reduce mismatch\n got %+v\nwant %+v", q, got, want)
+		}
+	}
+}
+
+// TestPushdownCursorResume: paging through a scan with a small Max and the
+// returned NextCursor must enumerate exactly the unpaged match list.
+func TestPushdownCursorResume(t *testing.T) {
+	st := newTestSTL(t, false)
+	s := mustSpace(t, st, 4, 64, 64)
+	v := mustView(t, s, 64, 64)
+	data := make([]byte, 64*64*4)
+	for i := 0; i < 64*64; i++ {
+		binary.LittleEndian.PutUint32(data[4*i:], uint32(i%50))
+	}
+	if _, _, err := st.WritePartition(0, v, []int64{0, 0}, []int64{64, 64}, data); err != nil {
+		t.Fatal(err)
+	}
+	coord, sub := []int64{0, 0}, []int64{64, 64}
+	pred := Predicate{Lo: 5, Hi: 7}
+	full, _, _, err := st.ScanPartition(0, v, coord, sub, ScanQuery{Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NextCursor != -1 || int64(len(full.Matches)) != full.Total {
+		t.Fatalf("unpaged scan should be complete: %+v", full)
+	}
+	var paged []Match
+	cursor, pages := int64(0), 0
+	for {
+		res, _, _, err := st.ScanPartition(0, v, coord, sub, ScanQuery{Pred: pred, Cursor: cursor, Max: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != full.Total {
+			t.Fatalf("page %d: total %d != %d (pages must still report the true total)", pages, res.Total, full.Total)
+		}
+		paged = append(paged, res.Matches...)
+		pages++
+		if res.NextCursor < 0 {
+			break
+		}
+		cursor = res.NextCursor
+		if pages > len(full.Matches) {
+			t.Fatal("cursor loop does not terminate")
+		}
+	}
+	if pages < 2 {
+		t.Fatalf("expected multiple pages, got %d", pages)
+	}
+	if len(paged) != len(full.Matches) {
+		t.Fatalf("paged %d matches, want %d", len(paged), len(full.Matches))
+	}
+	for i := range paged {
+		if paged[i] != full.Matches[i] {
+			t.Fatalf("match %d: paged %+v != full %+v", i, paged[i], full.Matches[i])
+		}
+	}
+}
+
+// TestPushdownInvalidQueries: unsupported element sizes and malformed
+// queries fail with ErrInvalid before touching the device.
+func TestPushdownInvalidQueries(t *testing.T) {
+	st := newTestSTL(t, false)
+	s3 := mustSpace(t, st, 3, 64, 64) // 3-byte elements: no integer interpretation
+	v3 := mustView(t, s3, 64, 64)
+	if _, _, _, err := st.ScanPartition(0, v3, []int64{0, 0}, []int64{8, 8}, ScanQuery{Pred: Predicate{Hi: 1}}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("scan over 3-byte elements: got %v, want ErrInvalid", err)
+	}
+	if _, _, _, err := st.ReducePartition(0, v3, []int64{0, 0}, []int64{8, 8}, ReduceQuery{Kind: ReduceSum}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("reduce over 3-byte elements: got %v, want ErrInvalid", err)
+	}
+	s := mustSpace(t, st, 4, 64, 64)
+	v := mustView(t, s, 64, 64)
+	coord, sub := []int64{0, 0}, []int64{8, 8}
+	if _, _, _, err := st.ScanPartition(0, v, coord, sub, ScanQuery{Pred: Predicate{Lo: 2, Hi: 1}}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("inverted range: got %v, want ErrInvalid", err)
+	}
+	if _, _, _, err := st.ScanPartition(0, v, coord, sub, ScanQuery{Cursor: -1, Pred: Predicate{Hi: 1}}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative cursor: got %v, want ErrInvalid", err)
+	}
+	if _, _, _, err := st.ReducePartition(0, v, coord, sub, ReduceQuery{Kind: ReduceTopK}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("top-k without k: got %v, want ErrInvalid", err)
+	}
+	if _, _, _, err := st.ReducePartition(0, v, coord, sub, ReduceQuery{Kind: ReduceKind(99)}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unknown kind: got %v, want ErrInvalid", err)
+	}
+}
+
+// TestForEachElementSegments drives the element walker over synthetic
+// segment lists with gaps, adjacency, and element-straddling boundaries,
+// comparing against a materialized buffer.
+func TestForEachElementSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		es := []int64{1, 2, 4, 8}[rng.Intn(4)]
+		want := es * int64(1+rng.Intn(64))
+		// Build random non-overlapping segments with arbitrary (non
+		// element-aligned) boundaries.
+		buf := make([]byte, want)
+		var segs []Segment
+		pos := int64(0)
+		for pos < want {
+			gap := int64(rng.Intn(7))
+			pos += gap
+			if pos >= want {
+				break
+			}
+			n := int64(1 + rng.Intn(13))
+			if pos+n > want {
+				n = want - pos
+			}
+			src := make([]byte, n)
+			rng.Read(src)
+			copy(buf[pos:], src)
+			segs = append(segs, Segment{Dst: pos, Src: src})
+			pos += n
+		}
+		wantElems := refElems(buf, want, es)
+		i := int64(0)
+		forEachElement(want, es, segs, func(idx int64, v uint64) {
+			if idx != i {
+				t.Fatalf("trial %d: walker index %d, want %d", trial, idx, i)
+			}
+			if v != wantElems[idx] {
+				t.Fatalf("trial %d es=%d: element %d = %#x, want %#x (segs %d)", trial, es, idx, v, wantElems[idx], len(segs))
+			}
+			i++
+		})
+		if i != int64(len(wantElems)) {
+			t.Fatalf("trial %d: walked %d elements, want %d", trial, i, len(wantElems))
+		}
+	}
+}
+
+// TestTopKOrdering pins the heap's tie-breaking: descending value, then
+// ascending index, truncated to k.
+func TestTopKOrdering(t *testing.T) {
+	vals := []uint64{5, 9, 1, 9, 5, 0, 9, 2}
+	top := newTopK(4)
+	for i, v := range vals {
+		top.offer(int64(i), v)
+	}
+	got := top.sorted()
+	want := []Match{{1, 9}, {3, 9}, {6, 9}, {0, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("topk returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topk[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package system
+
+import (
+	"fmt"
+
+	"nds/internal/accel"
+	"nds/internal/sim"
+	"nds/internal/stl"
+)
+
+// Pushdown operator dispatch: the [P2] tradeoff as a measurable experiment.
+//
+// Software NDS runs the STL — and therefore the operator — on the host: the
+// scan executes at host-CPU rate, but every raw page still crosses the
+// interconnect first, so pushdown saves nothing on the link (RawBytes equals
+// a read's). Hardware NDS runs the operator on the controller's ARM core next
+// to the building-block cache: the kernel is slower, but only the result page
+// crosses the link, so RawBytes collapses to the result size. Comparing the
+// two against read-then-filter turns "interconnect bytes saved vs compute
+// cost" into numbers.
+//
+// Compute is charged through accel-style rate curves (bytes/second vs
+// scanned-bytes working set): small scans are dominated by setup cost, large
+// ones saturate the engine, mirroring Figure 3's shape at CPU scale.
+
+// mustRateCurve builds a static curve; the anchors below are compile-time
+// constants, so failure is a programming error.
+func mustRateCurve(name string, pts []accel.RatePoint) accel.RateCurve {
+	c, err := accel.NewRateCurve(name, pts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+var (
+	// hostScanRate models a single host core streaming a predicate scan
+	// (Ryzen 3700X class): ramps from launch-overhead-bound at a page to
+	// ~16 GB/s saturated.
+	hostScanRate = mustRateCurve("host-scan", []accel.RatePoint{
+		{Dim: 4 << 10, Rate: 2.5e9},
+		{Dim: 64 << 10, Rate: 8e9},
+		{Dim: 1 << 20, Rate: 14e9},
+		{Dim: 16 << 20, Rate: 16e9},
+	})
+	// ctrlScanRate models the same kernel on a controller ARM A72 core:
+	// roughly 5-6x slower across the range, the compute half of the
+	// pushdown tradeoff.
+	ctrlScanRate = mustRateCurve("ctrl-scan", []accel.RatePoint{
+		{Dim: 4 << 10, Rate: 0.6e9},
+		{Dim: 64 << 10, Rate: 1.6e9},
+		{Dim: 1 << 20, Rate: 2.6e9},
+		{Dim: 16 << 20, Rate: 3e9},
+	})
+)
+
+// scanResultBytes is the simulated wire size of a scan result: a 16-byte
+// header (total + cursor) plus 16 bytes per reported match.
+func scanResultBytes(r stl.ScanResult) int64 {
+	return 16 + 16*int64(len(r.Matches))
+}
+
+// reduceResultBytes is the simulated wire size of a reduction result: a
+// 32-byte header plus 16 bytes per top-k entry.
+func reduceResultBytes(r stl.ReduceResult) int64 {
+	return 32 + 16*int64(len(r.TopK))
+}
+
+// NDSScan executes a predicate scan over one partition at the STL.
+//
+// Software NDS: submission and translation on the host CPU, raw pages across
+// the link, then the host worker filters them at host-scan rate. Hardware
+// NDS: one extended command in, translation and the scan kernel on the
+// controller, and only the result page back across the link.
+func (s *System) NDSScan(at sim.Time, v *stl.View, coord, sub []int64, q stl.ScanQuery) (stl.ScanResult, OpStats, error) {
+	var stats OpStats
+	switch s.Kind {
+	case SoftwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, trEnd := s.Host.Translate(subEnd)
+		res, devDone, st, err := s.STL.ScanPartition(trEnd, v, coord, sub, q)
+		if err != nil {
+			return stl.ScanResult{}, stats, err
+		}
+		raw := st.PagesRead * s.pageSize()
+		_, linkEnd := s.Link.Transfer(trEnd, raw)
+		_, cmpEnd := s.Host.Compute(trEnd, hostScanRate.Duration(st.Bytes, st.Bytes))
+		stats = pushdownStats(sim.Max(devDone, sim.Max(linkEnd, cmpEnd)), st, raw)
+		return res, stats, nil
+
+	case HardwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, cmdXfer := s.Link.Transfer(subEnd, int64(s.Cfg.Geometry.PageSize)) // command + query page
+		_, cmdEnd := s.Ctrl.HandleCommand(cmdXfer)
+		_, trEnd := s.Ctrl.Translate(cmdEnd)
+		res, devDone, st, err := s.STL.ScanPartition(trEnd, v, coord, sub, q)
+		if err != nil {
+			return stl.ScanResult{}, stats, err
+		}
+		_, dpEnd := s.Ctrl.DispatchPages(trEnd, st.PagesRead)
+		_, cmpEnd := s.Ctrl.Pushdown(trEnd, ctrlScanRate.Duration(st.Bytes, st.Bytes))
+		result := scanResultBytes(res)
+		_, linkEnd := s.Link.Transfer(trEnd, result)
+		done := sim.Max(sim.Max(devDone, dpEnd), sim.Max(cmpEnd, linkEnd))
+		stats = pushdownStats(done, st, result)
+		return res, stats, nil
+	}
+	return stl.ScanResult{}, stats, fmt.Errorf("system: NDSScan on %v system", s.Kind)
+}
+
+// NDSReduce executes a block-level reduction over one partition at the STL,
+// with the same stage structure and charging as NDSScan.
+func (s *System) NDSReduce(at sim.Time, v *stl.View, coord, sub []int64, q stl.ReduceQuery) (stl.ReduceResult, OpStats, error) {
+	var stats OpStats
+	switch s.Kind {
+	case SoftwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, trEnd := s.Host.Translate(subEnd)
+		res, devDone, st, err := s.STL.ReducePartition(trEnd, v, coord, sub, q)
+		if err != nil {
+			return stl.ReduceResult{}, stats, err
+		}
+		raw := st.PagesRead * s.pageSize()
+		_, linkEnd := s.Link.Transfer(trEnd, raw)
+		_, cmpEnd := s.Host.Compute(trEnd, hostScanRate.Duration(st.Bytes, st.Bytes))
+		stats = pushdownStats(sim.Max(devDone, sim.Max(linkEnd, cmpEnd)), st, raw)
+		return res, stats, nil
+
+	case HardwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, cmdXfer := s.Link.Transfer(subEnd, int64(s.Cfg.Geometry.PageSize))
+		_, cmdEnd := s.Ctrl.HandleCommand(cmdXfer)
+		_, trEnd := s.Ctrl.Translate(cmdEnd)
+		res, devDone, st, err := s.STL.ReducePartition(trEnd, v, coord, sub, q)
+		if err != nil {
+			return stl.ReduceResult{}, stats, err
+		}
+		_, dpEnd := s.Ctrl.DispatchPages(trEnd, st.PagesRead)
+		_, cmpEnd := s.Ctrl.Pushdown(trEnd, ctrlScanRate.Duration(st.Bytes, st.Bytes))
+		result := reduceResultBytes(res)
+		_, linkEnd := s.Link.Transfer(trEnd, result)
+		done := sim.Max(sim.Max(devDone, dpEnd), sim.Max(cmpEnd, linkEnd))
+		stats = pushdownStats(done, st, result)
+		return res, stats, nil
+	}
+	return stl.ReduceResult{}, stats, fmt.Errorf("system: NDSReduce on %v system", s.Kind)
+}
+
+// pushdownStats packages operator stats: Bytes is the payload scanned (what
+// the tenant was charged), RawBytes is what actually crossed the link.
+func pushdownStats(done sim.Time, st stl.RequestStats, rawBytes int64) OpStats {
+	return OpStats{
+		Done:     done,
+		Bytes:    st.Bytes,
+		RawBytes: rawBytes,
+		Extents:  st.Extents,
+		Pages:    st.PagesRead,
+		Commands: 1,
+
+		ProgramRetries: st.ProgramRetries,
+	}
+}

@@ -155,6 +155,12 @@ type Options struct {
 	// failed programs). Observe the outcome through Reliability(). With no
 	// plan the device behaves bit-identically to one without the feature.
 	Faults *FaultPlan
+	// DisablePushdown turns off the in-storage compute operators: Space.Scan
+	// and Space.Reduce fail with ErrPushdownDisabled, and the wire opcodes
+	// pushdown_scan/pushdown_reduce complete with StatusUnsupportedOp —
+	// exactly what a host sees from a drive without the capability. The data
+	// path is unaffected.
+	DisablePushdown bool
 	// TenantQoS, when non-nil, installs per-tenant weighted fair scheduling
 	// in front of the data path: each space (or space group, see
 	// BindSpaceGroup) is a tenant with a weight and an optional token-bucket
@@ -304,6 +310,9 @@ type Device struct {
 	// serializedWrites records Options.SerializedWrites.
 	serializedWrites bool
 
+	// noPushdown records Options.DisablePushdown.
+	noPushdown bool
+
 	// viewMu guards the view registry: every open Space, its wire-protocol
 	// dynamic view ID, and the ID counter. Both the typed API and Exec
 	// register and retire views here, so the two paths see one lifecycle.
@@ -361,6 +370,7 @@ func Open(opts Options) (*Device, error) {
 	return &Device{
 		sys:              sys,
 		serializedWrites: opts.SerializedWrites,
+		noPushdown:       opts.DisablePushdown,
 		open:             make(map[*Space]bool),
 		views:            make(map[uint32]*Space),
 	}, nil

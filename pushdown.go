@@ -1,0 +1,123 @@
+package nds
+
+import (
+	"errors"
+	"fmt"
+
+	"nds/internal/stl"
+)
+
+// In-storage compute pushdown: predicate scans and block-level reductions
+// executed at the STL, next to the building-block cache, returning only
+// results. This is the [P2] interconnect problem turned into an operator: on
+// a hardware device the raw pages never cross the link (Stats.RawBytes is
+// the result size), while a software device still ships every page to the
+// host and filters there — the comparison is the experiment.
+//
+// Elements are unsigned little-endian integers of the space's element size
+// (1, 2, 4, or 8 bytes); other element sizes reject with ErrInvalid. Indexes
+// are row-major element positions within the scanned partition. Unwritten
+// regions read as zeros, exactly as Read would return them, so a pushdown
+// result is byte-for-byte what the host would compute from Read's buffer —
+// the differential tests hold every configuration to that.
+
+// ErrPushdownDisabled reports a Scan or Reduce on a device opened with
+// Options.DisablePushdown. The wire layer maps it to StatusUnsupportedOp.
+var ErrPushdownDisabled = errors.New("pushdown disabled on this device")
+
+// Predicate is an inclusive unsigned value range [Lo, Hi].
+type Predicate = stl.Predicate
+
+// ScanQuery selects elements of a partition by predicate. Cursor resumes a
+// truncated scan at the element index a previous result's NextCursor
+// reported; Max bounds the reported matches (<= 0 means unlimited through
+// the typed API; the wire protocol bounds results to one page).
+type ScanQuery = stl.ScanQuery
+
+// Match is one scan hit: the element's row-major index within the scanned
+// partition and its value.
+type Match = stl.Match
+
+// ScanResult reports a scan: the matches at or past the query cursor (up to
+// Max), the true total match count over the whole partition regardless of
+// truncation, and the cursor resuming a truncated scan (-1 when complete).
+type ScanResult = stl.ScanResult
+
+// ReduceKind selects a reduction operator.
+type ReduceKind = stl.ReduceKind
+
+// Reduction operators. Values are stable on the wire.
+const (
+	// ReduceSum sums matching elements (wrapping uint64 arithmetic).
+	ReduceSum = stl.ReduceSum
+	// ReduceCount counts matching elements — nonzero elements when the query
+	// has no predicate.
+	ReduceCount = stl.ReduceCount
+	// ReduceMin reports the smallest matching element and its first index.
+	ReduceMin = stl.ReduceMin
+	// ReduceMax reports the largest matching element and its first index.
+	ReduceMax = stl.ReduceMax
+	// ReduceTopK reports the K largest matching elements, descending (ties
+	// broken by ascending index).
+	ReduceTopK = stl.ReduceTopK
+)
+
+// ReduceQuery configures a reduction: the operator, K for ReduceTopK, and an
+// optional predicate restricting which elements participate (nil admits all
+// elements — except for ReduceCount, where nil counts nonzero elements).
+type ReduceQuery = stl.ReduceQuery
+
+// ReduceResult reports a reduction. Value carries the scalar result (sum,
+// count, min, max, or the top value); Index is the first element attaining a
+// min/max (-1 when the partition had no matching elements); Count is how
+// many elements contributed; TopK holds ReduceTopK's entries.
+type ReduceResult = stl.ReduceResult
+
+// Scan executes a predicate scan over the partition at coord/sub inside the
+// device, returning matching elements without materializing the partition on
+// the host. Timing, flash operations, and tenant QoS charging are identical
+// to the Read of the same partition; what differs is what crosses the
+// interconnect (see Stats.RawBytes). Scans work on phantom devices — an
+// unstored partition is all zeros.
+func (s *Space) Scan(coord, sub []int64, q ScanQuery) (ScanResult, Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view == nil {
+		return ScanResult{}, Stats{}, fmt.Errorf("nds: scan on %w", ErrClosedView)
+	}
+	d := s.dev
+	if d.noPushdown {
+		return ScanResult{}, Stats{}, fmt.Errorf("nds: scan: %w", ErrPushdownDisabled)
+	}
+	issue := s.cursor
+	d.io.RLock()
+	res, st, err := d.sys.NDSScan(issue, s.view, coord, sub, q)
+	d.io.RUnlock()
+	if err != nil {
+		return ScanResult{}, Stats{}, err
+	}
+	return res, s.account(issue, st), nil
+}
+
+// Reduce executes a block-level reduction over the partition at coord/sub
+// inside the device, with the same timing, charging, and interconnect
+// semantics as Scan.
+func (s *Space) Reduce(coord, sub []int64, q ReduceQuery) (ReduceResult, Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view == nil {
+		return ReduceResult{}, Stats{}, fmt.Errorf("nds: reduce on %w", ErrClosedView)
+	}
+	d := s.dev
+	if d.noPushdown {
+		return ReduceResult{}, Stats{}, fmt.Errorf("nds: reduce: %w", ErrPushdownDisabled)
+	}
+	issue := s.cursor
+	d.io.RLock()
+	res, st, err := d.sys.NDSReduce(issue, s.view, coord, sub, q)
+	d.io.RUnlock()
+	if err != nil {
+		return ReduceResult{}, Stats{}, err
+	}
+	return res, s.account(issue, st), nil
+}

@@ -1,0 +1,399 @@
+package nds
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The pushdown differential: a Scan or Reduce must report exactly what the
+// host would compute from the same partition's Read bytes, on every device
+// configuration the read path has — and because the operators ride the read
+// path's segment plan, their device-side stats (payload bytes, flash pages,
+// extents) must equal the equivalent Read's, access for access.
+
+// decodeElems interprets a partition's bytes as little-endian uint64 elements
+// of width es. data nil (phantom devices) decodes as want/es zeros.
+func decodeElems(data []byte, want int64, es int) []uint64 {
+	n := want / int64(es)
+	elems := make([]uint64, n)
+	if data == nil {
+		return elems
+	}
+	for i := int64(0); i < n; i++ {
+		var v uint64
+		for b := 0; b < es; b++ {
+			v |= uint64(data[i*int64(es)+int64(b)]) << (8 * b)
+		}
+		elems[i] = v
+	}
+	return elems
+}
+
+// hostScan is the read-then-filter oracle, mirroring ScanQuery's cursor/Max
+// contract.
+func hostScan(elems []uint64, q ScanQuery) ScanResult {
+	res := ScanResult{NextCursor: -1}
+	for i, v := range elems {
+		if v < q.Pred.Lo || v > q.Pred.Hi {
+			continue
+		}
+		res.Total++
+		if int64(i) < q.Cursor {
+			continue
+		}
+		if q.Max > 0 && len(res.Matches) == q.Max {
+			if res.NextCursor < 0 {
+				res.NextCursor = int64(i)
+			}
+			continue
+		}
+		res.Matches = append(res.Matches, Match{Index: int64(i), Value: v})
+	}
+	return res
+}
+
+// hostReduce is the read-then-reduce oracle.
+func hostReduce(elems []uint64, q ReduceQuery) ReduceResult {
+	var kept []Match
+	for i, v := range elems {
+		if q.Pred != nil && (v < q.Pred.Lo || v > q.Pred.Hi) {
+			continue
+		}
+		kept = append(kept, Match{Index: int64(i), Value: v})
+	}
+	res := ReduceResult{Index: -1}
+	switch q.Kind {
+	case ReduceSum:
+		for _, m := range kept {
+			res.Value += m.Value
+		}
+		res.Count = int64(len(kept))
+	case ReduceCount:
+		for _, m := range kept {
+			if q.Pred != nil || m.Value != 0 {
+				res.Count++
+			}
+		}
+		res.Value = uint64(res.Count)
+	case ReduceMin:
+		for _, m := range kept {
+			if res.Count == 0 || m.Value < res.Value {
+				res.Value, res.Index = m.Value, m.Index
+			}
+			res.Count++
+		}
+	case ReduceMax:
+		for _, m := range kept {
+			if res.Count == 0 || m.Value > res.Value {
+				res.Value, res.Index = m.Value, m.Index
+			}
+			res.Count++
+		}
+	case ReduceTopK:
+		sort.Slice(kept, func(i, j int) bool {
+			if kept[i].Value != kept[j].Value {
+				return kept[i].Value > kept[j].Value
+			}
+			return kept[i].Index < kept[j].Index
+		})
+		if len(kept) > q.K {
+			kept = kept[:q.K]
+		}
+		res.TopK = kept
+		res.Count = int64(len(kept))
+		if len(kept) > 0 {
+			res.Value, res.Index = kept[0].Value, kept[0].Index
+		}
+	}
+	return res
+}
+
+func scanResultsEqual(a, b ScanResult) bool {
+	if a.Total != b.Total || a.NextCursor != b.NextCursor || len(a.Matches) != len(b.Matches) {
+		return false
+	}
+	for i := range a.Matches {
+		if a.Matches[i] != b.Matches[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func reduceResultsEqual(a, b ReduceResult) bool {
+	if a.Value != b.Value || a.Index != b.Index || a.Count != b.Count || len(a.TopK) != len(b.TopK) {
+		return false
+	}
+	for i := range a.TopK {
+		if a.TopK[i] != b.TopK[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pushdownQueries is the access pattern both devices execute per partition:
+// one entry per sequence point, scan or reduce. Queries cover full-range and
+// selective predicates, cursor paging with truncation, and every reduction
+// kind with and without a predicate.
+var pushdownQueries = []struct {
+	scan   *ScanQuery
+	reduce *ReduceQuery
+}{
+	{scan: &ScanQuery{Pred: Predicate{Lo: 0, Hi: ^uint64(0)}}},
+	{scan: &ScanQuery{Pred: Predicate{Lo: 100, Hi: 999}}},
+	{scan: &ScanQuery{Pred: Predicate{Lo: 100, Hi: 999}, Cursor: 64, Max: 5}},
+	{scan: &ScanQuery{Pred: Predicate{Lo: 4000, Hi: 4001}}},
+	{reduce: &ReduceQuery{Kind: ReduceSum}},
+	{reduce: &ReduceQuery{Kind: ReduceSum, Pred: &Predicate{Lo: 100, Hi: 999}}},
+	{reduce: &ReduceQuery{Kind: ReduceCount}},
+	{reduce: &ReduceQuery{Kind: ReduceMin, Pred: &Predicate{Lo: 1, Hi: ^uint64(0)}}},
+	{reduce: &ReduceQuery{Kind: ReduceMax}},
+	{reduce: &ReduceQuery{Kind: ReduceTopK, K: 7}},
+}
+
+// TestDifferentialPushdownVsRead drives two identically-prepared devices
+// through the same per-partition access sequence — one Reads, the other
+// Scans/Reduces — and requires byte-identical results and identical
+// device-side stats at every sequence point, across the read path's
+// configurations (both modes, cache+prefetch, compression, write buffering,
+// the scalar data path, fault injection, and phantom devices).
+func TestDifferentialPushdownVsRead(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"hardware", Options{Mode: ModeHardware, CapacityHint: 16 << 20}},
+		{"software", Options{Mode: ModeSoftware, CapacityHint: 16 << 20}},
+		{"cached", Options{Mode: ModeHardware, CapacityHint: 16 << 20, CacheBytes: 4 << 20, PrefetchDepth: 2}},
+		{"compressed", Options{Mode: ModeHardware, CapacityHint: 16 << 20, Compress: true}},
+		{"write-buffered", Options{Mode: ModeHardware, CapacityHint: 16 << 20, WriteBuffering: true}},
+		{"scalar", Options{Mode: ModeHardware, CapacityHint: 16 << 20, ScalarDataPath: true}},
+		{"faults", Options{Mode: ModeHardware, CapacityHint: 16 << 20,
+			Faults: &FaultPlan{Seed: 11, ProgramFailEvery: 7, ReadRetryEvery: 5}}},
+		{"phantom", Options{Mode: ModeHardware, CapacityHint: 16 << 20, Phantom: true}},
+	}
+	const es = 8
+	subs := [][]int64{{32, 32}, {16, 64}, {64, 128}}
+
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			setup := func() (*Device, *Space) {
+				d, err := Open(cfg.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				id, err := d.CreateSpace(es, []int64{128, 128})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, err := d.OpenSpace(id, []int64{128, 128})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Write the left half with bounded values (runs of repeats so
+				// compression engages), overwrite a sub-tile, and leave the
+				// right half unwritten: scans cross data, zeros, and the seam.
+				payload := make([]byte, 128*64*es)
+				rng := rand.New(rand.NewSource(13))
+				for i := 0; i < len(payload)/es; {
+					v, n := uint64(rng.Intn(5000)), rng.Intn(16)+1
+					for j := 0; j < n && i < len(payload)/es; j++ {
+						binary.LittleEndian.PutUint64(payload[i*es:], v)
+						i++
+					}
+				}
+				if _, err := v.Write([]int64{0, 0}, []int64{128, 64}, payload); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := v.Write([]int64{2, 1}, []int64{16, 32}, payload[:16*32*es]); err != nil {
+					t.Fatal(err)
+				}
+				return d, v
+			}
+
+			rd, rv := setup() // the reading device
+			defer rd.Close()
+			pd, pv := setup() // the pushdown device
+			defer pd.Close()
+
+			op := 0
+			for _, sub := range subs {
+				for c0 := int64(0); c0 < 128/sub[0]; c0 += 128 / sub[0] / 2 {
+					coord := []int64{c0, 0}
+					for _, q := range pushdownQueries {
+						data, rst, err := rv.Read(coord, sub)
+						if err != nil {
+							t.Fatalf("op %d read: %v", op, err)
+						}
+						elems := decodeElems(data, rst.Bytes, es)
+						var pst Stats
+						if q.scan != nil {
+							got, st, err := pv.Scan(coord, sub, *q.scan)
+							if err != nil {
+								t.Fatalf("op %d scan: %v", op, err)
+							}
+							if want := hostScan(elems, *q.scan); !scanResultsEqual(got, want) {
+								t.Fatalf("op %d sub=%v q=%+v: scan diverges from read+filter\n got %+v\nwant %+v",
+									op, sub, *q.scan, got, want)
+							}
+							pst = st
+						} else {
+							got, st, err := pv.Reduce(coord, sub, *q.reduce)
+							if err != nil {
+								t.Fatalf("op %d reduce: %v", op, err)
+							}
+							if want := hostReduce(elems, *q.reduce); !reduceResultsEqual(got, want) {
+								t.Fatalf("op %d sub=%v q=%+v: reduce diverges from read+reduce\n got %+v\nwant %+v",
+									op, sub, *q.reduce, got, want)
+							}
+							pst = st
+						}
+						// Device-side stats are the read's by construction:
+						// same payload, same flash pages, same extents, same
+						// relocations. What crosses the link differs by mode.
+						if pst.Bytes != rst.Bytes || pst.Pages != rst.Pages ||
+							pst.Extents != rst.Extents || pst.ProgramRetries != rst.ProgramRetries {
+							t.Fatalf("op %d sub=%v: pushdown stats diverge from read\n pushdown: %+v\n read:     %+v",
+								op, sub, pst, rst)
+						}
+						if cfg.opts.Mode == ModeSoftware && pst.RawBytes != rst.RawBytes {
+							t.Fatalf("op %d: software pushdown moved %d link bytes, read moved %d — software NDS saves nothing",
+								op, pst.RawBytes, rst.RawBytes)
+						}
+						op++
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPushdownInterconnectSavings pins the [P2] headline: on hardware NDS a
+// selective scan's RawBytes (the result page) is a small fraction of the
+// Read's (the raw partition), while software NDS moves every raw page either
+// way.
+func TestPushdownInterconnectSavings(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id, err := d.CreateSpace(8, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.OpenSpace(id, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	data := make([]byte, 256*256*8)
+	for i := 0; i < 256*256; i++ {
+		binary.LittleEndian.PutUint64(data[8*i:], uint64(i%1000))
+	}
+	if _, err := v.Write([]int64{0, 0}, []int64{256, 256}, data); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rst, err := v.Read([]int64{0, 0}, []int64{256, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sst, err := v.Scan([]int64{0, 0}, []int64{256, 256}, ScanQuery{Pred: Predicate{Lo: 0, Hi: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i%1000 in [0,9]: ten hits per full thousand plus the partial cycle.
+	want := int64(256*256/1000)*10 + 10
+	if res.Total != want {
+		t.Fatalf("1%% scan matched %d of %d, want %d", res.Total, 256*256, want)
+	}
+	if sst.RawBytes*10 > rst.RawBytes {
+		t.Fatalf("1%% scan moved %d link bytes vs read's %d: want >=10x savings", sst.RawBytes, rst.RawBytes)
+	}
+	if sst.Elapsed <= 0 || sst.Pages != rst.Pages {
+		t.Fatalf("scan stats inconsistent with read: %+v vs %+v", sst, rst)
+	}
+}
+
+// TestPushdownQoSCharging checks that pushdown operators pass through tenant
+// admission like reads: the scanned payload bytes land in the tenant's
+// accounting.
+func TestPushdownQoSCharging(t *testing.T) {
+	d, err := Open(Options{
+		Mode:         ModeHardware,
+		CapacityHint: 16 << 20,
+		TenantQoS:    &TenantQoS{Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id, err := d.CreateSpace(8, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.OpenSpace(id, []int64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	data := make([]byte, 64*64*8)
+	if _, err := v.Write([]int64{0, 0}, []int64{64, 64}, data); err != nil {
+		t.Fatal(err)
+	}
+	before := d.TenantStats()
+	if len(before) != 1 {
+		t.Fatalf("tenants = %d", len(before))
+	}
+	const scans = 3
+	for i := 0; i < scans; i++ {
+		if _, _, err := v.Scan([]int64{0, 0}, []int64{64, 64}, ScanQuery{Pred: Predicate{Lo: 1, Hi: 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := v.Reduce([]int64{0, 0}, []int64{64, 64}, ReduceQuery{Kind: ReduceSum}); err != nil {
+		t.Fatal(err)
+	}
+	after := d.TenantStats()
+	wantOps := before[0].Ops + scans + 1
+	wantBytes := before[0].Bytes + (scans+1)*64*64*8
+	if after[0].Ops != wantOps || after[0].Bytes != wantBytes {
+		t.Fatalf("tenant accounting: ops %d bytes %d, want %d / %d",
+			after[0].Ops, after[0].Bytes, wantOps, wantBytes)
+	}
+}
+
+// TestPushdownDisabledTyped checks the typed API's capability gate.
+func TestPushdownDisabledTyped(t *testing.T) {
+	d, err := Open(Options{Mode: ModeHardware, CapacityHint: 16 << 20, DisablePushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id, err := d.CreateSpace(8, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.OpenSpace(id, []int64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if _, _, err := v.Scan([]int64{0, 0}, []int64{16, 16}, ScanQuery{}); !errors.Is(err, ErrPushdownDisabled) {
+		t.Fatalf("scan on disabled device: %v", err)
+	}
+	if _, _, err := v.Reduce([]int64{0, 0}, []int64{16, 16}, ReduceQuery{Kind: ReduceMax}); !errors.Is(err, ErrPushdownDisabled) {
+		t.Fatalf("reduce on disabled device: %v", err)
+	}
+	// Closed views report closure regardless of capability.
+	v.Close()
+	if _, _, err := v.Scan([]int64{0, 0}, []int64{16, 16}, ScanQuery{}); !errors.Is(err, ErrClosedView) {
+		t.Fatalf("scan on closed view: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,8 +56,14 @@ type benchPoint struct {
 	// timing has no deterministic simulated counterpart).
 	// SavingsX is the pushdown workload's deterministic interconnect
 	// reduction: the payload bytes a read-then-filter would have moved
-	// divided by the bytes the in-storage scans actually moved.
+	// divided by the bytes the in-storage scans actually moved. For the
+	// kernel-* points it is the device-resident kernel's link-byte savings
+	// versus its read-everything form.
 	SavingsX float64 `json:"pushdown_savings_x,omitempty"`
+	// TopKSavingsX is the reduce-side figure: the interconnect reduction of
+	// a top-k reduce (one fixed-size result page per partition) versus
+	// reading the partitions.
+	TopKSavingsX float64 `json:"pushdown_topk_savings_x,omitempty"`
 	RateRps  float64 `json:"rate_rps,omitempty"`
 	AchievedRps float64 `json:"achieved_rps,omitempty"`
 	P50Ns       float64 `json:"p50_ns,omitempty"`
@@ -140,6 +147,7 @@ func measureSnapshot(cacheBytes int64, prefetch int) benchSnapshot {
 		{"stream", 1},
 		{"net-antagonist", antConns},
 		{"pushdown", 16},
+		{"kernel-bfs", 1}, {"kernel-knn", 1},
 	}
 	for _, p := range points {
 		pt, err := measurePoint(p.workload, p.clients, cacheBytes, prefetch)
@@ -169,6 +177,8 @@ func measurePoint(workload string, clients int, cacheBytes int64, prefetch int) 
 		return measureAntagonistPoint(cacheBytes, prefetch)
 	case "pushdown":
 		return measurePushdown(clients, cacheBytes, prefetch)
+	case "kernel-bfs", "kernel-knn":
+		return measureKernel(normWorkload(workload))
 	}
 	return benchPoint{}, fmt.Errorf("unknown workload %q", workload)
 }
@@ -184,8 +194,12 @@ func printSnapshot(snap benchSnapshot) {
 			continue
 		}
 		if p.SavingsX > 0 {
-			fmt.Printf("%-9s %-8d %12.0f %14.1f   %.0fx fewer interconnect bytes than read+filter\n",
-				normWorkload(p.Workload), p.Clients, p.WallNsOp, p.SimMBps, p.SavingsX)
+			topk := ""
+			if p.TopKSavingsX > 0 {
+				topk = fmt.Sprintf(" (top-k reduce %.0fx)", p.TopKSavingsX)
+			}
+			fmt.Printf("%-9s %-8d %12.0f %14.1f   %.0fx fewer interconnect bytes than read+filter%s\n",
+				normWorkload(p.Workload), p.Clients, p.WallNsOp, p.SimMBps, p.SavingsX, topk)
 			continue
 		}
 		hitPct := "-"
@@ -271,6 +285,23 @@ func benchCompare(path string, simTol, wallTol float64) {
 				fmt.Printf("%s: FAIL interconnect savings regressed beyond %.0f%%\n", label, simTol*100)
 				failed = true
 			}
+		}
+		if bp.TopKSavingsX > 0 {
+			topkRatio := cp.TopKSavingsX / bp.TopKSavingsX
+			fmt.Printf("%s: top-k reduce savings %0.1fx -> %0.1fx (%.2fx)\n",
+				label, bp.TopKSavingsX, cp.TopKSavingsX, topkRatio)
+			if topkRatio < 1-simTol {
+				fmt.Printf("%s: FAIL top-k reduce savings regressed beyond %.0f%%\n", label, simTol*100)
+				failed = true
+			}
+		}
+		// The device-resident kernel points carry the acceptance floor
+		// outright: at their (well under 10%) selectivities the pushdown form
+		// must move at least 5x fewer interconnect bytes than reading
+		// everything, independent of what the baseline snapshot recorded.
+		if strings.HasPrefix(normWorkload(bp.Workload), "kernel-") && cp.SavingsX < 5 {
+			fmt.Printf("%s: FAIL pushdown link-byte savings %.1fx below the 5x floor\n", label, cp.SavingsX)
+			failed = true
 		}
 		if bp.P99Ns > 0 {
 			p99Ratio := cp.P99Ns / bp.P99Ns

@@ -43,6 +43,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "measure the concurrent-client benchmark and write BENCH_<rev>.json")
 	faultcheck := flag.Bool("faultcheck", false, "run a mixed workload under a seeded fault plan and verify recovery")
 	pushdown := flag.Bool("pushdown", false, "selectivity sweep: in-storage scan/reduce vs read-then-filter on both NDS modes")
+	kernels := flag.Bool("kernels", false, "device-resident kernel sweep: Figure-10 stage split with pushdown plus a BFS selectivity sweep")
 	n := flag.Int64("n", 8192, "microbenchmark matrix dimension (paper: 32768)")
 	cache := flag.Int64("cache", 0, "building-block DRAM cache size in bytes for -json (0 = off)")
 	prefetch := flag.Int("prefetch", 2, "dimensional prefetch depth in blocks when -cache is set")
@@ -74,7 +75,7 @@ func main() {
 		tables = multiFlag{"1", "overhead"}
 		sweeps = multiFlag{"channels", "bbmult"}
 	}
-	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" && *netAddr == "" && !*stream && !*antagonist && !*pushdown {
+	if len(figs) == 0 && len(tables) == 0 && len(sweeps) == 0 && !*jsonOut && !*faultcheck && *benchcompare == "" && *netAddr == "" && !*stream && !*antagonist && !*pushdown && !*kernels {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -88,6 +89,9 @@ func main() {
 	}
 	if *pushdown {
 		runPushdown(*cache, *prefetch)
+	}
+	if *kernels {
+		runKernels()
 	}
 	if *stream {
 		runStream(*netAddr, streamOpts{Window: *window, ChunkRows: *chunkRows})

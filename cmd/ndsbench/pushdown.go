@@ -181,5 +181,21 @@ func measurePushdown(clients int, cacheBytes int64, prefetch int) (benchPoint, e
 	if raw := phaseRaw.Load(); raw > 0 {
 		pt.SavingsX = float64(pdTiles*pdTileB) / float64(raw)
 	}
+	// The reduce-side figure: a top-16 reduce returns one fixed-size result
+	// page per tile, so its savings dwarf the scan's. One sequential pass is
+	// enough — the result volume is deterministic.
+	var topkRaw int64
+	for t := int64(0); t < pdTiles; t++ {
+		coord := []int64{t / (pdDim / pdTile), t % (pdDim / pdTile)}
+		_, st, err := views[0].Reduce(coord, []int64{pdTile, pdTile},
+			nds.ReduceQuery{Kind: nds.ReduceTopK, K: 16})
+		if err != nil {
+			return benchPoint{}, err
+		}
+		topkRaw += st.RawBytes
+	}
+	if topkRaw > 0 {
+		pt.TopKSavingsX = float64(pdTiles*pdTileB) / float64(topkRaw)
+	}
 	return pt, nil
 }

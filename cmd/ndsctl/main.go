@@ -15,12 +15,18 @@
 //	ndsctl size -elem 4 -dims 2048,2048,2048 -order 3
 //	ndsctl plan -elem 8 -dims 32768,32768 -coord 1,0 -sub 8192,8192
 //	ndsctl scan -addr unix:/tmp/nds.sock -space 1 -dims 1024,1024 -coord 0,0 -sub 256,256 -lo 0 -hi 9
+//	ndsctl scan -addr unix:/tmp/nds.sock -space 2 -elem 4 -dims 1024,1024 -coord 0,0 -sub 256,256 -flo 0.5 -fhi 1.5
 //	ndsctl reduce -addr unix:/tmp/nds.sock -space 1 -dims 1024,1024 -coord 0,0 -sub 256,256 -op topk -k 4
+//
+// -flo/-fhi express the predicate over float32/float64 values stored in the
+// order-preserving key encoding (see nds.FloatKey32/FloatKey64): the bounds
+// are encoded before the query ships and matches decode back to floats.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +36,7 @@ import (
 	"nds/internal/proto"
 	"nds/internal/stl"
 	"nds/internal/system"
+	"nds/internal/tensor"
 )
 
 func parseDims(s string) ([]int64, error) {
@@ -64,6 +71,8 @@ func main() {
 	space := fs.Uint("space", 0, "space ID on the ndsd server (scan/reduce)")
 	lo := fs.Uint64("lo", 0, "predicate lower bound, inclusive (scan/reduce)")
 	hi := fs.Uint64("hi", ^uint64(0), "predicate upper bound, inclusive (scan/reduce)")
+	flo := fs.Float64("flo", math.Inf(-1), "float predicate lower bound, inclusive; the space must hold order-preserving float keys of -elem 4 or 8 (scan/reduce)")
+	fhi := fs.Float64("fhi", math.Inf(1), "float predicate upper bound, inclusive (scan/reduce)")
 	op := fs.String("op", "sum", "reduction: sum, min, max, count, topk (reduce)")
 	k := fs.Uint("k", 0, "top-k depth (reduce -op topk)")
 	pred := fs.Bool("pred", false, "apply the -lo/-hi predicate to the reduction (reduce)")
@@ -162,6 +171,43 @@ func main() {
 		check(err)
 		sub, err := parseDims(*subStr)
 		check(err)
+		// -flo/-fhi express the predicate over float values stored in the
+		// order-preserving key encoding (FloatKey32/FloatKey64): the bounds
+		// encode to the uint range whose unsigned comparison the STL already
+		// implements, and matched values decode back for printing.
+		floatPred := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "flo" || f.Name == "fhi" {
+				floatPred = true
+			}
+		})
+		if floatPred {
+			switch *elem {
+			case 4:
+				*lo, *hi = uint64(tensor.Key32(float32(*flo))), uint64(tensor.Key32(float32(*fhi)))
+			case 8:
+				*lo, *hi = tensor.Key64(*flo), tensor.Key64(*fhi)
+			default:
+				fmt.Fprintf(os.Stderr, "ndsctl %s: -flo/-fhi need -elem 4 or 8 (order-preserving float keys), got %d\n", cmd, *elem)
+				os.Exit(2)
+			}
+			*pred = true // float bounds imply the reduce predicate
+		}
+		fmtVal := func(v uint64) string {
+			if !floatPred {
+				return fmt.Sprintf("%d", v)
+			}
+			if *elem == 4 {
+				return fmt.Sprintf("%g", tensor.FromKey32(uint32(v)))
+			}
+			return fmt.Sprintf("%g", tensor.FromKey64(v))
+		}
+		fmtPred := func() string {
+			if floatPred {
+				return fmt.Sprintf("[%g, %g] (keys [%#x, %#x])", *flo, *fhi, *lo, *hi)
+			}
+			return fmt.Sprintf("[%d, %d]", *lo, *hi)
+		}
 		c, err := ndsclient.Dial(*addr)
 		check(err)
 		defer c.Close()
@@ -170,8 +216,8 @@ func main() {
 		defer c.CloseView(view)
 
 		if cmd == "scan" {
-			fmt.Printf("scan space %d view %v, partition coord=%v sub=%v, pred [%d, %d]\n",
-				*space, dims, coord, sub, *lo, *hi)
+			fmt.Printf("scan space %d view %v, partition coord=%v sub=%v, pred %s\n",
+				*space, dims, coord, sub, fmtPred())
 			printed, pages := 0, 0
 			cursor := int64(0)
 			for {
@@ -185,7 +231,7 @@ func main() {
 					if *limit > 0 && printed >= *limit {
 						break
 					}
-					fmt.Printf("  [%d] = %d\n", m.Index, m.Value)
+					fmt.Printf("  [%d] = %s\n", m.Index, fmtVal(m.Value))
 					printed++
 				}
 				if res.NextCursor < 0 || (*limit > 0 && printed >= *limit) {
@@ -225,7 +271,7 @@ func main() {
 		check(err)
 		fmt.Printf("reduce %s space %d, partition coord=%v sub=%v", *op, *space, coord, sub)
 		if predRange != nil {
-			fmt.Printf(", pred [%d, %d]", *lo, *hi)
+			fmt.Printf(", pred %s", fmtPred())
 		}
 		fmt.Println()
 		switch opCode {
@@ -237,12 +283,12 @@ func main() {
 			if res.Count == 0 {
 				fmt.Println("no elements matched")
 			} else {
-				fmt.Printf("%s = %d at index %d (%d considered)\n", *op, res.Value, res.Index, res.Count)
+				fmt.Printf("%s = %s at index %d (%d considered)\n", *op, fmtVal(res.Value), res.Index, res.Count)
 			}
 		case proto.ReduceOpTopK:
 			fmt.Printf("top %d of %d considered:\n", len(res.TopK), res.Count)
 			for _, m := range res.TopK {
-				fmt.Printf("  [%d] = %d\n", m.Index, m.Value)
+				fmt.Printf("  [%d] = %s\n", m.Index, fmtVal(m.Value))
 			}
 		}
 

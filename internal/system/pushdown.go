@@ -146,6 +146,52 @@ func (s *System) NDSReduce(at sim.Time, v *stl.View, coord, sub []int64, q stl.R
 	return stl.ReduceResult{}, stats, fmt.Errorf("system: NDSReduce on %v system", s.Kind)
 }
 
+// NDSSelect models a pushdown selection over the partition at coord/sub
+// whose result size is declared rather than computed. The timed Figure-10
+// harness runs on phantom (dataless) paper-scale platforms, where a real
+// scan would see only zeros and report a degenerate match count; NDSSelect
+// charges the exact stage structure of NDSScan — submission, translation,
+// the full segment-plan read, the scan-rate compute charge, and the link
+// transfer — but lets the caller declare how many result bytes cross the
+// interconnect (header + matches for a scan, header + top-k entries for a
+// reduction). On SoftwareNDS the declared size is ignored for the link:
+// every raw page crosses first, exactly as NDSScan charges it.
+func (s *System) NDSSelect(at sim.Time, v *stl.View, coord, sub []int64, resultBytes int64) (OpStats, error) {
+	if resultBytes < 0 {
+		return OpStats{}, fmt.Errorf("system: NDSSelect with %d result bytes", resultBytes)
+	}
+	noop := func(int64, []stl.Segment) error { return nil }
+	switch s.Kind {
+	case SoftwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, trEnd := s.Host.Translate(subEnd)
+		devDone, st, err := s.STL.ReadPartitionSegments(trEnd, v, coord, sub, noop)
+		if err != nil {
+			return OpStats{}, err
+		}
+		raw := st.PagesRead * s.pageSize()
+		_, linkEnd := s.Link.Transfer(trEnd, raw)
+		_, cmpEnd := s.Host.Compute(trEnd, hostScanRate.Duration(st.Bytes, st.Bytes))
+		return pushdownStats(sim.Max(devDone, sim.Max(linkEnd, cmpEnd)), st, raw), nil
+
+	case HardwareNDS:
+		_, subEnd := s.Host.SubmitIO(at)
+		_, cmdXfer := s.Link.Transfer(subEnd, int64(s.Cfg.Geometry.PageSize))
+		_, cmdEnd := s.Ctrl.HandleCommand(cmdXfer)
+		_, trEnd := s.Ctrl.Translate(cmdEnd)
+		devDone, st, err := s.STL.ReadPartitionSegments(trEnd, v, coord, sub, noop)
+		if err != nil {
+			return OpStats{}, err
+		}
+		_, dpEnd := s.Ctrl.DispatchPages(trEnd, st.PagesRead)
+		_, cmpEnd := s.Ctrl.Pushdown(trEnd, ctrlScanRate.Duration(st.Bytes, st.Bytes))
+		_, linkEnd := s.Link.Transfer(trEnd, resultBytes)
+		done := sim.Max(sim.Max(devDone, dpEnd), sim.Max(cmpEnd, linkEnd))
+		return pushdownStats(done, st, resultBytes), nil
+	}
+	return OpStats{}, fmt.Errorf("system: NDSSelect on %v system", s.Kind)
+}
+
 // pushdownStats packages operator stats: Bytes is the payload scanned (what
 // the tenant was charged), RawBytes is what actually crossed the link.
 func pushdownStats(done sim.Time, st stl.RequestStats, rawBytes int64) OpStats {

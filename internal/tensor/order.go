@@ -1,0 +1,57 @@
+package tensor
+
+import "math"
+
+// Order-preserving float <-> uint key transforms (the sign-flip trick): the
+// unsigned integer order of Key32(a), Key32(b) matches the IEEE-754 total
+// order of a, b, so the storage pushdown operators — which compare elements
+// as little-endian unsigned integers — can evaluate range predicates over
+// float32/float64 distances, ranks, and weights.
+//
+// The mapping flips the sign bit of non-negative floats and complements every
+// bit of negative floats: positives keep their magnitude order above the
+// midpoint, negatives reverse into ascending order below it. It is a
+// bijection on the 2^32 (2^64) bit patterns, so FromKey32(Key32(f)) returns
+// f's exact bit pattern. Consequences worth knowing:
+//
+//   - -0.0 orders strictly below +0.0 (keys 0x7fffffff and 0x80000000);
+//   - NaNs order deterministically at the extremes (negative-sign NaNs below
+//     every number, positive-sign NaNs above +Inf);
+//   - adjacent finite floats map to adjacent integers, so "strictly greater
+//     than f" is the key range [Key32(f)+1, ^uint32(0)].
+
+// Key32 maps a float32 to a uint32 whose unsigned order matches the float
+// total order.
+func Key32(f float32) uint32 {
+	b := math.Float32bits(f)
+	if b&(1<<31) != 0 {
+		return ^b
+	}
+	return b | 1<<31
+}
+
+// FromKey32 inverts Key32, recovering the exact original bit pattern.
+func FromKey32(k uint32) float32 {
+	if k&(1<<31) != 0 {
+		return math.Float32frombits(k ^ 1<<31)
+	}
+	return math.Float32frombits(^k)
+}
+
+// Key64 maps a float64 to a uint64 whose unsigned order matches the float
+// total order.
+func Key64(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// FromKey64 inverts Key64, recovering the exact original bit pattern.
+func FromKey64(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k ^ 1<<63)
+	}
+	return math.Float64frombits(^k)
+}

@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// lessTotal64 is the test oracle: the IEEE-754 total order the key transform
+// should reproduce (negative NaN < -Inf < negatives < -0 < +0 < positives <
+// +Inf < positive NaN), spelled out by sign and magnitude so it shares no
+// code with the transform under test.
+func lessTotal64(a, b float64) bool {
+	ba, bb := math.Float64bits(a), math.Float64bits(b)
+	sa, sb := ba&(1<<63) != 0, bb&(1<<63) != 0
+	switch {
+	case sa != sb:
+		return sa // the negative-sign side orders first
+	case !sa:
+		return ba < bb // non-negative: magnitude order is bit order
+	default:
+		return ba > bb // negative: bit order reversed
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases64 := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	}
+	for _, f := range cases64 {
+		if got := FromKey64(Key64(f)); math.Float64bits(got) != math.Float64bits(f) {
+			t.Errorf("FromKey64(Key64(%v)) = %v (bits %x != %x)", f, got, math.Float64bits(got), math.Float64bits(f))
+		}
+		f32 := float32(f)
+		if got := FromKey32(Key32(f32)); math.Float32bits(got) != math.Float32bits(f32) {
+			t.Errorf("FromKey32(Key32(%v)) = %v", f32, got)
+		}
+	}
+	// Random bit patterns round-trip too (the transform is a bijection on
+	// patterns, including NaN payloads).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		b := rng.Uint64()
+		if got := math.Float64bits(FromKey64(Key64(math.Float64frombits(b)))); got != b {
+			t.Fatalf("round trip of bits %x = %x", b, got)
+		}
+		b32 := uint32(rng.Uint64())
+		if got := math.Float32bits(FromKey32(Key32(math.Float32frombits(b32)))); got != b32 {
+			t.Fatalf("round trip of bits %x = %x", b32, got)
+		}
+		if got := Key64(FromKey64(b)); got != b {
+			t.Fatalf("key round trip of %x = %x", b, got)
+		}
+	}
+}
+
+func TestKeyOrderMatchesTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := []float64{
+		0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		math.NaN(), -math.NaN(),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		1, -1, 1e300, -1e300,
+	}
+	for i := 0; i < 500; i++ {
+		vals = append(vals, math.Float64frombits(rng.Uint64()))
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := Key64(a) < Key64(b), lessTotal64(a, b); got != want {
+				t.Fatalf("Key64 order of (%v, %v): key-less %v, total-order-less %v", a, b, got, want)
+			}
+		}
+	}
+	// Sorting by key sorts numerically (NaN-free slice).
+	nums := make([]float32, 200)
+	for i := range nums {
+		nums[i] = float32(rng.NormFloat64() * 100)
+	}
+	sort.Slice(nums, func(i, j int) bool { return Key32(nums[i]) < Key32(nums[j]) })
+	for i := 1; i < len(nums); i++ {
+		if nums[i-1] > nums[i] {
+			t.Fatalf("key sort out of order at %d: %v > %v", i, nums[i-1], nums[i])
+		}
+	}
+}
+
+func TestKeyBoundaries(t *testing.T) {
+	if k0, kneg0 := Key64(0), Key64(math.Copysign(0, -1)); k0 != kneg0+1 {
+		t.Errorf("keys of +0 (%x) and -0 (%x) are not adjacent", k0, kneg0)
+	}
+	if Key32(0) != 1<<31 {
+		t.Errorf("Key32(+0) = %x, want %x", Key32(0), uint32(1<<31))
+	}
+	// Adjacent finite floats have adjacent keys, so "strictly greater than f"
+	// is exactly [Key(f)+1, max].
+	for _, f := range []float64{0, 1, -1, 1e-300, 12345.678} {
+		next := math.Nextafter(f, math.Inf(1))
+		if Key64(next) != Key64(f)+1 {
+			t.Errorf("Key64(nextafter(%v)) = %x, want %x+1", f, Key64(next), Key64(f))
+		}
+	}
+	// Negative-sign NaNs sit below everything, positive-sign NaNs above.
+	negNaN := math.Float64frombits(0xfff8000000000001)
+	posNaN := math.Float64frombits(0x7ff8000000000001)
+	if Key64(negNaN) >= Key64(math.Inf(-1)) {
+		t.Errorf("negative NaN key %x not below -Inf key %x", Key64(negNaN), Key64(math.Inf(-1)))
+	}
+	if Key64(posNaN) <= Key64(math.Inf(1)) {
+		t.Errorf("positive NaN key %x not above +Inf key %x", Key64(posNaN), Key64(math.Inf(1)))
+	}
+}

@@ -17,12 +17,30 @@
 // are preserved.
 package workloads
 
-import "nds/internal/accel"
+import (
+	"nds/internal/accel"
+	"nds/internal/system"
+)
 
 // Fetch is one partition fetched per pipeline iteration.
 type Fetch struct {
 	Sub []int64 // sub-dimensionality of the partition
 	At  []int64 // representative coordinate used for stage measurement
+}
+
+// PushSpec models a workload's pushdown variant: the selection phase — the
+// part of the kernel that decides which elements matter — executes at the
+// STL, so on hardware NDS only result bytes cross the interconnect while
+// software NDS still ships every raw page before filtering at host speed.
+type PushSpec struct {
+	// Selectivity is the fraction of each fetched partition's elements the
+	// selection returns (scan-style selection).
+	Selectivity float64
+	// Reduce marks top-k reduce selection — a 32-byte result header plus 16
+	// bytes per entry — instead of a scan (16-byte header + 16 bytes/match).
+	Reduce bool
+	// K is the top-k depth when Reduce is set.
+	K int
 }
 
 // Spec describes one Table 1 workload.
@@ -53,6 +71,12 @@ type Spec struct {
 
 	// Scale is the divisor applied to the paper's dataset dimensions.
 	Scale int64
+
+	// Push, when non-nil, is the workload's device-resident form: the
+	// selection phase runs as an in-storage scan/reduce over each fetched
+	// partition (BFS/SSSP frontier expansion, KNN/KMeans distance pruning,
+	// PageRank delta filtering).
+	Push *PushSpec
 }
 
 // Catalog returns the ten workloads of Table 1.
@@ -87,6 +111,9 @@ func Catalog() []Spec {
 			Iters:   1024, // frontier batches of 32 adjacency rows
 			Curve:   accel.VectorKernel(), RateDim: 32768,
 			GatherQD: 2, Blocked: true,
+			// Frontier expansion: scan each adjacency batch for edges into
+			// the frontier; the graph's density bounds the match fraction.
+			Push: &PushSpec{Selectivity: 0.002},
 		},
 		{
 			Name: "SSSP", Category: "Graph Traversal", SharedWith: "BFS",
@@ -95,6 +122,8 @@ func Catalog() []Spec {
 			Iters:   8 * 8, // 8 destination bands x 8 relaxation passes
 			Curve:   accel.VectorKernel(), RateDim: 32768,
 			GatherQD: 4,
+			// Relaxation fetches only edges of reachable vertices.
+			Push: &PushSpec{Selectivity: 0.002},
 		},
 		{
 			Name: "GEMM", Category: "Linear Algebra",
@@ -122,6 +151,9 @@ func Catalog() []Spec {
 			Iters:   16 * 10, // 16 feature bands x 10 clustering iterations
 			Curve:   accel.VectorKernel(), RateDim: 32768,
 			GatherQD: 4,
+			// Assignment pruning: one argmin result per point row of the
+			// 512-wide band crosses the link instead of the band.
+			Push: &PushSpec{Selectivity: 1.0 / 512},
 		},
 		{
 			Name: "KNN", Category: "Data Mining", SharedWith: "KMeans",
@@ -130,6 +162,9 @@ func Catalog() []Spec {
 			Iters:   16,
 			Curve:   accel.VectorKernel(), RateDim: 32768,
 			GatherQD: 1,
+			// Candidate pruning: a top-k reduce over per-row distance keys
+			// replaces streaming the candidate block to the host.
+			Push: &PushSpec{Reduce: true, K: 16},
 		},
 		{
 			Name: "PageRank", Category: "Graph",
@@ -141,6 +176,9 @@ func Catalog() []Spec {
 			Iters: 8 * 4, // 8 shards x 4 power iterations
 			Curve: accel.VectorKernel(), RateDim: 32768,
 			GatherQD: 4,
+			// Delta filtering: only edges of vertices whose rank is still
+			// moving cross the link (density x active fraction).
+			Push: &PushSpec{Selectivity: 0.004},
 		},
 		{
 			Name: "Conv2D", Category: "Image Processing",
@@ -169,6 +207,38 @@ func Catalog() []Spec {
 	}
 }
 
+// Scaled returns the spec with dataset dimensions and fetch partitions
+// divided by div and iterations cut to a quarter (floor 4) — the reduced
+// scale the harness's quick sweeps and tests run at. Pushdown parameters are
+// scale-free (Selectivity is a fraction, K a fixed depth) and carry over.
+func (s Spec) Scaled(div int64) Spec {
+	out := s
+	out.Dims = append([]int64(nil), s.Dims...)
+	out.Fetches = make([]Fetch, len(s.Fetches))
+	for i := range out.Dims {
+		out.Dims[i] /= div
+	}
+	for i, f := range s.Fetches {
+		sub := append([]int64(nil), f.Sub...)
+		at := append([]int64(nil), f.At...)
+		for j := range sub {
+			sub[j] /= div
+			if sub[j] < 1 {
+				sub[j] = 1
+			}
+			if (at[j]+1)*sub[j] > out.Dims[j] {
+				at[j] = 0
+			}
+		}
+		out.Fetches[i] = Fetch{Sub: sub, At: at}
+	}
+	out.Iters /= 4
+	if out.Iters < 4 {
+		out.Iters = 4
+	}
+	return out
+}
+
 // Bytes is the dataset size in bytes.
 func (s Spec) Bytes() int64 {
 	n := int64(s.Elem)
@@ -187,6 +257,62 @@ func (s Spec) FetchBytes() int64 {
 			n *= d
 		}
 		total += n
+	}
+	return total
+}
+
+// pushResultBytes is the result-page volume one fetch's pushdown selection
+// returns: a 16-byte scan header plus 16 bytes per match at the spec's
+// selectivity, or a 32-byte reduce header plus 16 bytes per top-k entry.
+func (s Spec) pushResultBytes(f Fetch) int64 {
+	if s.Push == nil {
+		return 0
+	}
+	if s.Push.Reduce {
+		return 32 + 16*int64(s.Push.K)
+	}
+	elems := int64(1)
+	for _, d := range f.Sub {
+		elems *= d
+	}
+	return 16 + 16*int64(float64(elems)*s.Push.Selectivity)
+}
+
+// PushResultBytes is the per-iteration result volume of the pushdown
+// selection — what crosses the interconnect on hardware NDS, and what the
+// host pipeline's copy and kernel stages consume under pushdown.
+func (s Spec) PushResultBytes() int64 {
+	var total int64
+	for _, f := range s.Fetches {
+		total += s.pushResultBytes(f)
+	}
+	return total
+}
+
+// LinkBytes models the per-iteration interconnect volume of a fetch
+// configuration: without pushdown both NDS kinds move the partition payload;
+// with pushdown hardware NDS moves only the selection's result bytes, while
+// software NDS — whose STL runs on the host — still ships every raw page
+// (page-rounded payload) before filtering. pageSize 0 defaults to 4096.
+func (s Spec) LinkBytes(kind system.Kind, push bool, pageSize int64) int64 {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	if !push || s.Push == nil {
+		return s.FetchBytes()
+	}
+	var total int64
+	for _, f := range s.Fetches {
+		n := int64(s.Elem)
+		for _, d := range f.Sub {
+			n *= d
+		}
+		switch kind {
+		case system.HardwareNDS:
+			total += s.pushResultBytes(f)
+		default: // SoftwareNDS and Baseline cannot save link bytes
+			total += (n + pageSize - 1) / pageSize * pageSize
+		}
 	}
 	return total
 }

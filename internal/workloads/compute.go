@@ -94,47 +94,66 @@ func KMeans(points *tensor.Matrix, k, iters int) (*tensor.Matrix, []int, error) 
 	centroids := points.Sub(0, 0, k, d)
 	assign := make([]int, n)
 	for it := 0; it < iters; it++ {
-		// Assignment step.
-		for i := 0; i < n; i++ {
-			best, bestD := 0, math.Inf(1)
-			for c := 0; c < k; c++ {
-				var s float64
-				for j := 0; j < d; j++ {
-					diff := float64(points.At(i, j) - centroids.At(c, j))
-					s += diff * diff
-				}
-				if s < bestD {
-					best, bestD = c, s
-				}
-			}
-			assign[i] = best
-		}
-		// Update step.
-		next := tensor.NewMatrix(k, d)
-		count := make([]int, k)
-		for i := 0; i < n; i++ {
-			c := assign[i]
-			count[c]++
-			for j := 0; j < d; j++ {
-				next.Set(c, j, next.At(c, j)+points.At(i, j))
-			}
-		}
-		for c := 0; c < k; c++ {
-			if count[c] == 0 {
-				// Keep an empty cluster's centroid in place.
-				for j := 0; j < d; j++ {
-					next.Set(c, j, centroids.At(c, j))
-				}
-				continue
-			}
-			inv := 1 / float32(count[c])
-			for j := 0; j < d; j++ {
-				next.Set(c, j, next.At(c, j)*inv)
-			}
-		}
-		centroids = next
+		assignPoints(points, centroids, assign)
+		centroids = updateCentroids(points, centroids, assign, k)
 	}
 	return centroids, assign, nil
+}
+
+// pointDist is the squared Euclidean distance between row i of points and row
+// c of centroids, accumulated in float64 — the single definition every KMeans
+// and KNN variant (host or device-resident) shares, so distances are
+// bit-identical across them.
+func pointDist(points, centroids *tensor.Matrix, i, c int) float64 {
+	var s float64
+	for j := 0; j < points.Cols; j++ {
+		diff := float64(points.At(i, j) - centroids.At(c, j))
+		s += diff * diff
+	}
+	return s
+}
+
+// assignPoints is KMeans' assignment step: each point to its nearest centroid
+// (strict <, so ties go to the lowest centroid index).
+func assignPoints(points, centroids *tensor.Matrix, assign []int) {
+	k := centroids.Rows
+	for i := 0; i < points.Rows; i++ {
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			if s := pointDist(points, centroids, i, c); s < bestD {
+				best, bestD = c, s
+			}
+		}
+		assign[i] = best
+	}
+}
+
+// updateCentroids is KMeans' update step: the mean of each cluster's points,
+// with empty clusters keeping their centroid in place.
+func updateCentroids(points, centroids *tensor.Matrix, assign []int, k int) *tensor.Matrix {
+	d := points.Cols
+	next := tensor.NewMatrix(k, d)
+	count := make([]int, k)
+	for i := 0; i < points.Rows; i++ {
+		c := assign[i]
+		count[c]++
+		for j := 0; j < d; j++ {
+			next.Set(c, j, next.At(c, j)+points.At(i, j))
+		}
+	}
+	for c := 0; c < k; c++ {
+		if count[c] == 0 {
+			for j := 0; j < d; j++ {
+				next.Set(c, j, centroids.At(c, j))
+			}
+			continue
+		}
+		inv := 1 / float32(count[c])
+		for j := 0; j < d; j++ {
+			next.Set(c, j, next.At(c, j)*inv)
+		}
+	}
+	return next
 }
 
 // KNN returns the indices of the k nearest rows of points to query, in
@@ -220,6 +239,72 @@ func PageRank(adj *tensor.Matrix, damping float32, iters int) ([]float32, error)
 			next[v] += base + spread
 		}
 		rank = next
+	}
+	return rank, nil
+}
+
+// PageRankDelta runs the delta-filtered (incremental) PageRank variant the
+// device-resident kernel implements: each vertex remembers the rank it last
+// propagated, and only vertices whose rank moved by more than tol since then
+// push the difference to their out-neighbours; everyone else's contribution
+// stays in the accumulated in-flow. With tol = 0 it is mathematically the
+// same fixed point as PageRank (summation order differs, so floats agree only
+// approximately); with tol > 0 converged vertices stop touching their
+// adjacency rows — which is exactly the traffic the device kernel stops
+// moving across the interconnect. This host form is the bit-exact oracle for
+// PageRankDevice.
+func PageRankDelta(adj *tensor.Matrix, damping float32, iters int, tol float32) ([]float32, error) {
+	n := adj.Rows
+	if adj.Cols != n {
+		return nil, fmt.Errorf("workloads: PageRank needs a square adjacency")
+	}
+	outDeg := make([]float32, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if adj.At(u, v) != 0 {
+				outDeg[u]++
+			}
+		}
+	}
+	rank := make([]float32, n)
+	for i := range rank {
+		rank[i] = 1 / float32(n)
+	}
+	prop := make([]float32, n) // rank each vertex last propagated (0 = never)
+	acc := make([]float32, n)  // accumulated in-neighbour flow
+	base := (1 - damping) / float32(n)
+	for it := 0; it < iters; it++ {
+		for u := 0; u < n; u++ {
+			if outDeg[u] == 0 {
+				continue
+			}
+			delta := rank[u] - prop[u]
+			ad := delta
+			if ad < 0 {
+				ad = -ad
+			}
+			if ad <= tol {
+				continue
+			}
+			share := damping * delta / outDeg[u]
+			row := adj.Data[u*n : (u+1)*n]
+			for v, w := range row {
+				if w != 0 {
+					acc[v] += share
+				}
+			}
+			prop[u] = rank[u]
+		}
+		var dangling float32
+		for u := 0; u < n; u++ {
+			if outDeg[u] == 0 {
+				dangling += rank[u]
+			}
+		}
+		spread := damping * dangling / float32(n)
+		for v := 0; v < n; v++ {
+			rank[v] = base + spread + acc[v]
+		}
 	}
 	return rank, nil
 }

@@ -31,6 +31,27 @@ type Result struct {
 
 	IdleReductionSW float64 // fraction of baseline kernel idle removed
 	IdleReductionHW float64
+
+	// Pushdown variant (Spec.Push != nil): the same pipeline with the
+	// selection phase executed at the STL, so the copy and kernel stages
+	// consume result bytes instead of raw partitions.
+	SoftwarePush        sim.Time
+	HardwarePush        sim.Time
+	SpeedupSoftwarePush float64 // vs Baseline
+	SpeedupHardwarePush float64 // vs Baseline
+	PushWinHW           float64 // Hardware / HardwarePush: >1 = end-to-end sim-time win
+
+	// Per-iteration stage split (Figure 10's I/O vs compute decomposition)
+	// for the read and pushdown fetch forms.
+	SWFetch, HWFetch         sim.Time
+	SWPushFetch, HWPushFetch sim.Time
+	CopyRead, KernelRead     sim.Time
+	CopyPush, KernelPush     sim.Time
+
+	// Per-iteration interconnect volume, measured from the fetch stage's
+	// OpStats (result pages under hardware pushdown, raw pages on software).
+	HWLinkBytes, HWPushLinkBytes int64
+	SWLinkBytes, SWPushLinkBytes int64
 }
 
 // linearRuns decomposes a partition (at/sub over dims) of a row-major linear
@@ -255,26 +276,37 @@ func Run(spec Spec) (Result, error) {
 		oracleFetch += st.Done / reps
 	}
 
-	// NDS fetches: reps commands in flight, averaged.
-	ndsFetch := func(sys *system.System, v *stl.View) (sim.Time, error) {
+	// NDS fetches: reps commands in flight, averaged. push routes each fetch
+	// through the pushdown selection model (NDSSelect: identical plan and
+	// stage structure to a scan, with the result volume the spec declares);
+	// the per-iteration link bytes come from the same OpStats.
+	ndsFetch := func(sys *system.System, v *stl.View, push bool) (sim.Time, int64, error) {
 		sys.ResetTimelines()
 		var t sim.Time
+		var raw int64
 		for r := 0; r < reps; r++ {
 			for _, f := range spec.Fetches {
-				_, st, err := sys.NDSRead(0, v, varyCoord(spec, f, r), f.Sub)
+				var st system.OpStats
+				var err error
+				if push {
+					st, err = sys.NDSSelect(0, v, varyCoord(spec, f, r), f.Sub, spec.pushResultBytes(f))
+				} else {
+					_, st, err = sys.NDSRead(0, v, varyCoord(spec, f, r), f.Sub)
+				}
 				if err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				t = sim.Max(t, st.Done)
+				raw += st.RawBytes
 			}
 		}
-		return t / reps, nil
+		return t / reps, raw / reps, nil
 	}
-	swFetch, err := ndsFetch(sw, swView)
+	swFetch, swRaw, err := ndsFetch(sw, swView, false)
 	if err != nil {
 		return res, err
 	}
-	hwFetch, err := ndsFetch(hw, hwView)
+	hwFetch, hwRaw, err := ndsFetch(hw, hwView, false)
 	if err != nil {
 		return res, err
 	}
@@ -291,17 +323,20 @@ func Run(spec Spec) (Result, error) {
 		}
 		return p.End(), p.Idle(3)
 	}
-	run3 := func(fetch sim.Time) (sim.Time, sim.Time) {
+	run3 := func(fetch, cp, kn sim.Time) (sim.Time, sim.Time) {
 		p := sim.NewPipeline(3)
 		for i := int64(0); i < spec.Iters; i++ {
-			p.Feed(fetch, copyD, kernel)
+			p.Feed(fetch, cp, kn)
 		}
 		return p.End(), p.Idle(2)
 	}
 	res.Baseline, res.BaselineIdle = run4(baseFetch, marshal)
-	res.Software, res.SoftwareIdle = run3(swFetch)
-	res.Hardware, res.HardwareIdle = run3(hwFetch)
-	res.Oracle, _ = run3(oracleFetch)
+	res.Software, res.SoftwareIdle = run3(swFetch, copyD, kernel)
+	res.Hardware, res.HardwareIdle = run3(hwFetch, copyD, kernel)
+	res.Oracle, _ = run3(oracleFetch, copyD, kernel)
+	res.SWFetch, res.HWFetch = swFetch, hwFetch
+	res.SWLinkBytes, res.HWLinkBytes = swRaw, hwRaw
+	res.CopyRead, res.KernelRead = copyD, kernel
 
 	res.SpeedupSoftware = res.Baseline.Seconds() / res.Software.Seconds()
 	res.SpeedupHardware = res.Baseline.Seconds() / res.Hardware.Seconds()
@@ -309,6 +344,30 @@ func Run(spec Spec) (Result, error) {
 	if res.BaselineIdle > 0 {
 		res.IdleReductionSW = 1 - res.SoftwareIdle.Seconds()/res.BaselineIdle.Seconds()
 		res.IdleReductionHW = 1 - res.HardwareIdle.Seconds()/res.BaselineIdle.Seconds()
+	}
+
+	if spec.Push != nil {
+		swPushFetch, swPushRaw, err := ndsFetch(sw, swView, true)
+		if err != nil {
+			return res, err
+		}
+		hwPushFetch, hwPushRaw, err := ndsFetch(hw, hwView, true)
+		if err != nil {
+			return res, err
+		}
+		// Downstream of the selection, the host copies and computes over
+		// result bytes, not raw partitions.
+		resBytes := spec.PushResultBytes()
+		copyP := gpu.CopyDuration(resBytes)
+		kernelP := spec.Curve.Duration(resBytes, spec.RateDim)
+		res.SoftwarePush, _ = run3(swPushFetch, copyP, kernelP)
+		res.HardwarePush, _ = run3(hwPushFetch, copyP, kernelP)
+		res.SWPushFetch, res.HWPushFetch = swPushFetch, hwPushFetch
+		res.SWPushLinkBytes, res.HWPushLinkBytes = swPushRaw, hwPushRaw
+		res.CopyPush, res.KernelPush = copyP, kernelP
+		res.SpeedupSoftwarePush = res.Baseline.Seconds() / res.SoftwarePush.Seconds()
+		res.SpeedupHardwarePush = res.Baseline.Seconds() / res.HardwarePush.Seconds()
+		res.PushWinHW = res.Hardware.Seconds() / res.HardwarePush.Seconds()
 	}
 	return res, nil
 }

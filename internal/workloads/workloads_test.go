@@ -118,33 +118,7 @@ func TestVaryCoordStaysInBounds(t *testing.T) {
 }
 
 // scaleSpec shrinks a workload for unit-test runtime.
-func scaleSpec(s Spec, div int64) Spec {
-	out := s
-	out.Dims = append([]int64(nil), s.Dims...)
-	out.Fetches = make([]Fetch, len(s.Fetches))
-	for i := range out.Dims {
-		out.Dims[i] /= div
-	}
-	for i, f := range s.Fetches {
-		sub := append([]int64(nil), f.Sub...)
-		at := append([]int64(nil), f.At...)
-		for j := range sub {
-			sub[j] /= div
-			if sub[j] < 1 {
-				sub[j] = 1
-			}
-			if (at[j]+1)*sub[j] > out.Dims[j] {
-				at[j] = 0
-			}
-		}
-		out.Fetches[i] = Fetch{Sub: sub, At: at}
-	}
-	out.Iters /= 4
-	if out.Iters < 4 {
-		out.Iters = 4
-	}
-	return out
-}
+func scaleSpec(s Spec, div int64) Spec { return s.Scaled(div) }
 
 // TestRunShapes checks the headline orderings of Figure 10 on three
 // representative workloads at reduced scale: tiled workloads must gain
@@ -194,6 +168,67 @@ func TestRunShapes(t *testing.T) {
 	if sssp.SpeedupOracle < sssp.SpeedupSoftware*0.8 {
 		t.Errorf("oracle (%.2f) should be at least comparable to software NDS (%.2f)",
 			sssp.SpeedupOracle, sssp.SpeedupSoftware)
+	}
+}
+
+// TestRunPushdown pins the pushdown timing model's headline shapes: hardware
+// NDS moves only result bytes under pushdown (>= 5x fewer than reading the
+// partitions for BFS and KNN), software NDS ships raw pages either way, and
+// at least one kernel — BFS, whose frontier scan is cheap relative to its
+// link traffic — wins end-to-end sim time from pushing down. KNN's top-k
+// reduce saves the most link bytes yet loses sim time: the controller's scan
+// rate bounds its pipeline, the [P2] tradeoff the paper's hardware/software
+// split exists to expose.
+func TestRunPushdown(t *testing.T) {
+	byName := map[string]Spec{}
+	for _, s := range Catalog() {
+		byName[s.Name] = s
+	}
+	results := map[string]Result{}
+	for _, name := range []string{"BFS", "KNN"} {
+		spec := byName[name]
+		if spec.Push == nil {
+			t.Fatalf("%s: no PushSpec in catalog", name)
+		}
+		res, err := Run(scaleSpec(spec, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[name] = res
+		if res.HardwarePush == 0 || res.SoftwarePush == 0 {
+			t.Fatalf("%s: push pipelines not measured (%+v)", name, res)
+		}
+		if res.HWPushLinkBytes*5 > res.HWLinkBytes {
+			t.Errorf("%s: hardware push link bytes %d not 5x under read's %d",
+				name, res.HWPushLinkBytes, res.HWLinkBytes)
+		}
+		if res.SWPushLinkBytes != res.SWLinkBytes {
+			t.Errorf("%s: software push link bytes %d != read's %d (software STL ships raw pages either way)",
+				name, res.SWPushLinkBytes, res.SWLinkBytes)
+		}
+	}
+	if results["BFS"].PushWinHW <= 1 {
+		t.Errorf("BFS hardware pushdown win = %.2f, want > 1 (end-to-end sim-time win)",
+			results["BFS"].PushWinHW)
+	}
+	// The static link model must agree in shape with the measured traffic.
+	for _, s := range Catalog() {
+		if s.Push == nil {
+			continue
+		}
+		hwPush := s.LinkBytes(system.HardwareNDS, true, 0)
+		if hwPush >= s.FetchBytes() {
+			t.Errorf("%s: static hardware push link bytes %d not under fetch bytes %d",
+				s.Name, hwPush, s.FetchBytes())
+		}
+		if got := s.LinkBytes(system.SoftwareNDS, true, 0); got < s.FetchBytes() {
+			t.Errorf("%s: static software push link bytes %d below fetch bytes %d",
+				s.Name, got, s.FetchBytes())
+		}
+		if got := s.LinkBytes(system.HardwareNDS, false, 0); got != s.FetchBytes() {
+			t.Errorf("%s: static no-push link bytes %d != fetch bytes %d",
+				s.Name, got, s.FetchBytes())
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nds/internal/stl"
+	"nds/internal/tensor"
 )
 
 // In-storage compute pushdown: predicate scans and block-level reductions
@@ -24,6 +25,41 @@ import (
 // ErrPushdownDisabled reports a Scan or Reduce on a device opened with
 // Options.DisablePushdown. The wire layer maps it to StatusUnsupportedOp.
 var ErrPushdownDisabled = errors.New("pushdown disabled on this device")
+
+// Float values become scannable through the order-preserving key transform
+// (tensor.Key32/Key64, the sign-flip trick): store Key32(f) instead of f's
+// raw bits and any float range predicate becomes an unsigned range predicate
+// the device can evaluate. The helpers below build predicates for spaces
+// stored in key encoding; FloatKey32/FloatKey64 and their inverses are
+// re-exported so callers can encode on write and decode scan results.
+
+// FloatKey32 maps a float32 to the 4-byte key whose unsigned order matches
+// the float total order (-NaN < -Inf < ... < -0 < +0 < ... < +Inf < +NaN).
+func FloatKey32(f float32) uint32 { return tensor.Key32(f) }
+
+// FloatFromKey32 inverts FloatKey32, recovering the exact bit pattern.
+func FloatFromKey32(k uint32) float32 { return tensor.FromKey32(k) }
+
+// FloatKey64 maps a float64 to the 8-byte key whose unsigned order matches
+// the float total order.
+func FloatKey64(f float64) uint64 { return tensor.Key64(f) }
+
+// FloatFromKey64 inverts FloatKey64, recovering the exact bit pattern.
+func FloatFromKey64(k uint64) float64 { return tensor.FromKey64(k) }
+
+// Float32Range builds a predicate matching keys of float32 values in the
+// inclusive range [lo, hi], for spaces of 4-byte elements stored in
+// FloatKey32 encoding.
+func Float32Range(lo, hi float32) Predicate {
+	return Predicate{Lo: uint64(tensor.Key32(lo)), Hi: uint64(tensor.Key32(hi))}
+}
+
+// Float64Range builds a predicate matching keys of float64 values in the
+// inclusive range [lo, hi], for spaces of 8-byte elements stored in
+// FloatKey64 encoding.
+func Float64Range(lo, hi float64) Predicate {
+	return Predicate{Lo: tensor.Key64(lo), Hi: tensor.Key64(hi)}
+}
 
 // Predicate is an inclusive unsigned value range [Lo, Hi].
 type Predicate = stl.Predicate
